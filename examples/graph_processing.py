@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Graph-processing example: fine-grained vertex locks over a distributed graph.
+
+The paper motivates RMA-RW with irregular workloads such as graph processing,
+where the structure (e.g. a social graph) is partitioned across the memories
+of many nodes, almost all accesses are reads (neighbour queries, degree
+lookups), and occasional updates (edge insertions) must be isolated.
+
+This example builds a random graph with ``networkx``, partitions its vertices
+across the simulated ranks, stores the adjacency information in each owner's
+RMA window, and protects every partition with its own RMA-RW lock.  Ranks
+then run a mixed workload of neighbour reads and edge insertions against
+random partitions; the same workload is repeated with the centralized
+foMPI-RW baseline for comparison.
+
+Run with:  python examples/graph_processing.py
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import networkx as nx
+
+from repro import FompiRWLockSpec, Machine, RMARWLockSpec, SimRuntime
+from repro.bench.report import format_table
+
+NODES = int(os.environ.get("REPRO_EXAMPLE_NODES", "2"))
+PROCS_PER_NODE = int(os.environ.get("REPRO_EXAMPLE_PROCS_PER_NODE", "4"))
+NUM_VERTICES = int(os.environ.get("REPRO_EXAMPLE_VERTICES", "64"))
+OPS_PER_RANK = int(os.environ.get("REPRO_EXAMPLE_OPS", "12"))
+EDGE_INSERT_FRACTION = 0.05
+
+#: Per-partition adjacency storage: a fixed-size degree-counter + edge list.
+MAX_EDGES_PER_PARTITION = 512
+
+
+def build_partitions(machine: Machine) -> Dict[int, List[int]]:
+    """Assign each vertex of a random graph to an owning rank (round-robin)."""
+    graph = nx.gnm_random_graph(NUM_VERTICES, NUM_VERTICES * 3, seed=11)
+    partitions: Dict[int, List[int]] = {r: [] for r in machine.iter_ranks()}
+    for vertex in graph.nodes:
+        partitions[vertex % machine.num_processes].append(vertex)
+    return partitions, graph
+
+
+def run_workload(machine: Machine, lock_kind: str) -> Dict[str, float]:
+    """Run the mixed read/update workload with per-partition locks of ``lock_kind``."""
+    partitions, graph = build_partitions(machine)
+
+    # One RW lock per partition.  Each lock gets its own window region so that
+    # every partition can be locked independently (fine-grained locking).
+    specs = []
+    offset = 0
+    for _ in machine.iter_ranks():
+        if lock_kind == "rma-rw":
+            spec = RMARWLockSpec(machine, t_dc=PROCS_PER_NODE, t_l=(2, 4), t_r=32, base_offset=offset)
+        else:
+            spec = FompiRWLockSpec(num_processes=machine.num_processes, base_offset=offset)
+        specs.append(spec)
+        offset = spec.window_words
+
+    # Adjacency region: degree counter + flattened edge endpoints per owner.
+    degree_offset = offset
+    edges_offset = offset + 1
+    window_words = edges_offset + MAX_EDGES_PER_PARTITION
+
+    def window_init(rank: int) -> Dict[int, int]:
+        values: Dict[int, int] = {}
+        for spec in specs:
+            values.update(spec.init_window(rank))
+        local_edges: List[int] = []
+        for vertex in partitions[rank]:
+            for neighbour in graph.adj[vertex]:
+                local_edges.extend([vertex, neighbour])
+        values[degree_offset] = len(local_edges) // 2
+        for i, endpoint in enumerate(local_edges[: MAX_EDGES_PER_PARTITION - 2]):
+            values[edges_offset + i] = endpoint
+        return values
+
+    runtime = SimRuntime(machine, window_words=window_words, seed=3)
+
+    def program(ctx):
+        locks = [spec.make(ctx) for spec in specs]
+        rng = ctx.rng
+        ctx.barrier()
+        start = ctx.now()
+        reads = 0
+        updates = 0
+        for _ in range(OPS_PER_RANK):
+            owner = int(rng.integers(0, ctx.nranks))
+            lock = locks[owner]
+            if rng.random() < EDGE_INSERT_FRACTION:
+                # Edge insertion: exclusive access to the owner's partition.
+                with lock.writing():
+                    count = ctx.get(owner, degree_offset)
+                    ctx.flush(owner)
+                    slot = edges_offset + (2 * count) % (MAX_EDGES_PER_PARTITION - 2)
+                    ctx.put(int(rng.integers(0, NUM_VERTICES)), owner, slot)
+                    ctx.put(int(rng.integers(0, NUM_VERTICES)), owner, slot + 1)
+                    ctx.put(count + 1, owner, degree_offset)
+                    ctx.flush(owner)
+                updates += 1
+            else:
+                # Neighbour scan: shared access; read the degree and a few edges.
+                with lock.reading():
+                    count = ctx.get(owner, degree_offset)
+                    ctx.flush(owner)
+                    for i in range(min(4, max(count, 0))):
+                        ctx.get(owner, edges_offset + 2 * i)
+                    ctx.flush(owner)
+                reads += 1
+        end = ctx.now()
+        ctx.barrier()
+        return {"elapsed": end - start, "reads": reads, "updates": updates}
+
+    result = runtime.run(program, window_init=window_init)
+    elapsed = max(r["elapsed"] for r in result.returns)
+    total_ops = sum(r["reads"] + r["updates"] for r in result.returns)
+    return {
+        "lock": lock_kind,
+        "elapsed_us": round(elapsed, 1),
+        "ops": total_ops,
+        "kops_per_s": round(total_ops / elapsed * 1e3, 2) if elapsed > 0 else 0.0,
+        "rma_ops": result.total_ops(),
+    }
+
+
+def main() -> None:
+    machine = Machine.cluster(nodes=NODES, procs_per_node=PROCS_PER_NODE)
+    print(f"Simulated machine: {machine.describe()}")
+    print(f"Graph: {NUM_VERTICES} vertices partitioned over {machine.num_processes} ranks; "
+          f"{EDGE_INSERT_FRACTION * 100:g}% of operations are edge insertions\n")
+    rows = [run_workload(machine, kind) for kind in ("rma-rw", "fompi-rw")]
+    print(format_table(rows))
+    print(
+        "\nReading guide: with mostly-read vertex accesses the topology-aware "
+        "lock's distributed counters let readers of the same node proceed "
+        "without touching remote memory, which shows up as fewer expensive "
+        "RMA operations and a shorter makespan."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Key-value store example: the distributed hashtable under three locking policies.
+
+This reproduces the scenario of the paper's Section 5.3 in miniature: many
+processes hammer the local volume of one selected rank with a read-dominated
+key-value workload (a few percent of inserts), and we compare the total time
+of the three synchronization policies of Figure 6:
+
+* ``fompi-a``  — no lock, atomics-only inserts/lookups,
+* ``fompi-rw`` — a centralized reader-writer lock around every operation,
+* ``rma-rw``   — the topology-aware RMA-RW lock around every operation.
+
+Run with:  python examples/key_value_store.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import Machine
+from repro.bench.report import format_table
+from repro.dht import DHTWorkloadConfig, run_dht_benchmark
+
+OPS_PER_PROCESS = int(os.environ.get("REPRO_EXAMPLE_OPS", "12"))
+NODES = int(os.environ.get("REPRO_EXAMPLE_NODES", "4"))
+PROCS_PER_NODE = int(os.environ.get("REPRO_EXAMPLE_PROCS_PER_NODE", "8"))
+WRITE_FRACTIONS = (0.2, 0.02)
+
+
+def main() -> None:
+    machine = Machine.cluster(nodes=NODES, procs_per_node=PROCS_PER_NODE)
+    print(f"Simulated machine: {machine.describe()}")
+    print(f"Workload: {machine.num_processes - 1} clients x {OPS_PER_PROCESS} ops on rank 0's volume\n")
+
+    rows = []
+    for fw in WRITE_FRACTIONS:
+        for scheme in ("fompi-a", "fompi-rw", "rma-rw"):
+            config = DHTWorkloadConfig(
+                machine=machine,
+                scheme=scheme,  # type: ignore[arg-type]
+                ops_per_process=OPS_PER_PROCESS,
+                fw=fw,
+                t_l=(4, 4),
+                t_r=64,
+                seed=5,
+            )
+            outcome = run_dht_benchmark(config)
+            rows.append(
+                {
+                    "F_W": f"{fw * 100:g}%",
+                    "scheme": scheme,
+                    "total_time_us": round(outcome.total_time_us, 1),
+                    "ops": outcome.total_ops,
+                    "inserts": outcome.inserts,
+                    "lookups": outcome.lookups,
+                    "ops_per_s": round(outcome.ops_per_second, 1),
+                }
+            )
+
+    print(format_table(rows))
+    print(
+        "\nReading guide: with a read-dominated mix the RW locks admit readers "
+        "concurrently, and RMA-RW additionally keeps its counters local to each "
+        "node, so its total time stays closest to the unsynchronized atomics-only "
+        "variant while still providing consistent reader/writer isolation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Compare the paper's locks against the related-work designs it builds on.
+
+Sections 2.3 and 7 of the paper position RMA-MCS and RMA-RW against a family
+of shared-memory NUMA-aware locks.  This example runs distributed adaptations
+of those designs (``repro.related``) side by side with the paper's own locks
+and its centralized foMPI baselines on a simulated cluster:
+
+* mutual exclusion: foMPI-Spin, ticket, HBO (centralized spinning),
+  D-MCS (topology-oblivious queue), cohort and RMA-MCS (topology-aware);
+* reader-writer: foMPI-RW (centralized), NUMA-aware RW (per-node reader
+  counters) and RMA-RW, on a read-dominated mix.
+
+Run with:  python examples/related_locks_comparison.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import experiments
+from repro.bench.report import format_figure
+
+NODES = int(os.environ.get("REPRO_EXAMPLE_NODES", "4"))
+PROCS_PER_NODE = int(os.environ.get("REPRO_EXAMPLE_PROCS_PER_NODE", "8"))
+ITERATIONS = int(os.environ.get("REPRO_EXAMPLE_ITERATIONS", "12"))
+
+
+def main() -> None:
+    process_counts = tuple(
+        sorted({PROCS_PER_NODE, 2 * PROCS_PER_NODE, NODES * PROCS_PER_NODE})
+    )
+
+    mcs_rows = experiments.related_mcs_comparison(
+        benchmarks=("ecsb",),
+        process_counts=process_counts,
+        iterations=ITERATIONS,
+        procs_per_node=PROCS_PER_NODE,
+    )
+    print(
+        format_figure(
+            mcs_rows,
+            title="Mutual exclusion, ECSB throughput [mln locks/s] (higher is better)",
+            series="series",
+            value="throughput_mln_s",
+        )
+    )
+    print()
+
+    rw_rows = experiments.related_rw_comparison(
+        fw_values=(0.002, 0.05),
+        process_counts=process_counts,
+        iterations=ITERATIONS,
+        procs_per_node=PROCS_PER_NODE,
+    )
+    print(
+        format_figure(
+            rw_rows,
+            title="Reader-writer, ECSB throughput [mln locks/s] by F_W (higher is better)",
+            series="series",
+            value="throughput_mln_s",
+        )
+    )
+    print()
+
+    largest = max(r["P"] for r in mcs_rows)
+    at_scale = {r["series"]: r["throughput_mln_s"] for r in mcs_rows if r["P"] == largest}
+    ordered = sorted(at_scale.items(), key=lambda kv: kv[1], reverse=True)
+    print(f"Mutual-exclusion ranking at P={largest}:")
+    for rank, (scheme, throughput) in enumerate(ordered, start=1):
+        print(f"  {rank}. {scheme:<12s} {throughput:.3f} mln locks/s")
+
+
+if __name__ == "__main__":
+    main()

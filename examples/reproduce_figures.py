@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation section in one go.
+
+Runs the figure drivers of :mod:`repro.bench.experiments` with their default
+(scaled-down) sweeps and prints each figure as a pivoted text table whose
+layout matches the paper's plots (x axis = process count, one column per
+scheme/threshold).  Set ``REPRO_BENCH_PROCS`` (e.g. ``"4 8 16 32 64 128"``)
+and ``REPRO_BENCH_SCALE`` to enlarge the sweeps.
+
+Run with:  python examples/reproduce_figures.py [figure ...]
+where ``figure`` is any of: 3 4a 4b 4c 4d 4e 4f 5 6 ablations
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import experiments
+from repro.bench.report import format_figure
+
+
+def print_rows(rows, *, title, series="scheme", value="throughput_mln_s", x="P"):
+    print(format_figure(rows, title=title, series=series, value=value, x=x))
+    print()
+
+
+def run_figure(name: str) -> None:
+    if name == "3":
+        rows = experiments.figure3()
+        for fig, benchmark, value in (
+            ("3a", "lb", "latency_us"),
+            ("3b", "ecsb", "throughput_mln_s"),
+            ("3c", "sob", "throughput_mln_s"),
+            ("3d", "wcsb", "throughput_mln_s"),
+            ("3e", "warb", "throughput_mln_s"),
+        ):
+            subset = [r for r in rows if r["figure"] == fig]
+            print_rows(subset, title=f"Figure {fig} ({benchmark.upper()})", value=value)
+    elif name == "4a":
+        print_rows(experiments.figure4a(), title="Figure 4a (T_DC, SOB, F_W=2%)", series="t_dc")
+    elif name == "4b":
+        print_rows(experiments.figure4b(), title="Figure 4b (T_L product, SOB, F_W=25%)", series="tl_product")
+    elif name == "4c":
+        print_rows(experiments.figure4c(), title="Figure 4c (T_L split, SOB, F_W=25%)", series="tl_split")
+    elif name == "4d":
+        print_rows(experiments.figure4d(), title="Figure 4d (T_L split, LB, F_W=25%)", series="tl_split", value="latency_us")
+    elif name == "4e":
+        print_rows(experiments.figure4e(), title="Figure 4e (T_R, ECSB, F_W=0.2%)", series="t_r")
+    elif name == "4f":
+        print_rows(experiments.figure4f(), title="Figure 4f (T_R x F_W, ECSB)", series="series")
+    elif name == "5":
+        rows = experiments.figure5()
+        for fig, value in (("5a", "latency_us"), ("5b", "throughput_mln_s"), ("5c", "throughput_mln_s")):
+            subset = [r for r in rows if r["figure"] == fig]
+            print_rows(subset, title=f"Figure {fig}", series="series", value=value)
+    elif name == "6":
+        rows = experiments.figure6()
+        for fig in ("6a", "6b", "6c", "6d"):
+            subset = [r for r in rows if r["figure"] == fig]
+            if subset:
+                print_rows(subset, title=f"Figure {fig} (DHT total time)", value="total_time_us")
+    elif name == "ablations":
+        print_rows(experiments.ablation_counter_placement(), title="Ablation: counter placement", series="series")
+        print_rows(experiments.ablation_flat_latency(), title="Ablation: flat vs hierarchical fabric", series="series")
+        print_rows(experiments.ablation_locality(), title="Ablation: RMA-MCS locality threshold", series="t_l2")
+    else:
+        raise SystemExit(f"unknown figure {name!r}; pick from 3 4a 4b 4c 4d 4e 4f 5 6 ablations")
+
+
+def main() -> None:
+    requested = sys.argv[1:] or ["3", "4a", "4b", "4c", "4d", "4e", "4f", "5", "6", "ablations"]
+    for name in requested:
+        run_figure(name)
+
+
+if __name__ == "__main__":
+    main()

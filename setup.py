@@ -1,0 +1,7 @@
+"""Setup shim for environments without the `wheel` package (offline legacy installs).
+
+All project metadata lives in pyproject.toml; setuptools >= 61 reads it from there.
+"""
+from setuptools import setup
+
+setup()

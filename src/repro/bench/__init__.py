@@ -1,0 +1,65 @@
+"""Benchmark harness, workloads and figure drivers for the paper's evaluation."""
+
+from repro.bench.ascii_plot import bar_chart, figure_chart, line_chart
+from repro.bench.export import load_rows, rows_to_csv, rows_to_json, save_figure_rows
+from repro.bench.harness import LockBenchResult, build_lock_spec, run_lock_benchmark
+from repro.bench.report import format_figure, format_table, pivot_rows, summarize_speedup
+from repro.bench.trace import (
+    TraceEvent,
+    TraceRecorder,
+    TraceSummary,
+    distance_breakdown,
+    hottest_targets,
+    per_rank_summary,
+    render_rank_activity,
+    summarize_trace,
+    trace_rows_by_distance,
+)
+from repro.bench.workloads import (
+    BENCHMARKS,
+    MCS_SCHEMES,
+    RELATED_MCS_SCHEMES,
+    RELATED_RW_SCHEMES,
+    RW_SCHEMES,
+    SCHEMES,
+    LockBenchConfig,
+    bench_scale,
+    default_process_counts,
+)
+from repro.bench import experiments
+
+__all__ = [
+    "BENCHMARKS",
+    "LockBenchConfig",
+    "LockBenchResult",
+    "MCS_SCHEMES",
+    "RELATED_MCS_SCHEMES",
+    "RELATED_RW_SCHEMES",
+    "RW_SCHEMES",
+    "SCHEMES",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceSummary",
+    "bar_chart",
+    "bench_scale",
+    "build_lock_spec",
+    "default_process_counts",
+    "distance_breakdown",
+    "experiments",
+    "figure_chart",
+    "format_figure",
+    "format_table",
+    "hottest_targets",
+    "line_chart",
+    "load_rows",
+    "per_rank_summary",
+    "pivot_rows",
+    "render_rank_activity",
+    "rows_to_csv",
+    "rows_to_json",
+    "run_lock_benchmark",
+    "save_figure_rows",
+    "summarize_speedup",
+    "summarize_trace",
+    "trace_rows_by_distance",
+]

@@ -1,0 +1,236 @@
+"""Benchmark harness: build a lock, run a microbenchmark, collect the metrics.
+
+The measurement discipline mirrors the paper (Section 5, "Experimentation
+Methodology"): per-operation latencies are averaged after discarding the
+first 10% of samples as warm-up, and throughput is the aggregate number of
+lock acquisitions divided by the total time of the measured phase.  Times are
+virtual microseconds of the :class:`~repro.rma.sim_runtime.SimRuntime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.bench.workloads import LockBenchConfig
+from repro.core.baselines import FompiRWLockSpec, FompiSpinLockSpec
+from repro.core.dmcs import DMCSLockSpec
+from repro.core.lock_base import LockSpec, RWLockHandle
+from repro.core.rma_mcs import RMAMCSLockSpec
+from repro.core.rma_rw import RMARWLockSpec
+from repro.related.cohort import CohortTicketLockSpec
+from repro.related.hbo import HBOLockSpec
+from repro.related.numa_rw import NumaRWLockSpec
+from repro.related.ticket import TicketLockSpec
+from repro.rma.fabric import FabricContentionModel
+from repro.rma.latency import LatencyModel
+from repro.rma.runtime_base import ProcessContext
+from repro.rma.sim_runtime import SimRuntime
+from repro.util.stats import summarize
+
+__all__ = ["LockBenchResult", "build_lock_spec", "run_lock_benchmark"]
+
+
+@dataclass
+class LockBenchResult:
+    """Aggregated outcome of one benchmark configuration."""
+
+    scheme: str
+    benchmark: str
+    num_processes: int
+    fw: float
+    iterations: int
+    total_acquires: int
+    reads: int
+    writes: int
+    elapsed_us: float
+    latency_mean_us: float
+    latency_p95_us: float
+    throughput_mln_per_s: float
+    op_counts: Dict[str, int] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten to a row dictionary for reports and figure tables."""
+        return {
+            "scheme": self.scheme,
+            "benchmark": self.benchmark,
+            "P": self.num_processes,
+            "fw": self.fw,
+            "latency_us": round(self.latency_mean_us, 3),
+            "latency_p95_us": round(self.latency_p95_us, 3),
+            "throughput_mln_s": round(self.throughput_mln_per_s, 4),
+            "elapsed_us": round(self.elapsed_us, 1),
+            "acquires": self.total_acquires,
+        }
+
+
+def build_lock_spec(config: LockBenchConfig) -> Tuple[LockSpec, bool]:
+    """Build the lock spec for ``config.scheme``; returns ``(spec, is_rw)``."""
+    machine = config.machine
+    p = machine.num_processes
+    scheme = config.scheme
+    if scheme == "fompi-spin":
+        return FompiSpinLockSpec(num_processes=p), False
+    if scheme == "d-mcs":
+        return DMCSLockSpec(num_processes=p), False
+    if scheme == "rma-mcs":
+        return RMAMCSLockSpec(machine, t_l=config.t_l), False
+    if scheme == "fompi-rw":
+        return FompiRWLockSpec(num_processes=p), True
+    if scheme == "rma-rw":
+        return (
+            RMARWLockSpec(
+                machine,
+                t_dc=config.t_dc,
+                t_l=config.t_l,
+                t_r=config.t_r,
+                t_w=config.t_w,
+            ),
+            True,
+        )
+    # Related-work comparison targets (Sections 2.3 and 7).  The cohort-style
+    # locks reuse the leaf-level locality threshold as their may-pass-local
+    # bound so that a sweep over ``t_l`` exercises the same knob everywhere.
+    if scheme == "ticket":
+        return TicketLockSpec(num_processes=p), False
+    if scheme == "hbo":
+        return HBOLockSpec(machine), False
+    if scheme == "cohort":
+        return CohortTicketLockSpec(machine, max_local_passes=_leaf_threshold(config)), False
+    if scheme == "numa-rw":
+        return NumaRWLockSpec(machine, max_local_passes=_leaf_threshold(config)), True
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def _leaf_threshold(config: LockBenchConfig, default: int = 16) -> int:
+    """Leaf-level locality threshold of ``config`` (cohort may-pass-local bound)."""
+    if not config.t_l:
+        return default
+    return max(1, int(list(config.t_l)[-1]))
+
+
+def _make_program(config: LockBenchConfig, spec: LockSpec, is_rw: bool, shared_offset: int):
+    """Build the SPMD rank program for one benchmark configuration."""
+    benchmark = config.benchmark
+    cs_lo, cs_hi = config.cs_compute_us
+    wait_lo, wait_hi = config.wait_after_release_us
+
+    def program(ctx: ProcessContext):
+        lock = spec.make(ctx)
+        rng = ctx.rng
+        ctx.barrier()
+        start = ctx.now()
+        latencies = []
+        writes = 0
+        reads = 0
+        for _ in range(config.iterations):
+            as_writer = True
+            if is_rw and config.is_rw_scheme:
+                as_writer = bool(rng.random() < config.fw)
+            t0 = ctx.now()
+            if is_rw:
+                rw_lock: RWLockHandle = lock  # type: ignore[assignment]
+                if as_writer:
+                    rw_lock.acquire_write()
+                else:
+                    rw_lock.acquire_read()
+            else:
+                lock.acquire()
+
+            # --- critical section body -------------------------------------- #
+            if benchmark == "sob":
+                # Exactly one memory access on a shared remote location.
+                if as_writer:
+                    ctx.put(1, 0, shared_offset)
+                else:
+                    ctx.get(0, shared_offset)
+                ctx.flush(0)
+            elif benchmark == "wcsb":
+                # Increment a shared counter, then local computation of 1-4 us.
+                if as_writer:
+                    ctx.accumulate(1, 0, shared_offset)
+                else:
+                    ctx.get(0, shared_offset)
+                ctx.flush(0)
+                ctx.compute(float(rng.uniform(cs_lo, cs_hi)))
+            # lb / ecsb / warb: empty critical section.
+
+            if is_rw:
+                if as_writer:
+                    rw_lock.release_write()
+                else:
+                    rw_lock.release_read()
+            else:
+                lock.release()
+            latencies.append(ctx.now() - t0)
+            if as_writer:
+                writes += 1
+            else:
+                reads += 1
+
+            if benchmark == "warb":
+                ctx.compute(float(rng.uniform(wait_lo, wait_hi)))
+        end = ctx.now()
+        ctx.barrier()
+        return {
+            "start": start,
+            "end": end,
+            "latencies": latencies,
+            "writes": writes,
+            "reads": reads,
+        }
+
+    return program
+
+
+def run_lock_benchmark(
+    config: LockBenchConfig,
+    *,
+    latency_model: Optional[LatencyModel] = None,
+    fabric: Optional["FabricContentionModel"] = None,
+    seed: Optional[int] = None,
+) -> LockBenchResult:
+    """Run one benchmark configuration on the simulated runtime.
+
+    ``latency_model`` overrides the default Cray-XC30-like end-point latency
+    model; ``fabric`` optionally adds Dragonfly link-level contention
+    (:class:`~repro.rma.fabric.FabricContentionModel`).
+    """
+    spec, is_rw = build_lock_spec(config)
+    shared_offset = spec.window_words
+    runtime = SimRuntime(
+        config.machine,
+        window_words=spec.window_words + 2,
+        latency=latency_model,
+        fabric=fabric,
+        seed=config.seed if seed is None else seed,
+    )
+    program = _make_program(config, spec, is_rw, shared_offset)
+    result = runtime.run(program, window_init=spec.init_window)
+
+    all_latencies = []
+    for per_rank in result.returns:
+        all_latencies.extend(per_rank["latencies"])
+    summary = summarize(all_latencies, warmup_fraction=config.warmup_fraction)
+
+    starts = [r["start"] for r in result.returns]
+    ends = [r["end"] for r in result.returns]
+    elapsed_us = max(ends) - min(starts)
+    total_acquires = config.iterations * config.machine.num_processes
+    throughput = total_acquires / elapsed_us if elapsed_us > 0 else 0.0
+
+    return LockBenchResult(
+        scheme=config.scheme,
+        benchmark=config.benchmark,
+        num_processes=config.machine.num_processes,
+        fw=config.fw,
+        iterations=config.iterations,
+        total_acquires=total_acquires,
+        reads=sum(r["reads"] for r in result.returns),
+        writes=sum(r["writes"] for r in result.returns),
+        elapsed_us=elapsed_us,
+        latency_mean_us=summary.mean,
+        latency_p95_us=summary.p95,
+        throughput_mln_per_s=throughput,
+        op_counts=dict(result.op_counts),
+    )

@@ -1,0 +1,119 @@
+"""Formatting helpers: render benchmark rows the way the paper's figures read.
+
+The evaluation figures plot latency or throughput against the number of MPI
+processes, with one line per scheme (or per threshold value).  The helpers
+here pivot flat row dictionaries into that layout and render plain-text
+tables, so a benchmark run prints something directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "pivot_rows", "format_figure", "summarize_speedup"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render ``rows`` as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for c in columns:
+            widths[c] = max(widths[c], len(_fmt(row.get(c, ""))))
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, sep]
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def pivot_rows(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    x: str = "P",
+    series: str = "scheme",
+    value: str = "throughput_mln_s",
+) -> List[Dict[str, object]]:
+    """Pivot flat rows into one row per ``x`` with one column per ``series`` value.
+
+    This matches how the paper's figures are read: the x axis is the process
+    count, each line is a scheme (or threshold), and the y value is the metric.
+    """
+    xs = sorted({row[x] for row in rows})
+    series_values = []
+    for row in rows:
+        if row[series] not in series_values:
+            series_values.append(row[series])
+    table: List[Dict[str, object]] = []
+    for xv in xs:
+        out: Dict[str, object] = {x: xv}
+        for sv in series_values:
+            matches = [row[value] for row in rows if row[x] == xv and row[series] == sv]
+            out[str(sv)] = matches[0] if matches else None
+        table.append(out)
+    return table
+
+
+def format_figure(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    title: str,
+    x: str = "P",
+    series: str = "scheme",
+    value: str = "throughput_mln_s",
+) -> str:
+    """Render one paper figure as a pivoted text table with a title line."""
+    pivoted = pivot_rows(rows, x=x, series=series, value=value)
+    columns = list(pivoted[0].keys()) if pivoted else [x]
+    body = format_table(pivoted, columns)
+    return f"== {title} ==  (y = {value})\n{body}"
+
+
+def summarize_speedup(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    ours: str,
+    baseline: str,
+    value: str = "throughput_mln_s",
+    series: str = "scheme",
+    x: str = "P",
+    higher_is_better: bool = True,
+) -> Dict[str, float]:
+    """Per-``x`` ratio of ``ours`` to ``baseline`` plus the overall mean ratio.
+
+    For latency-style metrics pass ``higher_is_better=False`` so that a ratio
+    above 1 still means "ours wins".
+    """
+    by_x: Dict[object, Dict[str, float]] = {}
+    for row in rows:
+        by_x.setdefault(row[x], {})[str(row[series])] = float(row[value])  # type: ignore[index]
+    ratios: Dict[str, float] = {}
+    values: List[float] = []
+    for xv in sorted(by_x):
+        entry = by_x[xv]
+        if ours not in entry or baseline not in entry:
+            continue
+        if higher_is_better:
+            if entry[baseline] <= 0:
+                continue
+            ratio = entry[ours] / entry[baseline]
+        else:
+            if entry[ours] <= 0:
+                continue
+            ratio = entry[baseline] / entry[ours]
+        ratios[str(xv)] = ratio
+        values.append(ratio)
+    if values:
+        ratios["mean"] = sum(values) / len(values)
+    return ratios

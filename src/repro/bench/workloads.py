@@ -1,0 +1,137 @@
+"""Benchmark definitions: the five microbenchmarks of Section 5.
+
+* **LB**   — latency benchmark: measures the latency of one acquire+release.
+* **ECSB** — empty-critical-section benchmark: throughput with no work in the CS.
+* **SOB**  — single-operation benchmark: one remote memory access inside the CS
+  (the irregular-workload proxy, e.g. fine-grained graph updates).
+* **WCSB** — workload-critical-section benchmark: the CS increments a shared
+  counter and then spins for a random 1-4 µs of local computation.
+* **WARB** — wait-after-release benchmark: after releasing, a process waits a
+  random 1-4 µs before the next acquire (varies contention).
+
+A benchmark configuration picks a lock *scheme*, one of the benchmarks above,
+a machine, an iteration count and the writer fraction ``F_W`` (only meaningful
+for the reader-writer schemes; the MCS-family schemes treat every operation as
+exclusive).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.topology.machine import Machine
+
+__all__ = [
+    "BENCHMARKS",
+    "MCS_SCHEMES",
+    "RELATED_MCS_SCHEMES",
+    "RELATED_RW_SCHEMES",
+    "RW_SCHEMES",
+    "SCHEMES",
+    "LockBenchConfig",
+    "bench_scale",
+    "default_process_counts",
+]
+
+#: The five microbenchmarks of the paper's evaluation.
+BENCHMARKS: Tuple[str, ...] = ("lb", "ecsb", "sob", "wcsb", "warb")
+
+#: Mutual-exclusion schemes compared in Figure 3.
+MCS_SCHEMES: Tuple[str, ...] = ("fompi-spin", "d-mcs", "rma-mcs")
+
+#: Reader-writer schemes compared in Figures 4-5.
+RW_SCHEMES: Tuple[str, ...] = ("fompi-rw", "rma-rw")
+
+#: Additional mutual-exclusion comparison targets from the related work
+#: (Sections 2.3 and 7): a FIFO ticket lock, the hierarchical backoff lock
+#: and a two-level cohort lock.
+RELATED_MCS_SCHEMES: Tuple[str, ...] = ("ticket", "hbo", "cohort")
+
+#: Additional reader-writer comparison target: the NUMA-aware RW lock with
+#: per-node reader counters (Calciu et al.).
+RELATED_RW_SCHEMES: Tuple[str, ...] = ("numa-rw",)
+
+#: Every lock scheme the harness knows how to build.
+SCHEMES: Tuple[str, ...] = MCS_SCHEMES + RW_SCHEMES + RELATED_MCS_SCHEMES + RELATED_RW_SCHEMES
+
+
+def bench_scale() -> float:
+    """Global benchmark scale factor, controlled by ``REPRO_BENCH_SCALE``.
+
+    Values above 1 enlarge iteration counts; the default of 1.0 keeps the full
+    suite fast enough for CI while preserving the figures' shapes.
+    """
+    try:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+    return max(scale, 0.1)
+
+
+def default_process_counts() -> Tuple[int, ...]:
+    """Process counts used on figure x-axes (override with ``REPRO_BENCH_PROCS``)."""
+    env = os.environ.get("REPRO_BENCH_PROCS")
+    if env:
+        counts = tuple(int(tok) for tok in env.replace(",", " ").split())
+        if counts:
+            return counts
+    return (4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class LockBenchConfig:
+    """One data point of a lock microbenchmark.
+
+    Args:
+        machine: Simulated machine (see :func:`repro.topology.xc30_like`).
+        scheme: One of :data:`SCHEMES`.
+        benchmark: One of :data:`BENCHMARKS`.
+        iterations: Lock acquisitions per process.
+        fw: Fraction of writers.  Reader-writer schemes draw each operation's
+            role with this probability; MCS-family schemes ignore it.
+        seed: Seed for the per-rank random generators.
+        t_dc / t_l / t_r / t_w: RMA-RW thresholds (ignored by other schemes;
+            ``t_l`` also applies to RMA-MCS).
+        cs_compute_us: Bounds of the random in-CS computation used by WCSB.
+        wait_after_release_us: Bounds of the random post-release wait of WARB.
+        warmup_fraction: Leading fraction of samples discarded, as in the paper.
+    """
+
+    machine: Machine
+    scheme: str = "rma-rw"
+    benchmark: str = "ecsb"
+    iterations: int = 20
+    fw: float = 0.002
+    seed: int = 1
+    t_dc: Optional[int] = None
+    t_l: Optional[Sequence[int]] = None
+    t_r: int = 64
+    t_w: Optional[int] = None
+    cs_compute_us: Tuple[float, float] = (1.0, 4.0)
+    wait_after_release_us: Tuple[float, float] = (1.0, 4.0)
+    warmup_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}")
+        if self.benchmark not in BENCHMARKS:
+            raise ValueError(f"unknown benchmark {self.benchmark!r}; expected one of {BENCHMARKS}")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not 0.0 <= self.fw <= 1.0:
+            raise ValueError("fw must be within [0, 1]")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be within [0, 1)")
+        lo, hi = self.cs_compute_us
+        if lo < 0 or hi < lo:
+            raise ValueError("cs_compute_us must be a non-negative (low, high) pair")
+        lo, hi = self.wait_after_release_us
+        if lo < 0 or hi < lo:
+            raise ValueError("wait_after_release_us must be a non-negative (low, high) pair")
+
+    @property
+    def is_rw_scheme(self) -> bool:
+        """True when the scheme distinguishes readers from writers."""
+        return self.scheme in RW_SCHEMES or self.scheme in RELATED_RW_SCHEMES

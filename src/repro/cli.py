@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands cover the common workflows:
+
+* ``figures`` — regenerate one or more of the paper's evaluation figures and
+  print them as pivoted text tables (the same drivers the benchmark suite
+  uses).
+* ``bench`` — run a single lock microbenchmark configuration and print its
+  metrics (useful for quick A/B comparisons while tuning thresholds).
+* ``trace`` — run one contended workload with event tracing enabled and print
+  where the chosen lock's communication time goes (distance breakdown,
+  hottest targets, per-rank activity).
+* ``verify`` — run the model checker and the bounded-bypass fairness analysis
+  on the reduced protocol models (the paper's Section 4.4, without SPIN).
+* ``info`` — describe a simulated machine, the default thresholds and the
+  Table-3 portability summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench import experiments
+from repro.bench.harness import run_lock_benchmark
+from repro.bench.report import format_figure, format_table
+from repro.bench.workloads import BENCHMARKS, SCHEMES, LockBenchConfig
+from repro.rma.portability import environments, supports_all_required_ops
+from repro.topology.builder import xc30_like
+
+__all__ = ["main", "build_parser"]
+
+#: Figure name -> (driver attribute, series field, value field)
+_FIGURES = {
+    "3": ("figure3", "scheme", "throughput_mln_s"),
+    "4a": ("figure4a", "t_dc", "throughput_mln_s"),
+    "4b": ("figure4b", "tl_product", "throughput_mln_s"),
+    "4c": ("figure4c", "tl_split", "throughput_mln_s"),
+    "4d": ("figure4d", "tl_split", "latency_us"),
+    "4e": ("figure4e", "t_r", "throughput_mln_s"),
+    "4f": ("figure4f", "series", "throughput_mln_s"),
+    "5": ("figure5", "series", "throughput_mln_s"),
+    "6": ("figure6", "scheme", "total_time_us"),
+    "ablation-dc": ("ablation_counter_placement", "series", "throughput_mln_s"),
+    "ablation-fabric": ("ablation_flat_latency", "series", "throughput_mln_s"),
+    "ablation-fabric-links": ("ablation_fabric_contention", "series", "throughput_mln_s"),
+    "ablation-locality": ("ablation_locality", "t_l2", "throughput_mln_s"),
+    "ablation-handoff": ("ablation_handoff_locality", "t_l2", "node_locality_pct"),
+    "related-mcs": ("related_mcs_comparison", "series", "throughput_mln_s"),
+    "related-rw": ("related_rw_comparison", "series", "throughput_mln_s"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'High-Performance Distributed RMA Locks' (HPDC'16)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures as text tables")
+    figures.add_argument("names", nargs="*", default=[], help=f"figures to run (default: all); choices: {', '.join(_FIGURES)}")
+    figures.add_argument("--procs", type=int, nargs="+", default=None, help="process counts to sweep")
+    figures.add_argument("--iterations", type=int, default=None, help="lock acquisitions per process")
+    figures.add_argument("--output-dir", default=None, help="also save each figure's rows as CSV and JSON in this directory")
+
+    bench = sub.add_parser("bench", help="run one lock microbenchmark configuration")
+    bench.add_argument("--scheme", choices=SCHEMES, default="rma-rw")
+    bench.add_argument("--benchmark", choices=BENCHMARKS, default="ecsb")
+    bench.add_argument("--procs", type=int, default=32)
+    bench.add_argument("--procs-per-node", type=int, default=8)
+    bench.add_argument("--iterations", type=int, default=20)
+    bench.add_argument("--fw", type=float, default=0.02, help="fraction of writers")
+    bench.add_argument("--t-dc", type=int, default=None)
+    bench.add_argument("--t-r", type=int, default=64)
+    bench.add_argument("--t-l", type=int, nargs="+", default=None)
+    bench.add_argument("--seed", type=int, default=1)
+
+    trace = sub.add_parser("trace", help="trace one contended workload and show where its RMA time goes")
+    trace.add_argument("--scheme", choices=SCHEMES, default="rma-mcs")
+    trace.add_argument("--procs", type=int, default=32)
+    trace.add_argument("--procs-per-node", type=int, default=8)
+    trace.add_argument("--iterations", type=int, default=8)
+    trace.add_argument("--fw", type=float, default=0.2, help="fraction of writers (RW schemes only)")
+    trace.add_argument("--activity", action="store_true", help="also print the per-rank activity strip")
+
+    verify = sub.add_parser("verify", help="model-check the reduced protocol models and their fairness")
+    verify.add_argument("--procs", type=int, default=3, help="processes in each model")
+    verify.add_argument("--rounds", type=int, default=1, help="acquisitions per process")
+
+    info = sub.add_parser("info", help="describe a simulated machine and the portability table")
+    info.add_argument("--procs", type=int, default=64)
+    info.add_argument("--procs-per-node", type=int, default=8)
+
+    return parser
+
+
+def _run_figures(args: argparse.Namespace) -> int:
+    names = args.names or list(_FIGURES)
+    unknown = [n for n in names if n not in _FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; choices: {', '.join(_FIGURES)}", file=sys.stderr)
+        return 2
+    for name in names:
+        driver_name, series, value = _FIGURES[name]
+        driver = getattr(experiments, driver_name)
+        kwargs = {}
+        if args.procs is not None:
+            kwargs["process_counts"] = tuple(args.procs)
+        if args.iterations is not None and driver_name != "figure6":
+            kwargs["iterations"] = args.iterations
+        rows = driver(**kwargs)
+        print(format_figure(rows, title=f"Figure {name}", series=series, value=value))
+        print()
+        if args.output_dir:
+            from repro.bench.export import save_figure_rows
+
+            paths = save_figure_rows(rows, args.output_dir, f"figure_{name.replace('-', '_')}")
+            print(f"  saved: {paths['csv']} and {paths['json']}\n")
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    machine = xc30_like(args.procs, procs_per_node=args.procs_per_node)
+    config = LockBenchConfig(
+        machine=machine,
+        scheme=args.scheme,
+        benchmark=args.benchmark,
+        iterations=args.iterations,
+        fw=args.fw,
+        t_dc=args.t_dc,
+        t_l=tuple(args.t_l) if args.t_l else None,
+        t_r=args.t_r,
+        seed=args.seed,
+    )
+    result = run_lock_benchmark(config)
+    print(format_table([result.as_row()]))
+    print(f"\nRMA operations issued: {sum(result.op_counts.values())} ({dict(sorted(result.op_counts.items()))})")
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.bench.ascii_plot import bar_chart
+    from repro.bench.harness import build_lock_spec
+    from repro.bench.trace import (
+        TraceRecorder,
+        distance_breakdown,
+        hottest_targets,
+        render_rank_activity,
+        summarize_trace,
+        trace_rows_by_distance,
+    )
+    from repro.core.lock_base import RWLockHandle
+    from repro.rma.sim_runtime import SimRuntime
+
+    machine = xc30_like(args.procs, procs_per_node=args.procs_per_node)
+    config = LockBenchConfig(
+        machine=machine, scheme=args.scheme, benchmark="ecsb", iterations=args.iterations, fw=args.fw
+    )
+    spec, is_rw = build_lock_spec(config)
+    recorder = TraceRecorder()
+    runtime = SimRuntime(machine, window_words=spec.window_words, tracer=recorder, seed=config.seed)
+
+    def program(ctx):
+        lock = spec.make(ctx)
+        rng = ctx.rng
+        ctx.barrier()
+        for _ in range(args.iterations):
+            as_writer = not is_rw or bool(rng.random() < args.fw)
+            if is_rw and not as_writer:
+                rw_lock: RWLockHandle = lock  # type: ignore[assignment]
+                with rw_lock.reading():
+                    ctx.compute(0.3)
+            else:
+                with lock.held():
+                    ctx.compute(0.3)
+        ctx.barrier()
+
+    result = runtime.run(program, window_init=spec.init_window)
+    summary = summarize_trace(recorder.events)
+    breakdown = distance_breakdown(recorder.events, machine)
+    print(f"Machine : {machine.describe()}")
+    print(f"Scheme  : {args.scheme}, {args.iterations} acquisitions per rank")
+    print(f"Total virtual time: {result.total_time_us:.1f} us; RMA calls traced: {summary.num_events}\n")
+    print(format_table(summary.as_rows()))
+    print()
+    print(format_table(trace_rows_by_distance(breakdown)))
+    print()
+    print(
+        bar_chart(
+            {cls: values["ops_share_pct"] for cls, values in breakdown.items()},
+            title="operation share by distance [%]",
+            unit="%",
+            width=40,
+        )
+    )
+    print("\nhottest remote targets:")
+    print(format_table(hottest_targets(recorder.events, top=5)))
+    if args.activity:
+        print()
+        print(render_rank_activity(recorder.events, machine.num_processes, width=60))
+    return 0
+
+
+def _run_verify(args: argparse.Namespace) -> int:
+    from repro.verification import (
+        BypassAnalyzer,
+        build_checker,
+        mcs_fairness,
+        mcs_model,
+        rw_counter_model,
+        tas_fairness,
+        ticket_fairness,
+    )
+
+    procs = max(1, args.procs)
+    rounds = max(1, args.rounds)
+    rows = []
+
+    num_writers = 1
+    num_readers = max(1, procs - num_writers)
+    for name, model in (
+        (f"MCS / D-MCS ({procs} procs x {rounds})", mcs_model(procs, rounds)),
+        (
+            f"RW counter protocol ({num_readers} readers + {num_writers} writer)",
+            rw_counter_model(num_readers=num_readers, num_writers=num_writers),
+        ),
+    ):
+        result = build_checker(model).check()
+        rows.append(
+            {
+                "model": name,
+                "property": f"{model.invariant_name} + deadlock freedom",
+                "states": result.states_explored,
+                "result": "OK" if result.ok else f"VIOLATION: {result.violation}",
+            }
+        )
+
+    for name, spec, bound in (
+        (f"ticket lock ({procs} procs)", ticket_fairness(procs, rounds), procs - 1),
+        (f"MCS queue ({procs} procs)", mcs_fairness(procs, rounds), procs - 1),
+        (f"test-and-set ({procs} procs)", tas_fairness(procs, max(2, rounds)), procs - 1),
+    ):
+        outcome = BypassAnalyzer(spec, bound=max(bound, 0)).check()
+        rows.append(
+            {
+                "model": name,
+                "property": f"bypass bound {max(bound, 0)}",
+                "states": outcome.states_explored,
+                "result": "OK" if outcome.ok else f"EXCEEDED: {outcome.violation}",
+            }
+        )
+
+    print(format_table(rows))
+    print(
+        "\nThe FIFO designs (ticket, MCS) respect the P-1 bypass bound; the "
+        "test-and-set model exceeds it, which is the starvation risk the "
+        "paper's queue-based design avoids (Section 4.3)."
+    )
+    return 0
+
+
+def _run_info(args: argparse.Namespace) -> int:
+    machine = xc30_like(args.procs, procs_per_node=args.procs_per_node)
+    print(f"Machine: {machine.describe()}")
+    print(f"Levels : {[lvl.name for lvl in machine.levels()]}")
+    print(f"Default RMA-RW thresholds: T_DC={machine.ranks_per_element(machine.n_levels)} "
+          f"(one counter per node), T_R=64, T_L=(4, 8)")
+    rows = [
+        {"environment": env, "all Listing-1 ops available": "yes" if supports_all_required_ops(env) else "needs adjustment"}
+        for env in environments()
+    ]
+    print("\nPortability (Table 3):")
+    print(format_table(rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "figures":
+        return _run_figures(args)
+    if args.command == "bench":
+        return _run_bench(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "verify":
+        return _run_verify(args)
+    if args.command == "info":
+        return _run_info(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

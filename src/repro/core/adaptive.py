@@ -1,0 +1,198 @@
+"""Adaptive threshold selection — the extension sketched in the paper's conclusion.
+
+Section 8 notes that "RMA-RW could also be extended with adaptive schemes for
+a runtime selection and tuning of the values of the parameters.  This might
+be used in accelerating dynamic workloads."  This module provides that
+extension for the simulated runtime:
+
+* :class:`WorkloadSample` — what the tuner observes about a workload phase
+  (throughput, mean latency, the observed writer fraction).
+* :class:`ThresholdTuner` — a hill-climbing tuner over the three-dimensional
+  parameter space of Figure 1 (``T_DC`` stride, reader threshold ``T_R`` and
+  node-level locality ``T_L,N``), starting from the paper's recommended
+  defaults (one counter per node; Section 6) and moving one knob per phase.
+* :func:`tune_rma_rw` — a convenience driver that repeatedly benchmarks a
+  workload phase with the current parameters and lets the tuner pick the next
+  candidate, returning the best configuration found.
+
+The tuner is deliberately simple (greedy coordinate descent with back-off on
+regression): the goal is to reproduce the *mechanism* the authors propose —
+runtime re-selection of lock parameters as the workload changes — in a form
+that is deterministic and easy to test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.topology.machine import Machine
+
+__all__ = ["AdaptiveParameters", "ThresholdTuner", "TuningStep", "WorkloadSample", "tune_rma_rw"]
+
+
+@dataclass(frozen=True)
+class AdaptiveParameters:
+    """One point in the Figure-1 parameter space."""
+
+    t_dc: int
+    t_r: int
+    t_l_leaf: int
+
+    def as_lock_kwargs(self, machine: Machine) -> Dict[str, object]:
+        """Keyword arguments for :class:`~repro.core.rma_rw.RMARWLockSpec`."""
+        upper_levels = max(machine.n_levels - 1, 0)
+        t_l = tuple([4] * upper_levels + [self.t_l_leaf])
+        return {"t_dc": self.t_dc, "t_r": self.t_r, "t_l": t_l}
+
+    def clamped(self, machine: Machine) -> "AdaptiveParameters":
+        """Clamp every knob to a value valid for ``machine``."""
+        return AdaptiveParameters(
+            t_dc=max(1, min(self.t_dc, machine.num_processes)),
+            t_r=max(1, self.t_r),
+            t_l_leaf=max(1, self.t_l_leaf),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSample:
+    """Observation of one workload phase under a given parameter setting."""
+
+    throughput: float
+    latency_us: float
+    observed_fw: float
+
+    def score(self, latency_weight: float = 0.0) -> float:
+        """Scalar figure of merit: throughput, optionally penalized by latency."""
+        if latency_weight <= 0:
+            return self.throughput
+        if self.latency_us <= 0:
+            return self.throughput
+        return self.throughput - latency_weight * self.latency_us
+
+
+@dataclass
+class TuningStep:
+    """History entry: the parameters tried and the sample they produced."""
+
+    params: AdaptiveParameters
+    sample: WorkloadSample
+    accepted: bool
+
+
+class ThresholdTuner:
+    """Greedy coordinate-descent tuner over (T_DC, T_R, T_L,leaf).
+
+    Each call to :meth:`observe` feeds the sample measured with the current
+    candidate parameters; :meth:`next_parameters` then returns the next
+    candidate.  The tuner perturbs one knob at a time by the configured step
+    factors; if a perturbation regresses the score, it reverts to the best
+    known point and tries the next knob (or the opposite direction).
+    """
+
+    #: Order in which knobs are explored; mirrors Section 6's advice to fix
+    #: T_DC first, then adjust T_R and T_L.
+    KNOBS: Tuple[str, ...] = ("t_dc", "t_r", "t_l_leaf")
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        initial: Optional[AdaptiveParameters] = None,
+        latency_weight: float = 0.0,
+        step_factor: float = 2.0,
+    ):
+        if step_factor <= 1.0:
+            raise ValueError("step_factor must be > 1")
+        self.machine = machine
+        procs_per_node = machine.ranks_per_element(machine.n_levels)
+        self.latency_weight = float(latency_weight)
+        self.step_factor = float(step_factor)
+        start = initial or AdaptiveParameters(
+            t_dc=procs_per_node, t_r=4 * procs_per_node, t_l_leaf=max(2, procs_per_node // 2)
+        )
+        self._current = start.clamped(machine)
+        self._best = self._current
+        self._best_score: Optional[float] = None
+        self._knob_index = 0
+        self._direction = +1
+        self.history: List[TuningStep] = []
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current_parameters(self) -> AdaptiveParameters:
+        """The candidate that should be used for the next workload phase."""
+        return self._current
+
+    @property
+    def best_parameters(self) -> AdaptiveParameters:
+        """The best parameters observed so far."""
+        return self._best
+
+    @property
+    def best_score(self) -> Optional[float]:
+        return self._best_score
+
+    # ------------------------------------------------------------------ #
+
+    def observe(self, sample: WorkloadSample) -> None:
+        """Feed the measurement taken with :attr:`current_parameters`."""
+        score = sample.score(self.latency_weight)
+        improved = self._best_score is None or score > self._best_score
+        self.history.append(TuningStep(params=self._current, sample=sample, accepted=improved))
+        if improved:
+            self._best = self._current
+            self._best_score = score
+        else:
+            # Regression: flip direction first; if we already flipped on this
+            # knob, move on to the next knob.
+            if self._direction == +1:
+                self._direction = -1
+            else:
+                self._direction = +1
+                self._knob_index = (self._knob_index + 1) % len(self.KNOBS)
+
+    def next_parameters(self) -> AdaptiveParameters:
+        """Propose the next candidate (a one-knob perturbation of the best point)."""
+        knob = self.KNOBS[self._knob_index]
+        value = getattr(self._best, knob)
+        factor = self.step_factor if self._direction > 0 else 1.0 / self.step_factor
+        proposal = max(1, int(round(value * factor)))
+        if proposal == value:
+            proposal = value + 1 if self._direction > 0 else max(1, value - 1)
+        candidate = replace(self._best, **{knob: proposal}).clamped(self.machine)
+        if candidate == self._best:
+            # The knob is pinned at a bound in this direction; rotate and retry once.
+            self._direction = +1
+            self._knob_index = (self._knob_index + 1) % len(self.KNOBS)
+            knob = self.KNOBS[self._knob_index]
+            value = getattr(self._best, knob)
+            candidate = replace(self._best, **{knob: max(1, int(round(value * self.step_factor)))}).clamped(self.machine)
+        self._current = candidate
+        return candidate
+
+
+def tune_rma_rw(
+    machine: Machine,
+    measure: Callable[[AdaptiveParameters], WorkloadSample],
+    *,
+    phases: int = 8,
+    initial: Optional[AdaptiveParameters] = None,
+    latency_weight: float = 0.0,
+) -> Tuple[AdaptiveParameters, List[TuningStep]]:
+    """Run ``phases`` tuning rounds against a measurement callback.
+
+    ``measure(params)`` runs one workload phase with the given parameters and
+    returns its :class:`WorkloadSample`; typically it wraps
+    :func:`repro.bench.harness.run_lock_benchmark`.  Returns the best
+    parameters found and the full tuning history.
+    """
+    if phases < 1:
+        raise ValueError("phases must be >= 1")
+    tuner = ThresholdTuner(machine, initial=initial, latency_weight=latency_weight)
+    for _ in range(phases):
+        sample = measure(tuner.current_parameters)
+        tuner.observe(sample)
+        tuner.next_parameters()
+    return tuner.best_parameters, tuner.history

@@ -1,0 +1,367 @@
+"""RMA-RW: the topology-aware distributed Reader-Writer lock (Section 3).
+
+RMA-RW composes three distributed data structures:
+
+* the **distributed counter (DC)** — physical arrive/depart counters placed on
+  every ``T_DC``-th rank; readers only touch their own counter
+  (:mod:`repro.core.counter`),
+* the **distributed queues (DQs)** — one MCS-style queue per machine element
+  at every level, ordering the writers of that element,
+* the **distributed tree (DT)** — the DQs arranged to mirror the machine
+  hierarchy; at its root writers synchronize with readers
+  (:mod:`repro.core.tree`).
+
+Three thresholds span the parameter space of Figure 1:
+
+* ``T_DC`` — counter placement stride: more counters lower reader latency and
+  contention, fewer counters lower writer latency.
+* ``T_L,i`` — maximum consecutive lock passings inside one element of level
+  ``i`` before the lock must move to another element (locality vs. fairness).
+* ``T_R`` / ``T_W`` — maximum consecutive reader acquisitions per counter /
+  writer hand-overs at the tree root before the other class gets the lock
+  (reader vs. writer throughput).  By default ``T_W = prod_i T_L,i`` (Table 2).
+
+Writers follow Listings 4/5 on levels ``N..2`` and Listings 7/8 at level 1;
+readers follow Listings 9/10.  The writer additionally verifies that all
+readers have drained after switching the counters to WRITE mode, as required
+by the mutual-exclusion argument in Section 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Tuple
+
+from repro.core.constants import (
+    ACQUIRE_START,
+    NULL_RANK,
+    STATUS_ACQUIRE_PARENT,
+    STATUS_MODE_CHANGE,
+    STATUS_WAIT,
+)
+from repro.core.counter import DistributedCounterHandle, DistributedCounterSpec
+from repro.core.layout import LayoutAllocator
+from repro.core.lock_base import RWLockHandle, RWLockSpec
+from repro.core.tree import TreeLayout, normalize_locality_thresholds
+from repro.rma.ops import AtomicOp
+from repro.rma.runtime_base import ProcessContext
+from repro.topology.machine import Machine
+from repro.topology.mapping import CounterPlacement
+
+__all__ = ["RMARWLockSpec", "RMARWLockHandle"]
+
+
+@dataclass(frozen=True)
+class RMARWLockSpec(RWLockSpec):
+    """Shared description of one RMA-RW lock instance.
+
+    Args:
+        machine: The machine hierarchy the lock is aware of.
+        t_dc: Distributed-counter stride in ranks (one physical counter every
+            ``t_dc``-th rank).  Defaults to one counter per compute node, the
+            paper's recommended balance (Section 6).
+        t_l: Per-level locality thresholds ``T_L,i`` (sequence of length ``N``
+            or ``N - 1``, or a ``{level: value}`` mapping).
+        t_r: Reader threshold ``T_R`` — consecutive reader acquisitions per
+            physical counter before readers yield to a waiting writer.
+        t_w: Writer threshold ``T_W`` — consecutive writer hand-overs at the
+            tree root before the lock is offered to the readers.  Defaults to
+            ``prod_i T_L,i`` as in Table 2.
+        base_offset: First window word used by the lock.
+    """
+
+    machine: Machine
+    t_dc: Optional[int] = None
+    t_l: Optional[Sequence[int]] = None
+    t_r: int = 64
+    t_w: Optional[int] = None
+    base_offset: int = 0
+    layout: TreeLayout = field(init=False, default=None)  # type: ignore[assignment]
+    counter: DistributedCounterSpec = field(init=False, default=None)  # type: ignore[assignment]
+    thresholds: Tuple[int, ...] = field(init=False, default=())
+    writer_threshold: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        machine = self.machine
+        if self.t_r < 1:
+            raise ValueError(f"T_R must be >= 1, got {self.t_r}")
+        t_dc = self.t_dc
+        if t_dc is None:
+            t_dc = min(machine.ranks_per_element(machine.n_levels), machine.num_processes)
+        if t_dc < 1:
+            raise ValueError(f"T_DC must be >= 1, got {t_dc}")
+        object.__setattr__(self, "t_dc", int(t_dc))
+
+        alloc = LayoutAllocator(base=self.base_offset)
+        layout = TreeLayout.allocate(machine, alloc)
+        placement = CounterPlacement(t_dc=int(t_dc), num_processes=machine.num_processes)
+        counter = DistributedCounterSpec.allocate(placement, alloc)
+        thresholds = normalize_locality_thresholds(machine, self.t_l)
+
+        t_w = self.t_w
+        if t_w is None:
+            t_w = 1
+            for value in thresholds:
+                t_w *= min(value, 1 << 20)  # keep the default product finite
+        if t_w < 1:
+            raise ValueError(f"T_W must be >= 1, got {t_w}")
+
+        object.__setattr__(self, "layout", layout)
+        object.__setattr__(self, "counter", counter)
+        object.__setattr__(self, "thresholds", thresholds)
+        object.__setattr__(self, "writer_threshold", int(t_w))
+
+    # ------------------------------------------------------------------ #
+    # Spec API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def window_words(self) -> int:
+        return max(self.layout.max_offset, self.counter.depart_offset) + 1
+
+    def locality_threshold(self, level: int) -> int:
+        """``T_L,level``."""
+        return self.thresholds[level - 1]
+
+    @property
+    def reader_threshold(self) -> int:
+        """``T_R``."""
+        return self.t_r
+
+    def init_window(self, rank: int) -> Mapping[int, int]:
+        values = dict(self.layout.init_window(rank))
+        values.update(self.counter.init_window(rank))
+        return values
+
+    def make(self, ctx: ProcessContext) -> "RMARWLockHandle":
+        return RMARWLockHandle(self, ctx)
+
+
+class RMARWLockHandle(RWLockHandle):
+    """Per-process RMA-RW handle implementing Listings 4-10."""
+
+    def __init__(self, spec: RMARWLockSpec, ctx: ProcessContext):
+        if ctx.nranks != spec.machine.num_processes:
+            raise ValueError("lock spec and runtime disagree on the number of ranks")
+        self.spec = spec
+        self.ctx = ctx
+        self._layout = spec.layout
+        self._n = spec.machine.n_levels
+        self._dc = DistributedCounterHandle(spec.counter, ctx)
+
+    # ------------------------------------------------------------------ #
+    # Writer acquire (Listings 4 and 7)
+    # ------------------------------------------------------------------ #
+
+    def acquire_write(self) -> None:
+        """Enter the critical section as a writer."""
+        if self._n == 1:
+            self._writer_acquire_root()
+        else:
+            self._writer_acquire_level(self._n)
+
+    def _writer_acquire_level(self, level: int) -> None:
+        """Listing 4: acquire the DQ at ``level`` (2 <= level <= N) and maybe climb."""
+        ctx = self.ctx
+        layout = self._layout
+        node = layout.queue_node_rank(ctx.rank, level)
+        tail_host = layout.tail_host_rank(ctx.rank, level)
+        next_off = layout.next_offset(level)
+        status_off = layout.status_offset(level)
+        tail_off = layout.tail_offset(level)
+
+        ctx.put(NULL_RANK, node, next_off)
+        ctx.put(STATUS_WAIT, node, status_off)
+        ctx.flush(node)
+        pred = ctx.fao(node, tail_host, tail_off, AtomicOp.REPLACE)
+        ctx.flush(tail_host)
+        if pred != NULL_RANK:
+            ctx.put(node, pred, next_off)
+            ctx.flush(pred)
+            status = ctx.spin_while(node, status_off, lambda s: s == STATUS_WAIT)
+            if status != STATUS_ACQUIRE_PARENT:
+                # T_L was not reached: the lock is passed to us directly.
+                return
+        # Start acquiring the next level of the tree.
+        ctx.put(ACQUIRE_START, node, status_off)
+        ctx.flush(node)
+        if level > 2:
+            self._writer_acquire_level(level - 1)
+        else:
+            self._writer_acquire_root()
+
+    def _writer_acquire_root(self) -> None:
+        """Listing 7: acquire the level-1 DQ and synchronize with the readers."""
+        ctx = self.ctx
+        layout = self._layout
+        node = layout.queue_node_rank(ctx.rank, 1)
+        tail_host = layout.tail_host_rank(ctx.rank, 1)
+        next_off = layout.next_offset(1)
+        status_off = layout.status_offset(1)
+        tail_off = layout.tail_offset(1)
+
+        ctx.put(NULL_RANK, node, next_off)
+        ctx.put(STATUS_WAIT, node, status_off)
+        ctx.flush(node)
+        pred = ctx.fao(node, tail_host, tail_off, AtomicOp.REPLACE)
+        ctx.flush(tail_host)
+
+        if pred != NULL_RANK:
+            ctx.put(node, pred, next_off)
+            ctx.flush(pred)
+            curr_stat = ctx.spin_while(node, status_off, lambda s: s == STATUS_WAIT)
+            if curr_stat == STATUS_MODE_CHANGE:
+                # The readers have the lock now; win it back.
+                self._dc.set_counters_to_write()
+                self._dc.wait_readers_drained()
+                ctx.put(ACQUIRE_START, node, status_off)
+                ctx.flush(node)
+            # Otherwise the lock was passed in WRITE mode with its count intact.
+        else:
+            # No predecessor: take the lock from the readers.
+            self._dc.set_counters_to_write()
+            self._dc.wait_readers_drained()
+            ctx.put(ACQUIRE_START, node, status_off)
+            ctx.flush(node)
+
+    # ------------------------------------------------------------------ #
+    # Writer release (Listings 5 and 8)
+    # ------------------------------------------------------------------ #
+
+    def release_write(self) -> None:
+        """Leave the critical section as a writer."""
+        if self._n == 1:
+            self._writer_release_root()
+        else:
+            self._writer_release_level(self._n)
+
+    def _writer_release_level(self, level: int) -> None:
+        """Listing 5: release the DQ at ``level`` (2 <= level <= N)."""
+        ctx = self.ctx
+        spec = self.spec
+        layout = self._layout
+        node = layout.queue_node_rank(ctx.rank, level)
+        tail_host = layout.tail_host_rank(ctx.rank, level)
+        next_off = layout.next_offset(level)
+        status_off = layout.status_offset(level)
+        tail_off = layout.tail_offset(level)
+
+        succ = ctx.get(node, next_off)
+        status = ctx.get(node, status_off)
+        ctx.flush(node)
+        if succ != NULL_RANK and status < spec.locality_threshold(level):
+            # Pass the lock within this element, carrying the passing count.
+            ctx.put(status + 1, succ, status_off)
+            ctx.flush(succ)
+            return
+
+        # No known successor or the locality threshold was reached: release the
+        # parent level first.
+        if level > 2:
+            self._writer_release_level(level - 1)
+        else:
+            self._writer_release_root()
+
+        if succ == NULL_RANK:
+            curr = ctx.cas(NULL_RANK, node, tail_host, tail_off)
+            ctx.flush(tail_host)
+            if curr == node:
+                return
+            succ = ctx.spin_while(node, next_off, lambda nxt: nxt == NULL_RANK)
+
+        # Notify the successor that it must acquire the lock at the parent level.
+        ctx.put(STATUS_ACQUIRE_PARENT, succ, status_off)
+        ctx.flush(succ)
+
+    def _writer_release_root(self) -> None:
+        """Listing 8: release the level-1 DQ, possibly handing the lock to the readers."""
+        ctx = self.ctx
+        spec = self.spec
+        layout = self._layout
+        node = layout.queue_node_rank(ctx.rank, 1)
+        tail_host = layout.tail_host_rank(ctx.rank, 1)
+        next_off = layout.next_offset(1)
+        status_off = layout.status_offset(1)
+        tail_off = layout.tail_offset(1)
+
+        counters_reset = False
+        next_stat = ctx.get(node, status_off)
+        ctx.flush(node)
+        next_stat += 1
+        if next_stat >= spec.writer_threshold:
+            # T_W reached: pass the lock to the readers.
+            self._dc.reset_counters()
+            next_stat = STATUS_MODE_CHANGE
+            counters_reset = True
+
+        succ = ctx.get(node, next_off)
+        ctx.flush(node)
+        if succ == NULL_RANK:
+            if not counters_reset:
+                # Nobody known to wait: let the readers in.
+                self._dc.reset_counters()
+                next_stat = STATUS_MODE_CHANGE
+            curr = ctx.cas(NULL_RANK, node, tail_host, tail_off)
+            ctx.flush(tail_host)
+            if curr == node:
+                return
+            succ = ctx.spin_while(node, next_off, lambda nxt: nxt == NULL_RANK)
+
+        # Pass the lock (or the mode-change notification) to the successor.
+        ctx.put(next_stat, succ, status_off)
+        ctx.flush(succ)
+
+    # ------------------------------------------------------------------ #
+    # Reader protocol (Listings 9 and 10)
+    # ------------------------------------------------------------------ #
+
+    def acquire_read(self) -> None:
+        """Listing 9: enter the critical section as a reader."""
+        ctx = self.ctx
+        spec = self.spec
+        dc = self._dc
+        layout = self._layout
+        t_r = spec.reader_threshold
+        tail_host = layout.tail_host_rank(ctx.rank, 1)
+        tail_off = layout.tail_offset(1)
+
+        def writer_waiting() -> bool:
+            """True when some writer is queued at the root DQ (Listing 9, line 17)."""
+            curr_tail = ctx.get(tail_host, tail_off)
+            ctx.flush(tail_host)
+            return curr_tail != NULL_RANK
+
+        barrier = False
+        while True:
+            if barrier:
+                # Wait until a writer resets our counter (or the saturation clears).
+                dc.spin_until_read_mode(t_r, writer_waiting=writer_waiting)
+
+            curr_stat = dc.reader_arrive()
+            if curr_stat < t_r:
+                # Lock mode is READ and the reader threshold is not exceeded.
+                return
+            barrier = True
+            if curr_stat == t_r:
+                # We are the first to saturate this counter: hand the lock to a
+                # waiting writer if there is one, otherwise reset and go on.
+                curr_tail = ctx.get(tail_host, tail_off)
+                ctx.flush(tail_host)
+                if curr_tail == NULL_RANK:
+                    dc.reset_my_counter()
+                    barrier = False
+            # Back off and try again.
+            dc.reader_backoff()
+
+    def release_read(self) -> None:
+        """Listing 10: leave the critical section as a reader."""
+        self._dc.reader_depart()
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers (used by tests and the benchmark harness)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def counter_handle(self) -> DistributedCounterHandle:
+        """The distributed-counter handle (exposed for tests and diagnostics)."""
+        return self._dc

@@ -1,0 +1,27 @@
+"""Distributed hashtable case study (Section 5.3 of the paper)."""
+
+from repro.dht.distributions import DISTRIBUTIONS, KeyDistribution
+from repro.dht.hashtable import DHTFullError, DHTHandle, DHTSpec
+from repro.dht.striped_lock import StripedRWLockHandle, StripedRWLockSpec
+from repro.dht.workload import (
+    ACCESS_PATTERNS,
+    DHTBenchOutcome,
+    DHTWorkloadConfig,
+    build_dht_setup,
+    run_dht_benchmark,
+)
+
+__all__ = [
+    "ACCESS_PATTERNS",
+    "DISTRIBUTIONS",
+    "DHTBenchOutcome",
+    "DHTFullError",
+    "DHTHandle",
+    "DHTSpec",
+    "DHTWorkloadConfig",
+    "KeyDistribution",
+    "StripedRWLockHandle",
+    "StripedRWLockSpec",
+    "build_dht_setup",
+    "run_dht_benchmark",
+]

@@ -1,0 +1,43 @@
+"""Related-work lock implementations (Sections 2.3 and 7 of the paper).
+
+The paper positions RMA-MCS and RMA-RW against a family of shared-memory
+NUMA-aware locks that it extends to distributed memory.  This subpackage
+implements distributed (RMA) adaptations of the most important of those
+designs so that the evaluation can compare against them directly:
+
+* :class:`~repro.related.ticket.TicketLockSpec` — a centralized FIFO ticket
+  lock.  Like foMPI-Spin it has a single hot home rank, but it is fair; it
+  is the classical "global spinning" design that queue locks improve on.
+* :class:`~repro.related.hbo.HBOLockSpec` — the hierarchical backoff lock of
+  Radovic and Hagersten (HPCA'03): a test-and-set lock whose waiters back off
+  for a shorter time when the current holder lives on the same compute node,
+  which statistically keeps the lock inside a node (Section 7, "Queue-Based
+  Locks").
+* :class:`~repro.related.cohort.CohortTicketLockSpec` — a lock-cohorting
+  construction (Dice, Marathe, Shavit, PPoPP'12) with a per-node ticket lock
+  and a global ticket lock among nodes; the node keeps the global lock for up
+  to ``max_local_passes`` consecutive local hand-offs (Section 2.3.2).
+* :class:`~repro.related.numa_rw.NumaRWLockSpec` — a reader-writer lock in
+  the style of Calciu et al. (PPoPP'13): per-node reader counters plus a
+  cohort writer lock (Section 2.3.1).
+
+All of them follow the repository's spec/handle convention and run unchanged
+on both the simulated and the threaded runtime, so they slot into the same
+benchmarks, instrumentation and tests as the paper's own locks.
+"""
+
+from repro.related.cohort import CohortTicketLockHandle, CohortTicketLockSpec
+from repro.related.hbo import HBOLockHandle, HBOLockSpec
+from repro.related.numa_rw import NumaRWLockHandle, NumaRWLockSpec
+from repro.related.ticket import TicketLockHandle, TicketLockSpec
+
+__all__ = [
+    "CohortTicketLockHandle",
+    "CohortTicketLockSpec",
+    "HBOLockHandle",
+    "HBOLockSpec",
+    "NumaRWLockHandle",
+    "NumaRWLockSpec",
+    "TicketLockHandle",
+    "TicketLockSpec",
+]

@@ -1,0 +1,189 @@
+"""Lock cohorting (Dice, Marathe & Shavit, PPoPP'12) over RMA.
+
+A cohort lock composes two levels of locking: a *local* lock per compute node
+and a single *global* lock among nodes.  A process first acquires its node's
+local lock; if its node already owns the global lock (because the previous
+holder was a node-mate that passed ownership on), the process enters the
+critical section immediately, otherwise it acquires the global lock on behalf
+of its node.  On release, the holder prefers to hand both the local lock and
+the implicit global ownership to a waiting node-mate, up to
+``max_local_passes`` consecutive times — the same locality/fairness trade-off
+the paper's ``T_L,i`` thresholds implement inside the distributed tree
+(Section 2.3.2 cites this family as the NUMA-aware state of the art that
+RMA-MCS generalizes to distributed memory and to more than two levels).
+
+This implementation uses FIFO ticket locks at both levels (the partitioned
+"C-TKT-TKT" instantiation), which keeps every word a plain 64-bit counter and
+maps directly onto RMA fetch-and-add:
+
+* per node ``j`` (hosted on the node's first rank): ``LOCAL_NEXT``,
+  ``LOCAL_SERVING``, ``OWNED`` (does this node hold the global lock?) and
+  ``PASSES`` (consecutive local hand-offs since the global lock was acquired);
+* globally (hosted on ``home_rank``): ``GLOBAL_NEXT`` and ``GLOBAL_SERVING``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.layout import LayoutAllocator
+from repro.core.lock_base import LockHandle, LockSpec
+from repro.rma.ops import AtomicOp
+from repro.rma.runtime_base import ProcessContext
+from repro.topology.machine import Machine
+
+__all__ = ["CohortTicketLockSpec", "CohortTicketLockHandle"]
+
+#: Default bound on consecutive intra-node hand-offs before the global lock
+#: must be released (the cohort literature calls this the "may-pass-local"
+#: bound; 16-64 is the usual range for NUMA machines).
+DEFAULT_MAX_LOCAL_PASSES = 16
+
+
+@dataclass(frozen=True)
+class CohortTicketLockSpec(LockSpec):
+    """A two-level cohort lock (ticket local locks, ticket global lock).
+
+    Args:
+        machine: Machine hierarchy; the cohort boundary is the leaf level
+            (compute nodes).
+        max_local_passes: Maximum number of consecutive intra-node hand-offs
+            before the node must release the global lock.
+        home_rank: Rank hosting the global ticket words.
+        base_offset: First window word used by this lock (six words are used).
+    """
+
+    machine: Machine
+    max_local_passes: int = DEFAULT_MAX_LOCAL_PASSES
+    home_rank: int = 0
+    base_offset: int = 0
+    global_next_offset: int = field(init=False, default=0)
+    global_serving_offset: int = field(init=False, default=0)
+    local_next_offset: int = field(init=False, default=0)
+    local_serving_offset: int = field(init=False, default=0)
+    owned_offset: int = field(init=False, default=0)
+    passes_offset: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.max_local_passes < 1:
+            raise ValueError("max_local_passes must be >= 1")
+        if not 0 <= self.home_rank < self.machine.num_processes:
+            raise ValueError(f"home_rank {self.home_rank} out of range")
+        alloc = LayoutAllocator(base=self.base_offset)
+        object.__setattr__(self, "global_next_offset", alloc.field("cohort_global_next"))
+        object.__setattr__(self, "global_serving_offset", alloc.field("cohort_global_serving"))
+        object.__setattr__(self, "local_next_offset", alloc.field("cohort_local_next"))
+        object.__setattr__(self, "local_serving_offset", alloc.field("cohort_local_serving"))
+        object.__setattr__(self, "owned_offset", alloc.field("cohort_owned"))
+        object.__setattr__(self, "passes_offset", alloc.field("cohort_passes"))
+
+    @property
+    def num_processes(self) -> int:
+        return self.machine.num_processes
+
+    @property
+    def window_words(self) -> int:
+        return self.passes_offset + 1
+
+    def leader_of(self, rank: int) -> int:
+        """Rank hosting the local (per-node) cohort words used by ``rank``."""
+        machine = self.machine
+        leaf = machine.n_levels
+        return machine.first_rank_of_element(leaf, machine.element_of(rank, leaf))
+
+    def init_window(self, rank: int) -> Mapping[int, int]:
+        values = {}
+        if rank == self.home_rank:
+            values[self.global_next_offset] = 0
+            values[self.global_serving_offset] = 0
+        if rank == self.leader_of(rank):
+            values[self.local_next_offset] = 0
+            values[self.local_serving_offset] = 0
+            values[self.owned_offset] = 0
+            values[self.passes_offset] = 0
+        return values
+
+    def make(self, ctx: ProcessContext) -> "CohortTicketLockHandle":
+        return CohortTicketLockHandle(self, ctx)
+
+
+class CohortTicketLockHandle(LockHandle):
+    """Per-process cohort handle: local ticket, then global ticket unless owned."""
+
+    def __init__(self, spec: CohortTicketLockSpec, ctx: ProcessContext):
+        if ctx.nranks != spec.machine.num_processes:
+            raise ValueError("lock spec and runtime disagree on the number of ranks")
+        self.spec = spec
+        self.ctx = ctx
+        self._leader = spec.leader_of(ctx.rank)
+        self._local_ticket: int | None = None
+        #: True when the most recent acquire obtained the global lock itself
+        #: rather than inheriting it from a node-mate (for tests/analysis).
+        self.last_acquired_global = False
+
+    # ------------------------------------------------------------------ #
+    # Acquire
+    # ------------------------------------------------------------------ #
+
+    def acquire(self) -> None:
+        ctx = self.ctx
+        spec = self.spec
+        leader = self._leader
+        # Local ticket lock: one process per node proceeds past this point.
+        ticket = ctx.fao(1, leader, spec.local_next_offset, AtomicOp.SUM)
+        ctx.flush(leader)
+        self._local_ticket = ticket
+        serving = ctx.get(leader, spec.local_serving_offset)
+        ctx.flush(leader)
+        if serving != ticket:
+            ctx.spin_while(leader, spec.local_serving_offset, lambda s: s != ticket)
+        # If a node-mate passed the global lock along with the local one we are done.
+        owned = ctx.get(leader, spec.owned_offset)
+        ctx.flush(leader)
+        if owned != 0:
+            self.last_acquired_global = False
+            return
+        # Otherwise acquire the global ticket lock on behalf of the node.
+        g_ticket = ctx.fao(1, spec.home_rank, spec.global_next_offset, AtomicOp.SUM)
+        ctx.flush(spec.home_rank)
+        g_serving = ctx.get(spec.home_rank, spec.global_serving_offset)
+        ctx.flush(spec.home_rank)
+        if g_serving != g_ticket:
+            ctx.spin_while(spec.home_rank, spec.global_serving_offset, lambda s: s != g_ticket)
+        ctx.put(1, leader, spec.owned_offset)
+        ctx.put(0, leader, spec.passes_offset)
+        ctx.flush(leader)
+        self.last_acquired_global = True
+
+    # ------------------------------------------------------------------ #
+    # Release
+    # ------------------------------------------------------------------ #
+
+    def release(self) -> None:
+        ctx = self.ctx
+        spec = self.spec
+        leader = self._leader
+        if self._local_ticket is None:
+            raise RuntimeError("release() without a matching acquire()")
+        my_ticket = self._local_ticket
+        self._local_ticket = None
+
+        next_ticket = ctx.get(leader, spec.local_next_offset)
+        passes = ctx.get(leader, spec.passes_offset)
+        ctx.flush(leader)
+        successor_waiting = next_ticket > my_ticket + 1
+        if successor_waiting and passes < spec.max_local_passes:
+            # Pass both the local lock and the global ownership to a node-mate.
+            ctx.accumulate(1, leader, spec.passes_offset, AtomicOp.SUM)
+            ctx.accumulate(1, leader, spec.local_serving_offset, AtomicOp.SUM)
+            ctx.flush(leader)
+            return
+        # Give the global lock back (clear ownership before letting the next
+        # node-mate in, so it goes through the global queue itself).
+        ctx.put(0, leader, spec.owned_offset)
+        ctx.flush(leader)
+        ctx.accumulate(1, spec.home_rank, spec.global_serving_offset, AtomicOp.SUM)
+        ctx.flush(spec.home_rank)
+        ctx.accumulate(1, leader, spec.local_serving_offset, AtomicOp.SUM)
+        ctx.flush(leader)

@@ -1,0 +1,50 @@
+"""RMA substrate: windows, the Listing-1 call set, latency model and runtimes."""
+
+from repro.rma.fabric import FabricContentionModel
+from repro.rma.latency import LatencyModel
+from repro.rma.ops import AtomicOp, RMACall
+from repro.rma.portability import (
+    PORTABILITY_TABLE,
+    PortabilityEntry,
+    ShmemFacade,
+    UpcFacade,
+    environments,
+    operations,
+    supports_all_required_ops,
+)
+from repro.rma.runtime_base import (
+    Cell,
+    ProcessContext,
+    RMARuntime,
+    RunResult,
+    RuntimeError_,
+    SimDeadlockError,
+)
+from repro.rma.sim_runtime import SimProcessContext, SimRuntime
+from repro.rma.thread_runtime import ThreadProcessContext, ThreadRuntime
+from repro.rma.window import Window
+
+__all__ = [
+    "AtomicOp",
+    "Cell",
+    "FabricContentionModel",
+    "LatencyModel",
+    "PORTABILITY_TABLE",
+    "PortabilityEntry",
+    "ProcessContext",
+    "RMACall",
+    "ShmemFacade",
+    "UpcFacade",
+    "environments",
+    "operations",
+    "supports_all_required_ops",
+    "RMARuntime",
+    "RunResult",
+    "RuntimeError_",
+    "SimDeadlockError",
+    "SimProcessContext",
+    "SimRuntime",
+    "ThreadProcessContext",
+    "ThreadRuntime",
+    "Window",
+]

@@ -1,0 +1,25 @@
+"""RMA operation vocabulary (the call set of Listing 1 in the paper)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["AtomicOp", "RMACall"]
+
+
+class AtomicOp(enum.Enum):
+    """Operations accepted by ``Accumulate``/``FAO`` (the paper's ``MPI_Op``)."""
+
+    SUM = "sum"
+    REPLACE = "replace"
+
+
+class RMACall(enum.Enum):
+    """The RMA call types, used for latency accounting and statistics."""
+
+    PUT = "put"
+    GET = "get"
+    ACCUMULATE = "accumulate"
+    FAO = "fao"
+    CAS = "cas"
+    FLUSH = "flush"

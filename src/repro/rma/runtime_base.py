@@ -1,0 +1,173 @@
+"""Common runtime interface shared by the simulated and threaded backends.
+
+A *runtime* owns ``P`` ranks, one RMA window per rank, and executes a rank
+program (``program(ctx)``) on every rank.  The per-rank handle
+:class:`ProcessContext` exposes exactly the RMA call set of the paper's
+Listing 1 plus a handful of helpers that the lock protocols need:
+
+* ``spin_while`` — the ``do {Get; Flush} while (predicate)`` local/remote
+  polling loop used throughout the protocols.  On the simulated backend this
+  parks the rank on the polled memory cells instead of burning simulated
+  events; on the threaded backend it really polls.
+* ``compute`` — advance local time by a given number of microseconds (models
+  critical-section work and back-off delays).
+* ``barrier`` — synchronize all ranks (used to delimit measurement phases).
+
+Values returned by ``get``/``fao``/``cas`` follow the paper's semantics of
+being usable after the subsequent ``flush``; both backends return them
+immediately but protocols still issue the flushes so that the simulated time
+accounting matches the real protocols.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rma.ops import AtomicOp, RMACall
+
+__all__ = [
+    "Cell",
+    "ProcessContext",
+    "RMARuntime",
+    "RunResult",
+    "RuntimeError_",
+    "SimDeadlockError",
+    "WindowInit",
+]
+
+#: A (target_rank, offset) pair identifying one window word.
+Cell = Tuple[int, int]
+
+#: Callable mapping a rank to its initial window contents ({offset: value}).
+WindowInit = Callable[[int], Mapping[int, int]]
+
+
+class RuntimeError_(RuntimeError):
+    """Base class for runtime failures (name avoids shadowing the builtin)."""
+
+
+class SimDeadlockError(RuntimeError_):
+    """Raised when every unfinished rank is blocked and no progress is possible."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one ``runtime.run(...)`` invocation.
+
+    Attributes:
+        returns: Per-rank return values of the rank program.
+        finish_times_us: Per-rank completion times (virtual µs for the
+            simulator, wall-clock µs for the thread backend).
+        total_time_us: Makespan across all ranks.
+        op_counts: Total number of RMA calls issued, keyed by call name.
+        per_rank_op_counts: The same, broken down per rank.
+    """
+
+    returns: List[Any]
+    finish_times_us: List[float]
+    total_time_us: float
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    per_rank_op_counts: List[Dict[str, int]] = field(default_factory=list)
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.returns)
+
+    def total_ops(self) -> int:
+        return int(sum(self.op_counts.values()))
+
+
+class ProcessContext(abc.ABC):
+    """Per-rank handle through which a rank program issues RMA calls."""
+
+    #: Rank of this process (0-based).
+    rank: int
+    #: Total number of ranks.
+    nranks: int
+    #: Per-rank deterministic random generator.
+    rng: np.random.Generator
+
+    # -- Listing 1 ------------------------------------------------------- #
+
+    @abc.abstractmethod
+    def put(self, src_data: int, target: int, offset: int) -> None:
+        """Atomically place ``src_data`` in ``target``'s window at ``offset``."""
+
+    @abc.abstractmethod
+    def get(self, target: int, offset: int) -> int:
+        """Atomically fetch the word at ``offset`` in ``target``'s window."""
+
+    @abc.abstractmethod
+    def accumulate(self, operand: int, target: int, offset: int, op: AtomicOp = AtomicOp.SUM) -> None:
+        """Atomically apply ``op`` with ``operand`` to the word at ``target``."""
+
+    @abc.abstractmethod
+    def fao(self, operand: int, target: int, offset: int, op: AtomicOp) -> int:
+        """Fetch-and-op: apply ``op`` and return the previous value."""
+
+    @abc.abstractmethod
+    def cas(self, src_data: int, cmp_data: int, target: int, offset: int) -> int:
+        """Compare-and-swap; returns the previous value of the word."""
+
+    @abc.abstractmethod
+    def flush(self, target: int) -> None:
+        """Complete all pending RMA calls issued by this rank at ``target``."""
+
+    # -- helpers ---------------------------------------------------------- #
+
+    @abc.abstractmethod
+    def spin_on_cells(self, cells: Sequence[Cell], predicate: Callable[[Sequence[int]], bool]) -> List[int]:
+        """Repeat ``Get``+``Flush`` over ``cells`` while ``predicate(values)`` is true.
+
+        Returns the first observed values for which the predicate is false.
+        """
+
+    def spin_while(self, target: int, offset: int, predicate: Callable[[int], bool]) -> int:
+        """Single-cell convenience wrapper around :meth:`spin_on_cells`."""
+        values = self.spin_on_cells([(target, offset)], lambda vs: predicate(vs[0]))
+        return values[0]
+
+    @abc.abstractmethod
+    def compute(self, duration_us: float) -> None:
+        """Model ``duration_us`` microseconds of local computation."""
+
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current local time in microseconds (virtual or wall-clock)."""
+
+    # -- optional hooks ---------------------------------------------------- #
+
+    def log(self, message: str) -> None:  # pragma: no cover - debugging aid
+        """Diagnostic hook; backends may route this to stderr or discard it."""
+
+
+class RMARuntime(abc.ABC):
+    """A backend capable of running rank programs over RMA windows."""
+
+    @property
+    @abc.abstractmethod
+    def num_ranks(self) -> int:
+        """Number of ranks this runtime simulates/executes."""
+
+    @abc.abstractmethod
+    def run(
+        self,
+        program: Callable[[ProcessContext], Any],
+        *,
+        window_init: Optional[WindowInit] = None,
+        program_args: Optional[Sequence[Any]] = None,
+    ) -> RunResult:
+        """Execute ``program`` on every rank and return the collected result.
+
+        ``window_init(rank)`` may supply initial non-zero window contents
+        (e.g. null-pointer sentinels).  ``program_args`` optionally provides a
+        per-rank extra argument passed as ``program(ctx, arg)``.
+        """

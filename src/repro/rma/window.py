@@ -1,0 +1,100 @@
+"""RMA window: one rank's exposed memory region.
+
+In MPI-3 RMA each process exposes a region of its local memory as a *window*
+that other processes access with puts/gets/atomics (Section 2.1).  Here a
+window is a fixed-size array of 64-bit integers addressed by word offset.
+The window itself is a plain data container; atomicity across concurrent
+accessors is the responsibility of the runtime that owns it (the simulated
+runtime serializes accesses, the thread runtime guards each window with a
+lock).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+from repro.rma.ops import AtomicOp
+
+__all__ = ["Window"]
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def _check_int64(value: int) -> int:
+    value = int(value)
+    if not _INT64_MIN <= value <= _INT64_MAX:
+        raise OverflowError(f"value {value} does not fit in a 64-bit window word")
+    return value
+
+
+class Window:
+    """A fixed-size array of int64 words owned by a single rank."""
+
+    __slots__ = ("_mem",)
+
+    def __init__(self, num_words: int, fill: int = 0):
+        if num_words < 1:
+            raise ValueError(f"window must have at least one word, got {num_words}")
+        self._mem = np.full(num_words, _check_int64(fill), dtype=np.int64)
+
+    # -- basic accessors ------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return int(self._mem.size)
+
+    def read(self, offset: int) -> int:
+        """Return the word at ``offset``."""
+        self._check_offset(offset)
+        return int(self._mem[offset])
+
+    def write(self, offset: int, value: int) -> None:
+        """Store ``value`` at ``offset`` (the effect of a ``Put``/``REPLACE``)."""
+        self._check_offset(offset)
+        self._mem[offset] = _check_int64(value)
+
+    # -- atomics ---------------------------------------------------------- #
+
+    def apply(self, offset: int, operand: int, op: AtomicOp) -> None:
+        """Apply ``op`` with ``operand`` (the effect of ``Accumulate``)."""
+        self.fetch_and_op(offset, operand, op)
+
+    def fetch_and_op(self, offset: int, operand: int, op: AtomicOp) -> int:
+        """Apply ``op`` and return the previous value (the effect of ``FAO``)."""
+        self._check_offset(offset)
+        previous = int(self._mem[offset])
+        operand = _check_int64(operand)
+        if op is AtomicOp.SUM:
+            self._mem[offset] = _check_int64(previous + operand)
+        elif op is AtomicOp.REPLACE:
+            self._mem[offset] = operand
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unsupported atomic op {op!r}")
+        return previous
+
+    def compare_and_swap(self, offset: int, compare: int, value: int) -> int:
+        """CAS: replace with ``value`` if the word equals ``compare``; return the old word."""
+        self._check_offset(offset)
+        previous = int(self._mem[offset])
+        if previous == int(compare):
+            self._mem[offset] = _check_int64(value)
+        return previous
+
+    # -- bulk helpers ----------------------------------------------------- #
+
+    def load(self, values: Mapping[int, int]) -> None:
+        """Initialize several offsets at once (used for window initialization)."""
+        for offset, value in values.items():
+            self.write(offset, value)
+
+    def snapshot(self, offsets: Iterable[int] | None = None) -> Dict[int, int]:
+        """Return a copy of selected offsets (all offsets when ``None``)."""
+        if offsets is None:
+            offsets = range(len(self))
+        return {int(o): self.read(int(o)) for o in offsets}
+
+    def _check_offset(self, offset: int) -> None:
+        if not 0 <= offset < self._mem.size:
+            raise IndexError(f"offset {offset} out of range 0..{self._mem.size - 1}")

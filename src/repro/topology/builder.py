@@ -1,0 +1,51 @@
+"""Convenience builders for machines used throughout the evaluation.
+
+The paper evaluates on Piz Daint (Cray XC30) with 16 MPI processes per
+compute node and considers two hierarchy levels (machine and nodes,
+Section 5 "Machine Model").  These helpers construct equivalent simulated
+machines for a requested total process count, and the three-level variant
+from Figure 2 for topology experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.machine import Machine
+
+__all__ = ["xc30_like", "figure2_machine", "machines_for_sweep"]
+
+#: Processes per compute node used by the paper (one per HT resource).
+XC30_PROCS_PER_NODE = 16
+
+
+def xc30_like(num_processes: int, procs_per_node: int = XC30_PROCS_PER_NODE) -> Machine:
+    """A two-level machine (machine -> nodes) with the paper's node width.
+
+    When ``num_processes`` is smaller than a full node the machine collapses
+    to a single node hosting exactly ``num_processes`` ranks, matching how the
+    paper's intra-node data points behave (P <= 16).
+    """
+    if num_processes < 1:
+        raise ValueError("num_processes must be >= 1")
+    if procs_per_node < 1:
+        raise ValueError("procs_per_node must be >= 1")
+    if num_processes <= procs_per_node:
+        return Machine.cluster(nodes=1, procs_per_node=num_processes)
+    if num_processes % procs_per_node != 0:
+        raise ValueError(
+            f"num_processes ({num_processes}) must be a multiple of procs_per_node "
+            f"({procs_per_node}) once it exceeds one node"
+        )
+    return Machine.cluster(nodes=num_processes // procs_per_node, procs_per_node=procs_per_node)
+
+
+def figure2_machine(procs_per_node: int = 6) -> Machine:
+    """The three-level example machine of Figure 2: 2 racks x 2 nodes."""
+    return Machine.multi_rack(racks=2, nodes_per_rack=2, procs_per_node=procs_per_node)
+
+
+def machines_for_sweep(process_counts: Sequence[int], procs_per_node: int = XC30_PROCS_PER_NODE):
+    """Yield ``(P, Machine)`` pairs for a process-count sweep (figure x-axes)."""
+    for p in process_counts:
+        yield p, xc30_like(p, procs_per_node=procs_per_node)

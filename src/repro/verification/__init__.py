@@ -1,0 +1,45 @@
+"""Model checking of the lock protocols (the paper's Section 4.4, without SPIN)."""
+
+from repro.verification.fairness import (
+    BypassAnalyzer,
+    BypassResult,
+    FairnessSpec,
+    mcs_fairness,
+    tas_fairness,
+    ticket_fairness,
+)
+from repro.verification.interleaving import (
+    CheckResult,
+    InvariantViolation,
+    ModelChecker,
+    ModelDeadlock,
+    StateExplosionError,
+)
+from repro.verification.lock_models import (
+    ModelSpec,
+    broken_test_and_set_model,
+    build_checker,
+    dining_deadlock_model,
+    mcs_model,
+    rw_counter_model,
+)
+
+__all__ = [
+    "BypassAnalyzer",
+    "BypassResult",
+    "CheckResult",
+    "FairnessSpec",
+    "InvariantViolation",
+    "ModelChecker",
+    "ModelDeadlock",
+    "ModelSpec",
+    "StateExplosionError",
+    "broken_test_and_set_model",
+    "build_checker",
+    "dining_deadlock_model",
+    "mcs_fairness",
+    "mcs_model",
+    "rw_counter_model",
+    "tas_fairness",
+    "ticket_fairness",
+]

@@ -1,0 +1,293 @@
+"""Bounded-bypass (starvation) analysis on top of the explicit-state checker.
+
+Section 4.3 of the paper argues starvation freedom for RMA-RW: the locality
+and reader thresholds bound how often one process can overtake another.  The
+:class:`~repro.verification.interleaving.ModelChecker` verifies safety
+(mutual exclusion) and deadlock freedom; this module adds the quantitative
+fairness side: the *bypass bound* — the maximum number of critical-section
+entries by other processes that can occur while some process is continuously
+waiting for the lock.
+
+A FIFO protocol (ticket, MCS/D-MCS queues) has a bypass bound of ``P - 1``:
+once a process is enqueued, every other process can enter at most once before
+it.  A test-and-set lock (foMPI-Spin, the HBO lock) has no bound: an
+adversarial schedule can let the same competitor win again and again.  The
+:class:`BypassAnalyzer` explores every interleaving of a reduced protocol
+model while tracking, per process, how many foreign critical-section entries
+happened since it started waiting, and reports the maximum together with a
+witness schedule whenever a requested bound is exceeded.
+
+The analysis needs two observers on top of a
+:class:`~repro.verification.lock_models.ModelSpec`:
+
+* ``waiting(state, pid)`` — is ``pid`` currently waiting to enter the CS?
+* ``acquired(state, pid)`` — how many critical sections has ``pid`` completed?
+
+Factories for ticket, test-and-set and MCS models (with the observers wired
+up) are provided so the analyzer can be exercised out of the box.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.verification.interleaving import StateExplosionError
+from repro.verification.lock_models import ModelSpec, mcs_model
+
+__all__ = [
+    "BypassAnalyzer",
+    "BypassResult",
+    "FairnessSpec",
+    "mcs_fairness",
+    "tas_fairness",
+    "ticket_fairness",
+]
+
+_NIL = -1
+
+
+@dataclass(frozen=True)
+class FairnessSpec:
+    """A protocol model plus the observers the bypass analysis needs."""
+
+    model: ModelSpec
+    waiting: Callable[[Dict, int], bool]
+    acquired: Callable[[Dict, int], int]
+
+
+@dataclass
+class BypassResult:
+    """Outcome of one bounded-bypass exploration."""
+
+    bound: int
+    max_bypass_observed: int
+    states_explored: int
+    transitions: int
+    complete: bool
+    violation: Optional[str] = None
+    trace: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+
+class BypassAnalyzer:
+    """Exhaustive exploration of bypass counts over all interleavings.
+
+    The search state is the protocol state augmented with one counter per
+    process: ``None`` while the process is not waiting, otherwise the number
+    of critical sections completed by *other* processes since it started
+    waiting.  A counter exceeding ``bound`` is reported as a violation with
+    the interleaving that produced it.
+    """
+
+    def __init__(self, spec: FairnessSpec, *, bound: int, max_states: int = 300_000):
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        if max_states < 1:
+            raise ValueError("max_states must be >= 1")
+        self.spec = spec
+        self.bound = int(bound)
+        self.max_states = int(max_states)
+
+    # ------------------------------------------------------------------ #
+
+    def _freeze(self, state: Dict, counts: Tuple[Optional[int], ...]):
+        from repro.verification.interleaving import _freeze
+
+        return (_freeze(state), tuple(-1 if c is None else c for c in counts))
+
+    def check(self) -> BypassResult:
+        model = self.spec.model
+        waiting = self.spec.waiting
+        acquired = self.spec.acquired
+        nprocs = model.num_processes
+
+        initial_state = copy.deepcopy(model.initial_state)
+        initial_counts: Tuple[Optional[int], ...] = tuple(
+            0 if waiting(initial_state, pid) else None for pid in range(nprocs)
+        )
+        seen = {self._freeze(initial_state, initial_counts)}
+        stack: List[Tuple[Dict, Tuple[Optional[int], ...], List[Tuple[int, int]]]] = [
+            (initial_state, initial_counts, [])
+        ]
+        explored = 0
+        transitions = 0
+        max_bypass = 0
+
+        while stack:
+            state, counts, trace = stack.pop()
+            explored += 1
+            if explored > self.max_states:
+                raise StateExplosionError(
+                    f"exceeded the budget of {self.max_states} explored states"
+                )
+
+            for pid in range(nprocs):
+                if model.is_done(state, pid):
+                    continue
+                candidate = copy.deepcopy(state)
+                if not model.step(candidate, pid):
+                    continue
+                transitions += 1
+
+                entries = [
+                    acquired(candidate, q) - acquired(state, q) for q in range(nprocs)
+                ]
+                new_counts: List[Optional[int]] = []
+                for q in range(nprocs):
+                    if not waiting(candidate, q):
+                        new_counts.append(None)
+                        continue
+                    foreign_entries = sum(e for r, e in enumerate(entries) if r != q)
+                    if counts[q] is None:
+                        value = foreign_entries
+                    else:
+                        value = counts[q] + foreign_entries
+                    new_counts.append(value)
+                    max_bypass = max(max_bypass, value)
+                    if value > self.bound:
+                        return BypassResult(
+                            bound=self.bound,
+                            max_bypass_observed=max_bypass,
+                            states_explored=explored,
+                            transitions=transitions,
+                            complete=False,
+                            violation=(
+                                f"process {q} was bypassed {value} times "
+                                f"(bound is {self.bound})"
+                            ),
+                            trace=trace + [(pid, len(trace))],
+                        )
+
+                frozen = self._freeze(candidate, tuple(new_counts))
+                if frozen in seen:
+                    continue
+                seen.add(frozen)
+                stack.append((candidate, tuple(new_counts), trace + [(pid, len(trace))]))
+
+        return BypassResult(
+            bound=self.bound,
+            max_bypass_observed=max_bypass,
+            states_explored=explored,
+            transitions=transitions,
+            complete=True,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Models with fairness observers
+# --------------------------------------------------------------------------- #
+
+def ticket_fairness(num_processes: int = 3, rounds: int = 1) -> FairnessSpec:
+    """FIFO ticket lock: ``bound = P - 1`` holds on every interleaving."""
+    initial_state = {
+        "next_ticket": 0,
+        "serving": 0,
+        "cs": [],
+        "procs": [{"pc": "draw", "ticket": _NIL, "acquired": 0} for _ in range(num_processes)],
+    }
+
+    def step(state: Dict, pid: int) -> bool:
+        me = state["procs"][pid]
+        pc = me["pc"]
+        if pc == "draw":
+            me["ticket"] = state["next_ticket"]
+            state["next_ticket"] += 1
+            me["pc"] = "spin"
+        elif pc == "spin":
+            if state["serving"] != me["ticket"]:
+                return False
+            me["pc"] = "cs_enter"
+        elif pc == "cs_enter":
+            state["cs"].append(pid)
+            me["pc"] = "cs_exit"
+        elif pc == "cs_exit":
+            state["cs"].remove(pid)
+            state["serving"] += 1
+            me["acquired"] += 1
+            me["pc"] = "done" if me["acquired"] >= rounds else "draw"
+        else:  # pragma: no cover - "done" filtered by is_done
+            return False
+        return True
+
+    model = ModelSpec(
+        name=f"ticket[{num_processes}x{rounds}]",
+        num_processes=num_processes,
+        initial_state=initial_state,
+        step=step,
+        is_done=lambda state, pid: state["procs"][pid]["pc"] == "done",
+        invariant=lambda state: len(state["cs"]) <= 1,
+        invariant_name="mutual exclusion",
+    )
+    return FairnessSpec(
+        model=model,
+        waiting=lambda state, pid: state["procs"][pid]["pc"] == "spin",
+        acquired=lambda state, pid: state["procs"][pid]["acquired"],
+    )
+
+
+def tas_fairness(num_processes: int = 3, rounds: int = 2) -> FairnessSpec:
+    """Test-and-set spinning (foMPI-Spin / HBO style): bypass is unbounded.
+
+    Mutual exclusion holds, but nothing orders the waiters, so one process can
+    be overtaken once for every acquisition any competitor performs.
+    """
+    initial_state = {
+        "lock": 0,
+        "cs": [],
+        "procs": [{"pc": "try", "acquired": 0} for _ in range(num_processes)],
+    }
+
+    def step(state: Dict, pid: int) -> bool:
+        me = state["procs"][pid]
+        pc = me["pc"]
+        if pc == "try":
+            if state["lock"] != 0:
+                return False
+            state["lock"] = 1
+            me["pc"] = "cs_enter"
+        elif pc == "cs_enter":
+            state["cs"].append(pid)
+            me["pc"] = "cs_exit"
+        elif pc == "cs_exit":
+            state["cs"].remove(pid)
+            state["lock"] = 0
+            me["acquired"] += 1
+            me["pc"] = "done" if me["acquired"] >= rounds else "try"
+        else:  # pragma: no cover
+            return False
+        return True
+
+    model = ModelSpec(
+        name=f"tas[{num_processes}x{rounds}]",
+        num_processes=num_processes,
+        initial_state=initial_state,
+        step=step,
+        is_done=lambda state, pid: state["procs"][pid]["pc"] == "done",
+        invariant=lambda state: len(state["cs"]) <= 1,
+        invariant_name="mutual exclusion",
+    )
+    return FairnessSpec(
+        model=model,
+        waiting=lambda state, pid: state["procs"][pid]["pc"] == "try",
+        acquired=lambda state, pid: state["procs"][pid]["acquired"],
+    )
+
+
+def mcs_fairness(num_processes: int = 3, rounds: int = 1) -> FairnessSpec:
+    """The MCS/D-MCS queue model of :func:`repro.verification.lock_models.mcs_model`."""
+    model = mcs_model(num_processes=num_processes, rounds=rounds)
+
+    def waiting(state: Dict, pid: int) -> bool:
+        # A process waits from the moment it has published itself at the tail
+        # (and therefore has a position in the FIFO) until it enters the CS.
+        return state["procs"][pid]["pc"] in ("link", "spin", "cs_enter")
+
+    def acquired(state: Dict, pid: int) -> int:
+        return state["procs"][pid]["acquired"]
+
+    return FairnessSpec(model=model, waiting=waiting, acquired=acquired)

@@ -1,0 +1,120 @@
+"""Smoke tests of the figure drivers on tiny sweeps.
+
+Each driver runs with a reduced process-count list and iteration count so the
+whole module stays fast; the point is to validate row schemas, parameter
+plumbing and the mapping from rows to paper figures, not performance numbers
+(those live in benchmarks/).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments
+
+TINY = {"process_counts": (4, 8), "iterations": 5, "procs_per_node": 4}
+TINY_NO_ITERS = {"process_counts": (4, 8), "procs_per_node": 4}
+
+
+class TestFigure3:
+    def test_rows_cover_schemes_and_benchmarks(self):
+        rows = experiments.figure3(benchmarks=("lb", "ecsb"), **TINY)
+        assert {r["figure"] for r in rows} == {"3a", "3b"}
+        assert {r["scheme"] for r in rows} == {"fompi-spin", "d-mcs", "rma-mcs"}
+        assert {r["P"] for r in rows} == {4, 8}
+        assert all(r["throughput_mln_s"] > 0 for r in rows)
+
+
+class TestFigure4:
+    def test_t_dc_sweep(self):
+        rows = experiments.figure4a(t_dc_values=(1, 4), **TINY)
+        assert {r["t_dc"] for r in rows} == {1, 4}
+        assert all(r["figure"] == "4a" for r in rows)
+
+    def test_t_dc_values_exceeding_p_are_skipped(self):
+        rows = experiments.figure4a(t_dc_values=(1, 64), process_counts=(4,), iterations=4, procs_per_node=4)
+        assert {r["t_dc"] for r in rows} == {1}
+
+    def test_tl_product_sweep(self):
+        rows = experiments.figure4b(tl_products=(8, 16), **TINY)
+        assert {r["tl_product"] for r in rows} == {8, 16}
+
+    def test_tl_split_sweep(self):
+        rows = experiments.figure4c(product=16, **TINY)
+        assert {r["tl_split"] for r in rows} == {"2-8", "4-4", "8-2"}
+        assert all(r["figure"] == "4c" for r in rows)
+
+    def test_tl_split_latency_variant(self):
+        rows = experiments.figure4d(product=16, **TINY)
+        assert all(r["figure"] == "4d" for r in rows)
+        assert all(r["latency_us"] > 0 for r in rows)
+
+    def test_t_r_sweep(self):
+        rows = experiments.figure4e(t_r_values=(8, 16), **TINY)
+        assert {r["t_r"] for r in rows} == {8, 16}
+
+    def test_t_r_fw_interaction(self):
+        rows = experiments.figure4f(t_r_values=(8,), fw_values=(0.02, 0.05), **TINY)
+        assert {r["series"] for r in rows} == {"8-2%", "8-5%"}
+
+
+class TestFigure5:
+    def test_series_labels_combine_scheme_and_fw(self):
+        rows = experiments.figure5(benchmarks=("ecsb",), fw_values=(0.02,), **TINY)
+        assert {r["series"] for r in rows} == {"rma-rw 2%", "fompi-rw 2%"}
+        assert all(r["figure"] == "5b" for r in rows)
+
+
+class TestFigure6:
+    def test_dht_rows(self):
+        rows = experiments.figure6(fw_values=(0.05,), ops_per_process=4, process_counts=(4, 8), procs_per_node=4)
+        assert {r["scheme"] for r in rows} == {"fompi-a", "fompi-rw", "rma-rw"}
+        assert all(r["figure"] == "6b" for r in rows)
+        assert all(r["total_time_us"] > 0 for r in rows)
+
+
+class TestAblations:
+    def test_counter_placement(self):
+        rows = experiments.ablation_counter_placement(**TINY)
+        assert {r["series"] for r in rows} == {"dc-per-node", "dc-single"}
+
+    def test_flat_latency(self):
+        rows = experiments.ablation_flat_latency(**TINY)
+        assert {r["fabric"] for r in rows} == {"hierarchical", "flat"}
+
+    def test_locality(self):
+        rows = experiments.ablation_locality(t_l2_values=(1, 4), **TINY)
+        assert {r["t_l2"] for r in rows} == {1, 4}
+
+
+class TestHandoffLocalityAblation:
+    def test_reports_locality_and_throughput(self):
+        rows = experiments.ablation_handoff_locality(
+            t_l2_values=(1, 8), process_counts=(8,), iterations=5, procs_per_node=4
+        )
+        assert {r["t_l2"] for r in rows} == {1, 8}
+        for row in rows:
+            assert 0.0 <= row["node_locality_pct"] <= 100.0
+            assert row["throughput_mln_s"] > 0
+            assert row["grants"] == 8 * 5
+
+    def test_more_locality_with_larger_threshold(self):
+        rows = experiments.ablation_handoff_locality(
+            t_l2_values=(1, 8), process_counts=(8,), iterations=6, procs_per_node=4
+        )
+        by_tl = {r["t_l2"]: r["node_locality_pct"] for r in rows}
+        assert by_tl[8] >= by_tl[1]
+
+
+class TestFabricContentionAblation:
+    def test_rows_cover_both_fabrics_and_schemes(self):
+        rows = experiments.ablation_fabric_contention(**TINY)
+        assert {r["fabric"] for r in rows} == {"endpoint-only", "dragonfly-links"}
+        assert {r["scheme"] for r in rows} == {"d-mcs", "rma-mcs"}
+        assert all(r["throughput_mln_s"] > 0 for r in rows)
+
+    def test_link_contention_never_speeds_up_a_scheme(self):
+        rows = experiments.ablation_fabric_contention(process_counts=(8,), iterations=6, procs_per_node=4)
+        by_series = {r["series"]: r["throughput_mln_s"] for r in rows}
+        assert by_series["rma-mcs (dragonfly-links)"] <= by_series["rma-mcs (endpoint-only)"] * 1.001
+        assert by_series["d-mcs (dragonfly-links)"] <= by_series["d-mcs (endpoint-only)"] * 1.001

@@ -1,0 +1,85 @@
+"""Tests for the reporting/pivoting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import format_figure, format_table, pivot_rows, summarize_speedup
+
+ROWS = [
+    {"P": 4, "scheme": "a", "throughput_mln_s": 1.0},
+    {"P": 4, "scheme": "b", "throughput_mln_s": 2.0},
+    {"P": 8, "scheme": "a", "throughput_mln_s": 1.5},
+    {"P": 8, "scheme": "b", "throughput_mln_s": 4.5},
+]
+
+
+class TestFormatTable:
+    def test_renders_all_rows_and_columns(self):
+        text = format_table(ROWS)
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(ROWS)
+        assert "scheme" in lines[0]
+        assert "4.500" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(no data)"
+
+    def test_explicit_columns(self):
+        text = format_table(ROWS, columns=["P", "scheme"])
+        assert "throughput" not in text
+
+    def test_missing_values_rendered_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert text.count("\n") == 3
+
+
+class TestPivot:
+    def test_pivot_layout(self):
+        pivoted = pivot_rows(ROWS)
+        assert pivoted == [
+            {"P": 4, "a": 1.0, "b": 2.0},
+            {"P": 8, "a": 1.5, "b": 4.5},
+        ]
+
+    def test_pivot_missing_combination(self):
+        rows = ROWS + [{"P": 16, "scheme": "a", "throughput_mln_s": 2.0}]
+        pivoted = pivot_rows(rows)
+        assert pivoted[-1]["b"] is None
+
+    def test_pivot_custom_fields(self):
+        rows = [
+            {"t_r": 8, "series": "x", "latency_us": 3.0},
+            {"t_r": 16, "series": "x", "latency_us": 4.0},
+        ]
+        pivoted = pivot_rows(rows, x="t_r", series="series", value="latency_us")
+        assert pivoted[0] == {"t_r": 8, "x": 3.0}
+
+    def test_format_figure_includes_title_and_metric(self):
+        text = format_figure(ROWS, title="Figure X")
+        assert text.startswith("== Figure X ==")
+        assert "throughput_mln_s" in text
+        assert "b" in text.splitlines()[1]
+
+
+class TestSpeedup:
+    def test_throughput_ratio(self):
+        ratios = summarize_speedup(ROWS, ours="b", baseline="a")
+        assert ratios["4"] == pytest.approx(2.0)
+        assert ratios["8"] == pytest.approx(3.0)
+        assert ratios["mean"] == pytest.approx(2.5)
+
+    def test_latency_ratio_inverted(self):
+        rows = [
+            {"P": 4, "scheme": "ours", "latency_us": 1.0},
+            {"P": 4, "scheme": "base", "latency_us": 5.0},
+        ]
+        ratios = summarize_speedup(rows, ours="ours", baseline="base", value="latency_us", higher_is_better=False)
+        assert ratios["4"] == pytest.approx(5.0)
+
+    def test_missing_series_skipped(self):
+        ratios = summarize_speedup(ROWS + [{"P": 32, "scheme": "a", "throughput_mln_s": 1.0}], ours="b", baseline="a")
+        assert "32" not in ratios
+
+    def test_empty_result_when_no_overlap(self):
+        assert summarize_speedup(ROWS, ours="zzz", baseline="a") == {}

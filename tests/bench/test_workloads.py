@@ -1,0 +1,104 @@
+"""Tests for benchmark configuration and scaling knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    BENCHMARKS,
+    MCS_SCHEMES,
+    RELATED_MCS_SCHEMES,
+    RELATED_RW_SCHEMES,
+    RW_SCHEMES,
+    SCHEMES,
+    LockBenchConfig,
+    bench_scale,
+    default_process_counts,
+)
+from repro.topology.machine import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine.cluster(nodes=2, procs_per_node=4)
+
+
+class TestCatalogues:
+    def test_benchmark_names_match_paper(self):
+        assert set(BENCHMARKS) == {"lb", "ecsb", "sob", "wcsb", "warb"}
+
+    def test_scheme_partition(self):
+        mutex = set(MCS_SCHEMES) | set(RELATED_MCS_SCHEMES)
+        rw = set(RW_SCHEMES) | set(RELATED_RW_SCHEMES)
+        assert set(SCHEMES) == mutex | rw
+        assert not mutex & rw
+        assert "rma-rw" in RW_SCHEMES
+        assert "rma-mcs" in MCS_SCHEMES
+        assert "cohort" in RELATED_MCS_SCHEMES
+        assert "numa-rw" in RELATED_RW_SCHEMES
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self, machine):
+        config = LockBenchConfig(machine=machine)
+        assert config.scheme in SCHEMES
+        assert config.is_rw_scheme
+
+    def test_unknown_scheme(self, machine):
+        with pytest.raises(ValueError):
+            LockBenchConfig(machine=machine, scheme="nope")
+
+    def test_unknown_benchmark(self, machine):
+        with pytest.raises(ValueError):
+            LockBenchConfig(machine=machine, benchmark="nope")
+
+    def test_bad_iterations(self, machine):
+        with pytest.raises(ValueError):
+            LockBenchConfig(machine=machine, iterations=0)
+
+    def test_bad_fw(self, machine):
+        with pytest.raises(ValueError):
+            LockBenchConfig(machine=machine, fw=-0.1)
+        with pytest.raises(ValueError):
+            LockBenchConfig(machine=machine, fw=1.1)
+
+    def test_bad_warmup(self, machine):
+        with pytest.raises(ValueError):
+            LockBenchConfig(machine=machine, warmup_fraction=1.0)
+
+    def test_bad_cs_compute_bounds(self, machine):
+        with pytest.raises(ValueError):
+            LockBenchConfig(machine=machine, cs_compute_us=(4.0, 1.0))
+        with pytest.raises(ValueError):
+            LockBenchConfig(machine=machine, wait_after_release_us=(-1.0, 1.0))
+
+    def test_is_rw_scheme_flag(self, machine):
+        assert not LockBenchConfig(machine=machine, scheme="d-mcs").is_rw_scheme
+        assert LockBenchConfig(machine=machine, scheme="fompi-rw").is_rw_scheme
+
+
+class TestEnvironmentKnobs:
+    def test_bench_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+
+    def test_bench_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert bench_scale() == 2.5
+
+    def test_bench_scale_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.0001")
+        assert bench_scale() == pytest.approx(0.1)
+
+    def test_bench_scale_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "not-a-number")
+        assert bench_scale() == 1.0
+
+    def test_default_process_counts_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_PROCS", raising=False)
+        counts = default_process_counts()
+        assert counts == (4, 8, 16, 32, 64)
+
+    def test_default_process_counts_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROCS", "4, 8 12")
+        assert default_process_counts() == (4, 8, 12)

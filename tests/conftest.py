@@ -1,0 +1,31 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.machine import Machine
+
+
+@pytest.fixture
+def small_cluster() -> Machine:
+    """Two compute nodes with four ranks each (the workhorse of the lock tests)."""
+    return Machine.cluster(nodes=2, procs_per_node=4)
+
+
+@pytest.fixture
+def medium_cluster() -> Machine:
+    """Four compute nodes with four ranks each."""
+    return Machine.cluster(nodes=4, procs_per_node=4)
+
+
+@pytest.fixture
+def three_level_machine() -> Machine:
+    """The Figure 2 shape: 2 racks x 2 nodes x 3 ranks."""
+    return Machine.multi_rack(racks=2, nodes_per_rack=2, procs_per_node=3)
+
+
+@pytest.fixture
+def single_node() -> Machine:
+    """A single shared element with six ranks (N = 1)."""
+    return Machine.single_node(6)

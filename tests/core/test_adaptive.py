@@ -1,0 +1,163 @@
+"""Tests for the adaptive threshold tuner (the paper's future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveParameters,
+    ThresholdTuner,
+    WorkloadSample,
+    tune_rma_rw,
+)
+from repro.core.rma_rw import RMARWLockSpec
+from repro.topology.machine import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine.cluster(nodes=4, procs_per_node=8)
+
+
+class TestAdaptiveParameters:
+    def test_as_lock_kwargs(self, machine):
+        params = AdaptiveParameters(t_dc=8, t_r=32, t_l_leaf=4)
+        kwargs = params.as_lock_kwargs(machine)
+        assert kwargs["t_dc"] == 8
+        assert kwargs["t_r"] == 32
+        assert kwargs["t_l"] == (4, 4)
+
+    def test_kwargs_build_a_valid_spec(self, machine):
+        params = AdaptiveParameters(t_dc=4, t_r=16, t_l_leaf=8)
+        spec = RMARWLockSpec(machine, **params.as_lock_kwargs(machine))
+        assert spec.t_dc == 4
+        assert spec.reader_threshold == 16
+        assert spec.locality_threshold(machine.n_levels) == 8
+
+    def test_clamped(self, machine):
+        params = AdaptiveParameters(t_dc=10_000, t_r=0, t_l_leaf=0).clamped(machine)
+        assert params.t_dc == machine.num_processes
+        assert params.t_r == 1
+        assert params.t_l_leaf == 1
+
+    def test_single_level_machine_kwargs(self):
+        machine = Machine.single_node(4)
+        params = AdaptiveParameters(t_dc=2, t_r=8, t_l_leaf=3)
+        assert params.as_lock_kwargs(machine)["t_l"] == (3,)
+
+
+class TestWorkloadSample:
+    def test_score_defaults_to_throughput(self):
+        sample = WorkloadSample(throughput=5.0, latency_us=100.0, observed_fw=0.1)
+        assert sample.score() == 5.0
+
+    def test_latency_penalty(self):
+        sample = WorkloadSample(throughput=5.0, latency_us=10.0, observed_fw=0.1)
+        assert sample.score(latency_weight=0.1) == pytest.approx(4.0)
+
+
+class TestThresholdTuner:
+    def test_starts_from_paper_recommended_defaults(self, machine):
+        tuner = ThresholdTuner(machine)
+        params = tuner.current_parameters
+        assert params.t_dc == 8  # one counter per node
+        assert params.t_r >= 1
+        assert params.t_l_leaf >= 1
+
+    def test_keeps_best_on_improvement(self, machine):
+        tuner = ThresholdTuner(machine)
+        first = tuner.current_parameters
+        tuner.observe(WorkloadSample(throughput=1.0, latency_us=10, observed_fw=0.1))
+        assert tuner.best_parameters == first
+        candidate = tuner.next_parameters()
+        assert candidate != first
+        tuner.observe(WorkloadSample(throughput=2.0, latency_us=10, observed_fw=0.1))
+        assert tuner.best_parameters == candidate
+
+    def test_reverts_on_regression(self, machine):
+        tuner = ThresholdTuner(machine)
+        baseline = tuner.current_parameters
+        tuner.observe(WorkloadSample(throughput=5.0, latency_us=10, observed_fw=0.1))
+        tuner.next_parameters()
+        tuner.observe(WorkloadSample(throughput=1.0, latency_us=10, observed_fw=0.1))
+        assert tuner.best_parameters == baseline
+        assert tuner.best_score == 5.0
+
+    def test_candidates_always_valid(self, machine):
+        tuner = ThresholdTuner(machine)
+        score = 1.0
+        for _ in range(20):
+            tuner.observe(WorkloadSample(throughput=score, latency_us=5.0, observed_fw=0.1))
+            candidate = tuner.next_parameters()
+            assert 1 <= candidate.t_dc <= machine.num_processes
+            assert candidate.t_r >= 1
+            assert candidate.t_l_leaf >= 1
+            score *= 0.9  # permanent regression: tuner must keep cycling knobs safely
+
+    def test_history_records_every_phase(self, machine):
+        tuner = ThresholdTuner(machine)
+        for i in range(4):
+            tuner.observe(WorkloadSample(throughput=float(i), latency_us=1.0, observed_fw=0.0))
+            tuner.next_parameters()
+        assert len(tuner.history) == 4
+        assert sum(step.accepted for step in tuner.history) >= 1
+
+    def test_step_factor_validated(self, machine):
+        with pytest.raises(ValueError):
+            ThresholdTuner(machine, step_factor=1.0)
+
+
+class TestTuneRmaRw:
+    def test_synthetic_objective_converges_towards_optimum(self, machine):
+        """The tuner improves a synthetic concave objective over its starting point."""
+        optimum = AdaptiveParameters(t_dc=16, t_r=64, t_l_leaf=8)
+
+        def measure(params: AdaptiveParameters) -> WorkloadSample:
+            penalty = (
+                abs(params.t_dc - optimum.t_dc) / optimum.t_dc
+                + abs(params.t_r - optimum.t_r) / optimum.t_r
+                + abs(params.t_l_leaf - optimum.t_l_leaf) / optimum.t_l_leaf
+            )
+            return WorkloadSample(throughput=10.0 - penalty, latency_us=1.0, observed_fw=0.05)
+
+        best, history = tune_rma_rw(machine, measure, phases=12)
+        first_score = history[0].sample.score()
+        best_score = max(step.sample.score() for step in history)
+        assert best_score >= first_score
+        assert len(history) == 12
+        assert best.t_dc >= 1
+
+    def test_phases_validated(self, machine):
+        with pytest.raises(ValueError):
+            tune_rma_rw(machine, lambda p: WorkloadSample(1, 1, 0), phases=0)
+
+    def test_end_to_end_with_simulated_benchmark(self):
+        """Tuning against the real harness yields parameters at least as good as the start."""
+        from repro.bench.harness import run_lock_benchmark
+        from repro.bench.workloads import LockBenchConfig
+
+        machine = Machine.cluster(nodes=2, procs_per_node=4)
+
+        def measure(params: AdaptiveParameters) -> WorkloadSample:
+            kwargs = params.as_lock_kwargs(machine)
+            config = LockBenchConfig(
+                machine=machine,
+                scheme="rma-rw",
+                benchmark="ecsb",
+                iterations=6,
+                fw=0.1,
+                t_dc=kwargs["t_dc"],
+                t_l=kwargs["t_l"],
+                t_r=kwargs["t_r"],
+                seed=4,
+            )
+            result = run_lock_benchmark(config)
+            return WorkloadSample(
+                throughput=result.throughput_mln_per_s,
+                latency_us=result.latency_mean_us,
+                observed_fw=result.writes / max(result.total_acquires, 1),
+            )
+
+        best, history = tune_rma_rw(machine, measure, phases=5)
+        assert max(s.sample.throughput for s in history) >= history[0].sample.throughput
+        assert best.t_dc <= machine.num_processes

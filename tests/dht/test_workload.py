@@ -1,0 +1,168 @@
+"""Tests for the DHT workload generator and Figure 6 benchmark driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.workload import DHTWorkloadConfig, build_dht_setup, run_dht_benchmark
+from repro.topology.machine import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine.cluster(nodes=2, procs_per_node=4)
+
+
+class TestConfig:
+    def test_validation(self, machine):
+        with pytest.raises(ValueError):
+            DHTWorkloadConfig(machine=machine, fw=1.5)
+        with pytest.raises(ValueError):
+            DHTWorkloadConfig(machine=machine, ops_per_process=0)
+        with pytest.raises(ValueError):
+            DHTWorkloadConfig(machine=machine, victim_rank=99)
+
+    def test_unknown_scheme_rejected_at_build(self, machine):
+        config = DHTWorkloadConfig(machine=machine, scheme="bogus")  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            build_dht_setup(config)
+
+
+class TestSetup:
+    def test_lock_and_dht_regions_do_not_overlap(self, machine):
+        config = DHTWorkloadConfig(machine=machine, scheme="rma-rw", t_l=(2, 2))
+        dht_spec, lock_spec, _ = build_dht_setup(config)
+        assert lock_spec is not None
+        assert dht_spec.base_offset >= lock_spec.window_words
+
+    def test_fompi_a_has_no_lock(self, machine):
+        config = DHTWorkloadConfig(machine=machine, scheme="fompi-a")
+        dht_spec, lock_spec, _ = build_dht_setup(config)
+        assert lock_spec is None
+        assert dht_spec.base_offset == 0
+
+    def test_heap_sized_for_worst_case(self, machine):
+        config = DHTWorkloadConfig(machine=machine, scheme="fompi-a", ops_per_process=10)
+        dht_spec, _, _ = build_dht_setup(config)
+        assert dht_spec.heap_size >= (machine.num_processes - 1) * 10
+
+    def test_window_init_combines_lock_and_dht(self, machine):
+        config = DHTWorkloadConfig(machine=machine, scheme="fompi-rw")
+        dht_spec, lock_spec, window_init = build_dht_setup(config)
+        values = window_init(0)
+        assert dht_spec.bucket_offset(0) in values
+        assert lock_spec.word_offset in values
+
+
+class TestBenchmark:
+    @pytest.mark.parametrize("scheme", ["fompi-a", "fompi-rw", "rma-rw"])
+    def test_runs_and_counts_operations(self, machine, scheme):
+        config = DHTWorkloadConfig(
+            machine=machine, scheme=scheme, ops_per_process=5, fw=0.2, t_l=(2, 2), seed=3
+        )
+        outcome = run_dht_benchmark(config)
+        assert outcome.scheme == scheme
+        assert outcome.total_ops == (machine.num_processes - 1) * 5
+        assert outcome.inserts + outcome.lookups == outcome.total_ops
+        assert outcome.total_time_us > 0
+        assert outcome.ops_per_second > 0
+
+    def test_zero_write_fraction_produces_only_lookups(self, machine):
+        config = DHTWorkloadConfig(machine=machine, scheme="fompi-a", ops_per_process=6, fw=0.0)
+        outcome = run_dht_benchmark(config)
+        assert outcome.inserts == 0
+        assert outcome.lookups == outcome.total_ops
+
+    def test_full_write_fraction_produces_only_inserts(self, machine):
+        config = DHTWorkloadConfig(machine=machine, scheme="fompi-a", ops_per_process=6, fw=1.0)
+        outcome = run_dht_benchmark(config)
+        assert outcome.lookups == 0
+        assert outcome.inserts == outcome.total_ops
+
+    def test_deterministic_given_seed(self, machine):
+        config = DHTWorkloadConfig(machine=machine, scheme="rma-rw", ops_per_process=5, fw=0.1, t_l=(2, 2), seed=9)
+        a = run_dht_benchmark(config)
+        b = run_dht_benchmark(config)
+        assert a.total_time_us == b.total_time_us
+        assert a.inserts == b.inserts
+
+    def test_total_time_s_conversion(self, machine):
+        config = DHTWorkloadConfig(machine=machine, scheme="fompi-a", ops_per_process=4)
+        outcome = run_dht_benchmark(config)
+        assert outcome.total_time_s == pytest.approx(outcome.total_time_us / 1e6)
+
+
+class TestSkewedAndScatteredWorkloads:
+    def _machine(self):
+        from repro.topology.machine import Machine
+
+        return Machine.cluster(nodes=2, procs_per_node=2)
+
+    def test_rejects_unknown_distribution_and_pattern(self):
+        from repro.dht.workload import DHTWorkloadConfig
+
+        with pytest.raises(ValueError):
+            DHTWorkloadConfig(machine=self._machine(), distribution="pareto")
+        with pytest.raises(ValueError):
+            DHTWorkloadConfig(machine=self._machine(), access_pattern="broadcast")
+
+    def test_key_distribution_accessor_matches_config(self):
+        from repro.dht.workload import DHTWorkloadConfig
+
+        config = DHTWorkloadConfig(
+            machine=self._machine(), distribution="zipfian", distinct_keys=64, zipf_exponent=1.2
+        )
+        dist = config.key_distribution()
+        assert dist.name == "zipfian"
+        assert dist.distinct_keys == 64
+
+    def test_zipfian_victim_benchmark_runs(self):
+        from repro.dht.workload import DHTWorkloadConfig, run_dht_benchmark
+
+        config = DHTWorkloadConfig(
+            machine=self._machine(),
+            scheme="rma-rw",
+            ops_per_process=5,
+            fw=0.2,
+            distribution="zipfian",
+            distinct_keys=32,
+            seed=11,
+        )
+        outcome = run_dht_benchmark(config)
+        assert outcome.total_ops == (self._machine().num_processes - 1) * 5
+        assert outcome.total_time_us > 0
+
+    def test_by_key_pattern_spreads_ops_over_all_volumes(self):
+        from repro.dht.workload import DHTWorkloadConfig, run_dht_benchmark
+
+        machine = self._machine()
+        config = DHTWorkloadConfig(
+            machine=machine,
+            scheme="fompi-a",
+            ops_per_process=6,
+            fw=1.0,                    # all inserts so every volume gets entries
+            access_pattern="by-key",
+            distribution="uniform",
+            seed=12,
+        )
+        outcome = run_dht_benchmark(config)
+        # With by-key access every rank (including the victim) issues operations.
+        assert outcome.total_ops == machine.num_processes * 6
+        assert outcome.inserts == outcome.total_ops
+
+    def test_by_key_pattern_with_lock_is_correct_and_slower_than_lockless(self):
+        from repro.dht.workload import DHTWorkloadConfig, run_dht_benchmark
+
+        machine = self._machine()
+        base = dict(
+            machine=machine,
+            ops_per_process=5,
+            fw=0.5,
+            access_pattern="by-key",
+            distribution="hotspot",
+            seed=13,
+        )
+        locked = run_dht_benchmark(DHTWorkloadConfig(scheme="rma-rw", **base))
+        lockless = run_dht_benchmark(DHTWorkloadConfig(scheme="fompi-a", **base))
+        assert locked.total_ops == lockless.total_ops
+        assert locked.total_time_us >= lockless.total_time_us

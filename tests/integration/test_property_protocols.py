@@ -1,0 +1,82 @@
+"""Property-based protocol tests: random machines, thresholds and workloads.
+
+These use Hypothesis to draw small machine shapes and lock parameters and
+assert that the locks always provide their correctness properties on the
+simulated runtime: the expected number of critical sections is executed and
+no mutual-exclusion (or reader/writer exclusion) violation is ever observed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dmcs import DMCSLockSpec
+from repro.core.rma_mcs import RMAMCSLockSpec
+from repro.core.rma_rw import RMARWLockSpec
+from repro.topology.machine import Machine
+from tests.support import run_mutex_check, run_rw_check
+
+#: Keep the drawn configurations small so each example simulates quickly.
+small_machines = st.builds(
+    Machine.cluster,
+    nodes=st.integers(min_value=1, max_value=3),
+    procs_per_node=st.integers(min_value=1, max_value=4),
+)
+
+SLOW_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestDMCSProperties:
+    @given(machine=small_machines, iterations=st.integers(2, 4), seed=st.integers(0, 100))
+    @SLOW_SETTINGS
+    def test_mutual_exclusion_holds(self, machine, iterations, seed):
+        spec = DMCSLockSpec(num_processes=machine.num_processes)
+        outcome = run_mutex_check(spec, machine, iterations=iterations, seed=seed)
+        assert outcome.ok
+
+
+class TestRMAMCSProperties:
+    @given(
+        machine=small_machines,
+        t_l_leaf=st.integers(1, 8),
+        iterations=st.integers(2, 4),
+        seed=st.integers(0, 100),
+    )
+    @SLOW_SETTINGS
+    def test_mutual_exclusion_holds_for_any_locality_threshold(self, machine, t_l_leaf, iterations, seed):
+        t_l = tuple([2] * (machine.n_levels - 1) + [t_l_leaf]) if machine.n_levels > 1 else (t_l_leaf,)
+        spec = RMAMCSLockSpec(machine, t_l=t_l)
+        outcome = run_mutex_check(spec, machine, iterations=iterations, seed=seed)
+        assert outcome.ok
+
+
+class TestRMARWProperties:
+    @given(
+        machine=small_machines,
+        t_dc=st.integers(1, 8),
+        t_r=st.integers(1, 16),
+        t_l_leaf=st.integers(1, 6),
+        fw=st.sampled_from([0.0, 0.1, 0.3, 0.7, 1.0]),
+        seed=st.integers(0, 50),
+    )
+    @SLOW_SETTINGS
+    def test_exclusion_holds_for_any_threshold_combination(self, machine, t_dc, t_r, t_l_leaf, fw, seed):
+        t_l = tuple([2] * (machine.n_levels - 1) + [t_l_leaf]) if machine.n_levels > 1 else (t_l_leaf,)
+        spec = RMARWLockSpec(
+            machine, t_dc=min(t_dc, machine.num_processes), t_l=t_l, t_r=t_r
+        )
+        outcome = run_rw_check(spec, machine, iterations=3, fw=fw, seed=seed)
+        assert outcome.ok
+
+    @given(machine=small_machines, t_r=st.integers(1, 4), seed=st.integers(0, 50))
+    @SLOW_SETTINGS
+    def test_tiny_reader_thresholds_never_strand_readers(self, machine, t_r, seed):
+        """Saturation-heavy settings (T_R smaller than the reader count) stay live."""
+        spec = RMARWLockSpec(machine, t_r=t_r, t_l=tuple([2] * machine.n_levels))
+        outcome = run_rw_check(spec, machine, iterations=3, writer_ranks=[0], seed=seed)
+        assert outcome.ok

@@ -1,0 +1,110 @@
+"""Tests for the latency/contention model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rma.latency import LatencyModel
+from repro.rma.ops import RMACall
+from repro.topology.machine import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine.multi_rack(racks=2, nodes_per_rack=2, procs_per_node=4)
+
+
+class TestTiers:
+    def test_distance_ordering(self, machine):
+        model = LatencyModel.cray_xc30()
+        self_cost = model.base_cost(machine, 0, 0)
+        node_cost = model.base_cost(machine, 0, 1)          # same node
+        rack_cost = model.base_cost(machine, 0, 4)          # same rack, other node
+        global_cost = model.base_cost(machine, 0, 12)       # other rack
+        assert self_cost < node_cost < rack_cost < global_cost
+
+    def test_two_level_machine_has_no_group_tier(self):
+        machine = Machine.cluster(nodes=2, procs_per_node=4)
+        model = LatencyModel.cray_xc30()
+        # cross-node on a 2-level machine lands on the same_group tier
+        assert model.base_cost(machine, 0, 4) == model.same_group_us
+
+    def test_single_level_machine(self):
+        machine = Machine.single_node(4)
+        model = LatencyModel.cray_xc30()
+        assert model.base_cost(machine, 0, 1) == model.same_node_us
+        assert model.base_cost(machine, 2, 2) == model.self_us
+
+
+class TestCallCosts:
+    def test_atomic_overhead_added(self, machine):
+        model = LatencyModel.cray_xc30()
+        put = model.cost(RMACall.PUT, machine, 0, 4)
+        fao = model.cost(RMACall.FAO, machine, 0, 4)
+        cas = model.cost(RMACall.CAS, machine, 0, 4)
+        acc = model.cost(RMACall.ACCUMULATE, machine, 0, 4)
+        assert fao == pytest.approx(put + model.atomic_overhead_us)
+        assert cas == pytest.approx(put + model.atomic_overhead_us)
+        assert acc == pytest.approx(put + model.atomic_overhead_us)
+
+    def test_flush_is_cheaper_than_data(self, machine):
+        model = LatencyModel.cray_xc30()
+        assert model.cost(RMACall.FLUSH, machine, 0, 4) < model.cost(RMACall.GET, machine, 0, 4)
+
+    def test_get_equals_put(self, machine):
+        model = LatencyModel.cray_xc30()
+        assert model.cost(RMACall.GET, machine, 0, 4) == model.cost(RMACall.PUT, machine, 0, 4)
+
+
+class TestOccupancy:
+    def test_local_access_occupies_nothing(self, machine):
+        model = LatencyModel.cray_xc30()
+        assert model.occupancy(RMACall.FAO, 3, 3) == 0.0
+
+    def test_flush_occupies_nothing(self, machine):
+        model = LatencyModel.cray_xc30()
+        assert model.occupancy(RMACall.FLUSH, 0, 4) == 0.0
+
+    def test_atomics_occupy_longer_than_data(self, machine):
+        model = LatencyModel.cray_xc30()
+        assert model.occupancy(RMACall.FAO, 0, 4) > model.occupancy(RMACall.PUT, 0, 4) > 0
+
+
+class TestPresets:
+    def test_flat_fabric_has_uniform_remote_cost(self):
+        machine = Machine.multi_rack(2, 2, 4)
+        model = LatencyModel.flat(1.5)
+        assert model.base_cost(machine, 0, 1) == model.base_cost(machine, 0, 12) == 1.5
+        assert model.base_cost(machine, 0, 0) < 1.5
+
+    def test_scaled_preserves_ordering(self):
+        machine = Machine.multi_rack(2, 2, 4)
+        model = LatencyModel.scaled(3.0)
+        base = LatencyModel.cray_xc30()
+        assert model.global_us == pytest.approx(base.global_us * 3.0)
+        assert model.base_cost(machine, 0, 1) < model.base_cost(machine, 0, 12)
+
+    def test_tier_table_keys(self):
+        machine = Machine.cluster(2, 4)
+        table = LatencyModel.cray_xc30().tier_table(machine)
+        assert set(table) == {"self", "same_node", "same_group", "global"}
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(self_us=-1)
+        with pytest.raises(ValueError):
+            LatencyModel(global_us=-0.1)
+
+    def test_bad_flush_fraction(self):
+        with pytest.raises(ValueError):
+            LatencyModel(flush_fraction=1.5)
+
+    def test_negative_occupancy_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(atomic_occupancy_us=-0.1)
+
+    def test_negative_atomic_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(atomic_overhead_us=-0.1)

@@ -1,0 +1,142 @@
+"""Tests for the RMA window data container."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rma.ops import AtomicOp
+from repro.rma.window import Window
+
+INT64_MAX = 2**63 - 1
+INT64_MIN = -(2**63)
+
+
+class TestBasics:
+    def test_initial_fill(self):
+        w = Window(4)
+        assert [w.read(i) for i in range(4)] == [0, 0, 0, 0]
+        w2 = Window(3, fill=-1)
+        assert [w2.read(i) for i in range(3)] == [-1, -1, -1]
+
+    def test_len(self):
+        assert len(Window(7)) == 7
+
+    def test_write_read_round_trip(self):
+        w = Window(4)
+        w.write(2, 12345)
+        assert w.read(2) == 12345
+        w.write(2, -99)
+        assert w.read(2) == -99
+
+    def test_min_size_enforced(self):
+        with pytest.raises(ValueError):
+            Window(0)
+
+    def test_offset_bounds(self):
+        w = Window(2)
+        with pytest.raises(IndexError):
+            w.read(2)
+        with pytest.raises(IndexError):
+            w.write(-1, 5)
+
+    def test_int64_bounds(self):
+        w = Window(1)
+        w.write(0, INT64_MAX)
+        assert w.read(0) == INT64_MAX
+        w.write(0, INT64_MIN)
+        assert w.read(0) == INT64_MIN
+        with pytest.raises(OverflowError):
+            w.write(0, INT64_MAX + 1)
+
+
+class TestAtomics:
+    def test_fetch_and_op_sum(self):
+        w = Window(2)
+        w.write(0, 10)
+        assert w.fetch_and_op(0, 5, AtomicOp.SUM) == 10
+        assert w.read(0) == 15
+
+    def test_fetch_and_op_negative_sum(self):
+        w = Window(1)
+        w.write(0, 3)
+        assert w.fetch_and_op(0, -5, AtomicOp.SUM) == 3
+        assert w.read(0) == -2
+
+    def test_fetch_and_op_replace(self):
+        w = Window(1)
+        w.write(0, 42)
+        assert w.fetch_and_op(0, 7, AtomicOp.REPLACE) == 42
+        assert w.read(0) == 7
+
+    def test_apply_is_fao_without_return(self):
+        w = Window(1)
+        w.apply(0, 4, AtomicOp.SUM)
+        w.apply(0, 4, AtomicOp.SUM)
+        assert w.read(0) == 8
+
+    def test_cas_success(self):
+        w = Window(1)
+        w.write(0, 5)
+        assert w.compare_and_swap(0, compare=5, value=9) == 5
+        assert w.read(0) == 9
+
+    def test_cas_failure_leaves_value(self):
+        w = Window(1)
+        w.write(0, 5)
+        assert w.compare_and_swap(0, compare=4, value=9) == 5
+        assert w.read(0) == 5
+
+    def test_sum_overflow_detected(self):
+        w = Window(1)
+        w.write(0, INT64_MAX)
+        with pytest.raises(OverflowError):
+            w.fetch_and_op(0, 1, AtomicOp.SUM)
+
+
+class TestBulk:
+    def test_load_and_snapshot(self):
+        w = Window(5)
+        w.load({0: 1, 3: -7})
+        assert w.snapshot() == {0: 1, 1: 0, 2: 0, 3: -7, 4: 0}
+        assert w.snapshot([3, 0]) == {3: -7, 0: 1}
+
+    def test_load_rejects_bad_offset(self):
+        w = Window(2)
+        with pytest.raises(IndexError):
+            w.load({5: 1})
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["write", "sum", "replace", "cas"]),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=-(2**30), max_value=2**30),
+                st.integers(min_value=-(2**30), max_value=2**30),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_reference_model(self, operations):
+        """The window behaves exactly like a plain Python list of ints."""
+        w = Window(4)
+        model = [0, 0, 0, 0]
+        for op, offset, a, b in operations:
+            if op == "write":
+                w.write(offset, a)
+                model[offset] = a
+            elif op == "sum":
+                assert w.fetch_and_op(offset, a, AtomicOp.SUM) == model[offset]
+                model[offset] += a
+            elif op == "replace":
+                assert w.fetch_and_op(offset, a, AtomicOp.REPLACE) == model[offset]
+                model[offset] = a
+            elif op == "cas":
+                assert w.compare_and_swap(offset, compare=a, value=b) == model[offset]
+                if model[offset] == a:
+                    model[offset] = b
+        assert [w.read(i) for i in range(4)] == model

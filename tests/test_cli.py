@@ -1,0 +1,133 @@
+"""Tests for the command-line interface (`python -m repro ...`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.command == "figures"
+        assert args.names == []
+
+    def test_bench_arguments(self):
+        args = build_parser().parse_args(
+            ["bench", "--scheme", "rma-mcs", "--benchmark", "sob", "--procs", "16", "--t-l", "2", "4"]
+        )
+        assert args.scheme == "rma-mcs"
+        assert args.t_l == [2, 4]
+
+    def test_bench_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--scheme", "bogus"])
+
+
+class TestCommands:
+    def test_figures_unknown_name_errors(self, capsys):
+        code = main(["figures", "99z"])
+        assert code == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_figures_single_small_sweep(self, capsys):
+        code = main(["figures", "4a", "--procs", "4", "8", "--iterations", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4a" in out
+        assert "P" in out
+
+    def test_figures_ablation(self, capsys):
+        code = main(["figures", "ablation-locality", "--procs", "4", "--iterations", "4"])
+        assert code == 0
+        assert "ablation-locality" in capsys.readouterr().out.lower()
+
+    def test_bench_runs_and_prints_metrics(self, capsys):
+        code = main([
+            "bench", "--scheme", "d-mcs", "--benchmark", "ecsb",
+            "--procs", "8", "--procs-per-node", "4", "--iterations", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput_mln_s" in out
+        assert "RMA operations issued" in out
+
+    def test_bench_rma_rw_with_thresholds(self, capsys):
+        code = main([
+            "bench", "--scheme", "rma-rw", "--procs", "8", "--procs-per-node", "4",
+            "--iterations", "5", "--fw", "0.1", "--t-dc", "4", "--t-r", "8", "--t-l", "2", "2",
+        ])
+        assert code == 0
+        assert "rma-rw" in capsys.readouterr().out
+
+    def test_info(self, capsys):
+        code = main(["info", "--procs", "16", "--procs-per-node", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Machine:" in out
+        assert "Portability" in out
+        assert "fortran-2008" in out
+
+
+class TestFigureExport:
+    def test_output_dir_writes_csv_and_json(self, tmp_path, capsys):
+        code = main([
+            "figures", "4a", "--procs", "4", "--iterations", "4",
+            "--output-dir", str(tmp_path / "out"),
+        ])
+        assert code == 0
+        assert (tmp_path / "out" / "figure_4a.csv").exists()
+        assert (tmp_path / "out" / "figure_4a.json").exists()
+        assert "saved:" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_mcs_scheme(self, capsys):
+        from repro.cli import main
+
+        code = main(["trace", "--scheme", "rma-mcs", "--procs", "8", "--procs-per-node", "4", "--iterations", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "operation share by distance" in out
+        assert "hottest remote targets" in out
+
+    def test_trace_rw_scheme_with_activity_strip(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "trace", "--scheme", "rma-rw", "--procs", "8", "--procs-per-node", "4",
+            "--iterations", "3", "--fw", "0.5", "--activity",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "virtual time 0" in out  # the per-rank activity strip header
+
+
+class TestVerifyCommand:
+    def test_verify_reports_all_models(self, capsys):
+        from repro.cli import main
+
+        code = main(["verify", "--procs", "2", "--rounds", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MCS / D-MCS" in out
+        assert "ticket lock" in out
+        assert "test-and-set" in out
+        assert "EXCEEDED" in out      # the TAS model exceeds the FIFO bypass bound
+        assert out.count("OK") >= 4   # safety + fairness of the FIFO designs
+
+
+class TestRelatedFigureNames:
+    def test_related_mcs_figure_runs(self, capsys):
+        from repro.cli import main
+
+        code = main(["figures", "related-rw", "--procs", "4", "8", "--iterations", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure related-rw" in out
+        assert "numa-rw" in out

@@ -1,0 +1,61 @@
+"""Tests for the machine builders used by the benchmark sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.builder import XC30_PROCS_PER_NODE, figure2_machine, machines_for_sweep, xc30_like
+
+
+class TestXC30Like:
+    def test_sub_node_counts_collapse_to_single_node(self):
+        for p in (1, 2, 8, 15):
+            m = xc30_like(p)
+            assert m.num_processes == p
+            assert m.n_levels == 2
+            assert m.num_elements(2) == 1
+
+    def test_exact_node_boundary(self):
+        m = xc30_like(16)
+        assert m.num_elements(2) == 1
+        assert m.ranks_per_element(2) == 16
+
+    def test_multi_node(self):
+        m = xc30_like(64)
+        assert m.num_elements(2) == 4
+        assert m.ranks_per_element(2) == XC30_PROCS_PER_NODE
+
+    def test_custom_node_width(self):
+        m = xc30_like(32, procs_per_node=8)
+        assert m.num_elements(2) == 4
+        assert m.ranks_per_element(2) == 8
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            xc30_like(40, procs_per_node=16)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            xc30_like(0)
+        with pytest.raises(ValueError):
+            xc30_like(8, procs_per_node=0)
+
+
+class TestFigure2Machine:
+    def test_shape(self):
+        m = figure2_machine()
+        assert m.n_levels == 3
+        assert m.num_elements(2) == 2
+        assert m.num_elements(3) == 4
+
+    def test_custom_width(self):
+        m = figure2_machine(procs_per_node=2)
+        assert m.num_processes == 8
+
+
+class TestSweep:
+    def test_machines_for_sweep_yields_pairs(self):
+        pairs = list(machines_for_sweep([4, 8, 32], procs_per_node=8))
+        assert [p for p, _ in pairs] == [4, 8, 32]
+        assert pairs[0][1].num_processes == 4
+        assert pairs[2][1].num_elements(2) == 4

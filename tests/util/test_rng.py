@@ -1,0 +1,49 @@
+"""Tests for deterministic random-number helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import rank_rng, spawn_rngs
+
+
+class TestRankRng:
+    def test_deterministic_per_seed_and_rank(self):
+        a = rank_rng(7, 3).integers(0, 1_000_000, size=16)
+        b = rank_rng(7, 3).integers(0, 1_000_000, size=16)
+        assert np.array_equal(a, b)
+
+    def test_different_ranks_differ(self):
+        a = rank_rng(7, 0).integers(0, 1_000_000, size=16)
+        b = rank_rng(7, 1).integers(0, 1_000_000, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = rank_rng(1, 0).integers(0, 1_000_000, size=16)
+        b = rank_rng(2, 0).integers(0, 1_000_000, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            rank_rng(0, -1)
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        rngs = spawn_rngs(5, 4)
+        assert len(rngs) == 4
+        draws = [r.integers(0, 1_000_000, size=8).tolist() for r in rngs]
+        assert len({tuple(d) for d in draws}) == 4
+
+    def test_zero_count(self):
+        assert spawn_rngs(5, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(5, -1)
+
+    def test_matches_rank_rng(self):
+        spawned = spawn_rngs(9, 3)[2].integers(0, 1000, size=8)
+        direct = rank_rng(9, 2).integers(0, 1000, size=8)
+        assert np.array_equal(spawned, direct)

@@ -1,0 +1,81 @@
+"""Tests for the bounded-bypass (starvation) analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verification.fairness import (
+    BypassAnalyzer,
+    mcs_fairness,
+    tas_fairness,
+    ticket_fairness,
+)
+from repro.verification.interleaving import StateExplosionError
+from repro.verification.lock_models import build_checker
+
+
+class TestAnalyzerBasics:
+    def test_rejects_negative_bound(self):
+        with pytest.raises(ValueError):
+            BypassAnalyzer(ticket_fairness(2, 1), bound=-1)
+
+    def test_rejects_zero_state_budget(self):
+        with pytest.raises(ValueError):
+            BypassAnalyzer(ticket_fairness(2, 1), bound=1, max_states=0)
+
+    def test_state_budget_is_enforced(self):
+        with pytest.raises(StateExplosionError):
+            BypassAnalyzer(ticket_fairness(3, 2), bound=10, max_states=5).check()
+
+    def test_single_process_never_bypassed(self):
+        result = BypassAnalyzer(ticket_fairness(1, 3), bound=0).check()
+        assert result.ok
+        assert result.max_bypass_observed == 0
+
+
+class TestTicketLockFairness:
+    @pytest.mark.parametrize("nprocs", [2, 3])
+    def test_fifo_bypass_bound_is_p_minus_one(self, nprocs):
+        result = BypassAnalyzer(ticket_fairness(nprocs, rounds=2), bound=nprocs - 1).check()
+        assert result.ok, result.violation
+        assert result.complete
+        assert result.max_bypass_observed <= nprocs - 1
+
+    def test_bound_below_p_minus_one_is_violated(self):
+        result = BypassAnalyzer(ticket_fairness(3, rounds=1), bound=1).check()
+        assert not result.ok
+        assert "bypassed" in result.violation
+        assert result.trace  # a witness interleaving is reported
+
+    def test_model_is_also_safe_and_deadlock_free(self):
+        build_checker(ticket_fairness(3, rounds=1).model).assert_ok()
+
+
+class TestMCSFairness:
+    def test_queue_lock_respects_fifo_bound(self):
+        result = BypassAnalyzer(mcs_fairness(3, rounds=1), bound=2).check()
+        assert result.ok, result.violation
+        assert result.max_bypass_observed <= 2
+
+    def test_two_processes_two_rounds(self):
+        result = BypassAnalyzer(mcs_fairness(2, rounds=2), bound=1).check()
+        assert result.ok, result.violation
+
+
+class TestTestAndSetUnfairness:
+    def test_bypass_exceeds_fifo_bound(self):
+        """A TAS lock lets the same competitor win repeatedly (no FIFO order)."""
+        spec = tas_fairness(num_processes=3, rounds=2)
+        fifo = BypassAnalyzer(spec, bound=2).check()
+        assert not fifo.ok
+        assert "bypassed" in fifo.violation
+
+    def test_large_enough_bound_passes_for_finite_rounds(self):
+        """With finite rounds the worst case is (P-1) * rounds foreign entries."""
+        spec = tas_fairness(num_processes=2, rounds=2)
+        result = BypassAnalyzer(spec, bound=2).check()
+        assert result.ok
+        assert result.max_bypass_observed == 2
+
+    def test_mutual_exclusion_still_holds(self):
+        build_checker(tas_fairness(2, rounds=1).model, check_deadlock=False).assert_ok()

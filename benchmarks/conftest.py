@@ -23,7 +23,9 @@ def bench_process_counts() -> Tuple[int, ...]:
     env = os.environ.get("REPRO_BENCH_PROCS")
     if env:
         return tuple(int(tok) for tok in env.replace(",", " ").split())
-    return (4, 8, 16, 32)
+    # The horizon scheduler (PR 1) made P=64 sweeps cheap enough for the
+    # default CI-sized run, so the figures now cover the paper's full x-axis.
+    return (4, 8, 16, 32, 64)
 
 
 def bench_iterations(base: int = 12) -> int:

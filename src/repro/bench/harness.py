@@ -28,7 +28,7 @@ from repro.rma.runtime_base import ProcessContext
 from repro.rma.sim_runtime import SimRuntime
 from repro.util.stats import summarize
 
-__all__ = ["LockBenchResult", "build_lock_spec", "run_lock_benchmark"]
+__all__ = ["LockBenchResult", "build_lock_spec", "make_lock_program", "run_lock_benchmark"]
 
 
 @dataclass
@@ -48,6 +48,10 @@ class LockBenchResult:
     latency_p95_us: float
     throughput_mln_per_s: float
     op_counts: Dict[str, int] = field(default_factory=dict)
+    #: Host wall-clock seconds of the simulation and the resulting simulator
+    #: throughput (RMA ops per host second); tracked by the perf suite.
+    wall_time_s: float = 0.0
+    sim_ops_per_s: float = 0.0
 
     def as_row(self) -> Dict[str, object]:
         """Flatten to a row dictionary for reports and figure tables."""
@@ -109,25 +113,43 @@ def _leaf_threshold(config: LockBenchConfig, default: int = 16) -> int:
     return max(1, int(list(config.t_l)[-1]))
 
 
-def _make_program(config: LockBenchConfig, spec: LockSpec, is_rw: bool, shared_offset: int):
-    """Build the SPMD rank program for one benchmark configuration."""
+def make_lock_program(config: LockBenchConfig, spec: LockSpec, is_rw: bool, shared_offset: int):
+    """Build the SPMD rank program for one benchmark configuration.
+
+    Public so that the perf suite and the golden-determinism tools can run the
+    exact program the harness runs against an arbitrary runtime backend.
+    """
     benchmark = config.benchmark
     cs_lo, cs_hi = config.cs_compute_us
     wait_lo, wait_hi = config.wait_after_release_us
 
+    # Per-iteration flags and config scalars, hoisted out of the measured
+    # loop (string comparisons and attribute chains cost real time at the
+    # iteration counts the faster simulator core makes affordable).
+    is_sob = benchmark == "sob"
+    is_wcsb = benchmark == "wcsb"
+    is_warb = benchmark == "warb"
+    draw_role = is_rw and config.is_rw_scheme
+    fw = config.fw
+    iterations = config.iterations
+
     def program(ctx: ProcessContext):
         lock = spec.make(ctx)
         rng = ctx.rng
+        rng_random = rng.random
+        rng_uniform = rng.uniform
+        now = ctx.now
         ctx.barrier()
-        start = ctx.now()
+        start = now()
         latencies = []
+        append_latency = latencies.append
         writes = 0
         reads = 0
-        for _ in range(config.iterations):
+        for _ in range(iterations):
             as_writer = True
-            if is_rw and config.is_rw_scheme:
-                as_writer = bool(rng.random() < config.fw)
-            t0 = ctx.now()
+            if draw_role:
+                as_writer = bool(rng_random() < fw)
+            t0 = now()
             if is_rw:
                 rw_lock: RWLockHandle = lock  # type: ignore[assignment]
                 if as_writer:
@@ -138,21 +160,21 @@ def _make_program(config: LockBenchConfig, spec: LockSpec, is_rw: bool, shared_o
                 lock.acquire()
 
             # --- critical section body -------------------------------------- #
-            if benchmark == "sob":
+            if is_sob:
                 # Exactly one memory access on a shared remote location.
                 if as_writer:
                     ctx.put(1, 0, shared_offset)
                 else:
                     ctx.get(0, shared_offset)
                 ctx.flush(0)
-            elif benchmark == "wcsb":
+            elif is_wcsb:
                 # Increment a shared counter, then local computation of 1-4 us.
                 if as_writer:
                     ctx.accumulate(1, 0, shared_offset)
                 else:
                     ctx.get(0, shared_offset)
                 ctx.flush(0)
-                ctx.compute(float(rng.uniform(cs_lo, cs_hi)))
+                ctx.compute(float(rng_uniform(cs_lo, cs_hi)))
             # lb / ecsb / warb: empty critical section.
 
             if is_rw:
@@ -162,15 +184,15 @@ def _make_program(config: LockBenchConfig, spec: LockSpec, is_rw: bool, shared_o
                     rw_lock.release_read()
             else:
                 lock.release()
-            latencies.append(ctx.now() - t0)
+            append_latency(now() - t0)
             if as_writer:
                 writes += 1
             else:
                 reads += 1
 
-            if benchmark == "warb":
-                ctx.compute(float(rng.uniform(wait_lo, wait_hi)))
-        end = ctx.now()
+            if is_warb:
+                ctx.compute(float(rng_uniform(wait_lo, wait_hi)))
+        end = now()
         ctx.barrier()
         return {
             "start": start,
@@ -189,23 +211,35 @@ def run_lock_benchmark(
     latency_model: Optional[LatencyModel] = None,
     fabric: Optional["FabricContentionModel"] = None,
     seed: Optional[int] = None,
+    scheduler: str = "horizon",
 ) -> LockBenchResult:
     """Run one benchmark configuration on the simulated runtime.
 
     ``latency_model`` overrides the default Cray-XC30-like end-point latency
     model; ``fabric`` optionally adds Dragonfly link-level contention
-    (:class:`~repro.rma.fabric.FabricContentionModel`).
+    (:class:`~repro.rma.fabric.FabricContentionModel`).  ``scheduler`` picks
+    the simulator core: ``"horizon"`` (default) is the fast scheduler,
+    ``"baseline"`` the preserved seed scheduler — both produce bit-identical
+    results, so the switch only matters for wall-clock measurements.
     """
+    if scheduler == "horizon":
+        runtime_cls = SimRuntime
+    elif scheduler == "baseline":
+        from repro.rma.baseline_runtime import BaselineSimRuntime
+
+        runtime_cls = BaselineSimRuntime
+    else:
+        raise ValueError(f"unknown scheduler {scheduler!r}; expected 'horizon' or 'baseline'")
     spec, is_rw = build_lock_spec(config)
     shared_offset = spec.window_words
-    runtime = SimRuntime(
+    runtime = runtime_cls(
         config.machine,
         window_words=spec.window_words + 2,
         latency=latency_model,
         fabric=fabric,
         seed=config.seed if seed is None else seed,
     )
-    program = _make_program(config, spec, is_rw, shared_offset)
+    program = make_lock_program(config, spec, is_rw, shared_offset)
     result = runtime.run(program, window_init=spec.init_window)
 
     all_latencies = []
@@ -233,4 +267,6 @@ def run_lock_benchmark(
         latency_p95_us=summary.p95,
         throughput_mln_per_s=throughput,
         op_counts=dict(result.op_counts),
+        wall_time_s=result.wall_time_s,
+        sim_ops_per_s=result.ops_per_sec(),
     )

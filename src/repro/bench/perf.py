@@ -1,0 +1,220 @@
+"""Simulator wall-clock performance suite.
+
+Measures how many RMA operations per host second the discrete-event core
+executes on a set of representative lock workloads, comparing the horizon
+scheduler (:class:`~repro.rma.sim_runtime.SimRuntime`) against the preserved
+seed scheduler (:class:`~repro.rma.baseline_runtime.BaselineSimRuntime`).
+Because both schedulers are required to produce bit-identical results, every
+measurement doubles as a determinism cross-check: a speedup number is only
+reported after the two runtimes' results were verified equal.
+
+Used by ``benchmarks/test_perf_runtime.py`` (which records
+``BENCH_runtime.json`` so future PRs can track simulator throughput) and by
+the ``python -m repro perf`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import build_lock_spec, make_lock_program
+from repro.bench.workloads import LockBenchConfig
+from repro.rma.baseline_runtime import BaselineSimRuntime
+from repro.rma.sim_runtime import SimRuntime
+from repro.topology.builder import xc30_like
+
+__all__ = [
+    "DEFAULT_CASES",
+    "GATE_SPEEDUP",
+    "PerfCase",
+    "measure_case",
+    "run_perf_suite",
+    "write_bench_json",
+]
+
+#: Required speedup of the horizon scheduler over the seed scheduler on the
+#: gate case (the PR-1 acceptance criterion).
+GATE_SPEEDUP = 5.0
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """One measured workload configuration."""
+
+    name: str
+    scheme: str
+    benchmark: str
+    procs: int
+    fw: float = 0.02
+    iterations: int = 60
+    procs_per_node: int = 8
+    seed: int = 1
+    #: Gate cases carry the headline speedup requirement.
+    gate: bool = False
+
+    def config(self) -> LockBenchConfig:
+        machine = xc30_like(self.procs, procs_per_node=self.procs_per_node)
+        return LockBenchConfig(
+            machine=machine,
+            scheme=self.scheme,
+            benchmark=self.benchmark,
+            iterations=self.iterations,
+            fw=self.fw,
+            seed=self.seed,
+        )
+
+
+#: The default suite.  The first entry is the acceptance gate: RMA-RW on the
+#: work-critical-section benchmark at P = 64 with the Figure-5 moderate
+#: writer mix (F_W = 2%).  The others track the read-heavy mix, the MCS
+#: writer path and a smaller machine so regressions off the gate path are
+#: visible too.
+DEFAULT_CASES: Tuple[PerfCase, ...] = (
+    PerfCase("rma-rw-wcsb-p64", "rma-rw", "wcsb", 64, fw=0.02, iterations=100, gate=True),
+    PerfCase("rma-rw-wcsb-p64-readheavy", "rma-rw", "wcsb", 64, fw=0.002, iterations=60),
+    PerfCase("rma-mcs-wcsb-p64", "rma-mcs", "wcsb", 64, fw=0.0, iterations=60),
+    PerfCase("rma-rw-ecsb-p32", "rma-rw", "ecsb", 32, fw=0.02, iterations=60),
+)
+
+
+def _canonical(value):
+    """Bit-exact canonical form (floats rendered as hex) for hashing returns."""
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def _result_key(result) -> Tuple:
+    """Comparable digest of a RunResult, covering every determinism-relevant
+    field: finish times, op counts (total and per rank) and a hash of the
+    full per-rank returns (which carry the per-iteration latencies)."""
+    returns_blob = json.dumps(_canonical(result.returns), sort_keys=True)
+    return (
+        tuple(result.finish_times_us),
+        tuple(sorted(result.op_counts.items())),
+        tuple(tuple(sorted(c.items())) for c in result.per_rank_op_counts),
+        result.total_time_us,
+        hashlib.sha256(returns_blob.encode()).hexdigest(),
+    )
+
+
+def _best_run(runtime_cls, case: PerfCase, reps: int) -> Tuple[float, object]:
+    """Run ``case`` ``reps`` times; return (best wall seconds, a result)."""
+    config = case.config()
+    spec, is_rw = build_lock_spec(config)
+    program = make_lock_program(config, spec, is_rw, spec.window_words)
+    best_wall: Optional[float] = None
+    first_key = None
+    result = None
+    for _ in range(max(1, reps)):
+        runtime = runtime_cls(
+            config.machine, window_words=spec.window_words + 2, seed=config.seed
+        )
+        t0 = time.perf_counter()
+        res = runtime.run(program, window_init=spec.init_window)
+        wall = time.perf_counter() - t0
+        key = _result_key(res)
+        if first_key is None:
+            first_key = key
+        elif key != first_key:
+            raise AssertionError(
+                f"{runtime_cls.__name__} produced non-deterministic results on "
+                f"perf case {case.name!r}"
+            )
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            result = res
+    assert best_wall is not None and result is not None
+    return best_wall, result
+
+
+def measure_case(
+    case: PerfCase,
+    *,
+    reps: int = 4,
+    baseline_reps: int = 2,
+    compare_baseline: bool = True,
+) -> Dict[str, object]:
+    """Measure one case; returns a report row.
+
+    Repetitions take the best wall time (the usual noise-robust choice for
+    throughput gates); results are verified identical across repetitions and,
+    when ``compare_baseline`` is set, bit-identical between the horizon and
+    the seed scheduler before any throughput is reported.
+    """
+    new_wall, new_result = _best_run(SimRuntime, case, reps)
+    total_ops = new_result.total_ops()
+    row: Dict[str, object] = {
+        "case": case.name,
+        "scheme": case.scheme,
+        "benchmark": case.benchmark,
+        "P": case.procs,
+        "fw": case.fw,
+        "iterations": case.iterations,
+        "ops": total_ops,
+        "gate": case.gate,
+        "new_wall_s": round(new_wall, 6),
+        "new_ops_per_s": round(total_ops / new_wall, 1),
+    }
+    if compare_baseline:
+        base_wall, base_result = _best_run(BaselineSimRuntime, case, baseline_reps)
+        if _result_key(base_result) != _result_key(new_result):
+            raise AssertionError(
+                f"horizon scheduler diverged from the seed scheduler on perf "
+                f"case {case.name!r}"
+            )
+        row["baseline_wall_s"] = round(base_wall, 6)
+        row["baseline_ops_per_s"] = round(total_ops / base_wall, 1)
+        row["speedup"] = round(base_wall / new_wall, 3)
+    return row
+
+
+def run_perf_suite(
+    cases: Sequence[PerfCase] = DEFAULT_CASES,
+    *,
+    reps: Optional[int] = None,
+    baseline_reps: Optional[int] = None,
+    compare_baseline: bool = True,
+) -> List[Dict[str, object]]:
+    """Measure every case; honours REPRO_PERF_REPS / REPRO_PERF_BASELINE_REPS."""
+    if reps is None:
+        reps = int(os.environ.get("REPRO_PERF_REPS", "4"))
+    if baseline_reps is None:
+        baseline_reps = int(os.environ.get("REPRO_PERF_BASELINE_REPS", "2"))
+    return [
+        measure_case(
+            case,
+            reps=reps,
+            baseline_reps=baseline_reps,
+            compare_baseline=compare_baseline,
+        )
+        for case in cases
+    ]
+
+
+def write_bench_json(rows: Sequence[Dict[str, object]], path: Path) -> Path:
+    """Write the perf rows (plus host metadata) to ``path`` as JSON."""
+    payload = {
+        "suite": "runtime-perf",
+        "gate_speedup_required": GATE_SPEEDUP,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "cases": list(rows),
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -71,13 +71,17 @@ def bench_scale() -> float:
 
 
 def default_process_counts() -> Tuple[int, ...]:
-    """Process counts used on figure x-axes (override with ``REPRO_BENCH_PROCS``)."""
+    """Process counts used on figure x-axes (override with ``REPRO_BENCH_PROCS``).
+
+    The sweep tops out at P=128 since the horizon scheduler (PR 1) made the
+    discrete-event core ~5x faster; earlier revisions stopped at 64.
+    """
     env = os.environ.get("REPRO_BENCH_PROCS")
     if env:
         counts = tuple(int(tok) for tok in env.replace(",", " ").split())
         if counts:
             return counts
-    return (4, 8, 16, 32, 64)
+    return (4, 8, 16, 32, 64, 128)
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,9 @@ Five subcommands cover the common workflows:
   hottest targets, per-rank activity).
 * ``verify`` — run the model checker and the bounded-bypass fairness analysis
   on the reduced protocol models (the paper's Section 4.4, without SPIN).
+* ``perf`` — run the simulator wall-clock perf suite (horizon scheduler vs
+  the preserved seed scheduler) and print an ops/sec table; optionally write
+  ``BENCH_runtime.json``.
 * ``info`` — describe a simulated machine, the default thresholds and the
   Table-3 portability summary.
 """
@@ -88,6 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser("verify", help="model-check the reduced protocol models and their fairness")
     verify.add_argument("--procs", type=int, default=3, help="processes in each model")
     verify.add_argument("--rounds", type=int, default=1, help="acquisitions per process")
+
+    perf = sub.add_parser(
+        "perf", help="measure simulator ops/sec (horizon scheduler vs seed scheduler)"
+    )
+    perf.add_argument("--reps", type=int, default=None, help="repetitions per case (best wall time wins)")
+    perf.add_argument("--baseline-reps", type=int, default=None, help="repetitions for the seed scheduler")
+    perf.add_argument("--no-baseline", action="store_true", help="measure only the current scheduler")
+    perf.add_argument("--output", default=None, help="also write the results to this JSON file (e.g. BENCH_runtime.json)")
 
     info = sub.add_parser("info", help="describe a simulated machine and the portability table")
     info.add_argument("--procs", type=int, default=64)
@@ -261,6 +272,31 @@ def _run_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_perf(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.perf import DEFAULT_CASES, run_perf_suite, write_bench_json
+
+    rows = run_perf_suite(
+        DEFAULT_CASES,
+        reps=args.reps,
+        baseline_reps=args.baseline_reps,
+        compare_baseline=not args.no_baseline,
+    )
+    print(format_table(rows))
+    if not args.no_baseline:
+        gate = [row for row in rows if row["gate"]]
+        for row in gate:
+            print(
+                f"\ngate case {row['case']}: {row['speedup']}x over the seed scheduler "
+                f"({row['new_ops_per_s']} vs {row['baseline_ops_per_s']} ops/s)"
+            )
+    if args.output:
+        path = write_bench_json(rows, Path(args.output))
+        print(f"\nwrote {path}")
+    return 0
+
+
 def _run_info(args: argparse.Namespace) -> int:
     machine = xc30_like(args.procs, procs_per_node=args.procs_per_node)
     print(f"Machine: {machine.describe()}")
@@ -288,6 +324,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_trace(args)
     if args.command == "verify":
         return _run_verify(args)
+    if args.command == "perf":
+        return _run_perf(args)
     if args.command == "info":
         return _run_info(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

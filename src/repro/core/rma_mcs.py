@@ -88,6 +88,20 @@ class RMAMCSLockHandle(LockHandle):
         self.ctx = ctx
         self._layout = spec.layout
         self._n = spec.machine.n_levels
+        # Per-(rank, level) layout constants, resolved once instead of walking
+        # the machine hierarchy on every acquire/release: (node, tail_host,
+        # next_off, status_off, tail_off), indexed by level - 1.
+        layout = spec.layout
+        self._level_consts = tuple(
+            (
+                layout.queue_node_rank(ctx.rank, level),
+                layout.tail_host_rank(ctx.rank, level),
+                layout.next_offset(level),
+                layout.status_offset(level),
+                layout.tail_offset(level),
+            )
+            for level in range(1, self._n + 1)
+        )
 
     # ------------------------------------------------------------------ #
     # Acquire
@@ -100,12 +114,7 @@ class RMAMCSLockHandle(LockHandle):
     def _acquire_level(self, level: int) -> None:
         """Listing 4 generalized to every level (no readers to synchronize with)."""
         ctx = self.ctx
-        layout = self._layout
-        node = layout.queue_node_rank(ctx.rank, level)
-        tail_host = layout.tail_host_rank(ctx.rank, level)
-        next_off = layout.next_offset(level)
-        status_off = layout.status_offset(level)
-        tail_off = layout.tail_offset(level)
+        node, tail_host, next_off, status_off, tail_off = self._level_consts[level - 1]
 
         ctx.put(NULL_RANK, node, next_off)
         ctx.put(STATUS_WAIT, node, status_off)
@@ -141,12 +150,7 @@ class RMAMCSLockHandle(LockHandle):
         """Listing 5 generalized to every level."""
         ctx = self.ctx
         spec = self.spec
-        layout = self._layout
-        node = layout.queue_node_rank(ctx.rank, level)
-        tail_host = layout.tail_host_rank(ctx.rank, level)
-        next_off = layout.next_offset(level)
-        status_off = layout.status_offset(level)
-        tail_off = layout.tail_offset(level)
+        node, tail_host, next_off, status_off, tail_off = self._level_consts[level - 1]
 
         succ = ctx.get(node, next_off)
         status = ctx.get(node, status_off)

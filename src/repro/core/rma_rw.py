@@ -148,6 +148,21 @@ class RMARWLockHandle(RWLockHandle):
         self._layout = spec.layout
         self._n = spec.machine.n_levels
         self._dc = DistributedCounterHandle(spec.counter, ctx)
+        # Per-(rank, level) layout constants, resolved once instead of walking
+        # the machine hierarchy on every acquire/release (they are pure
+        # functions of the rank): (node, tail_host, next_off, status_off,
+        # tail_off), indexed by level - 1.
+        layout = spec.layout
+        self._level_consts = tuple(
+            (
+                layout.queue_node_rank(ctx.rank, level),
+                layout.tail_host_rank(ctx.rank, level),
+                layout.next_offset(level),
+                layout.status_offset(level),
+                layout.tail_offset(level),
+            )
+            for level in range(1, self._n + 1)
+        )
 
     # ------------------------------------------------------------------ #
     # Writer acquire (Listings 4 and 7)
@@ -163,12 +178,7 @@ class RMARWLockHandle(RWLockHandle):
     def _writer_acquire_level(self, level: int) -> None:
         """Listing 4: acquire the DQ at ``level`` (2 <= level <= N) and maybe climb."""
         ctx = self.ctx
-        layout = self._layout
-        node = layout.queue_node_rank(ctx.rank, level)
-        tail_host = layout.tail_host_rank(ctx.rank, level)
-        next_off = layout.next_offset(level)
-        status_off = layout.status_offset(level)
-        tail_off = layout.tail_offset(level)
+        node, tail_host, next_off, status_off, tail_off = self._level_consts[level - 1]
 
         ctx.put(NULL_RANK, node, next_off)
         ctx.put(STATUS_WAIT, node, status_off)
@@ -193,12 +203,7 @@ class RMARWLockHandle(RWLockHandle):
     def _writer_acquire_root(self) -> None:
         """Listing 7: acquire the level-1 DQ and synchronize with the readers."""
         ctx = self.ctx
-        layout = self._layout
-        node = layout.queue_node_rank(ctx.rank, 1)
-        tail_host = layout.tail_host_rank(ctx.rank, 1)
-        next_off = layout.next_offset(1)
-        status_off = layout.status_offset(1)
-        tail_off = layout.tail_offset(1)
+        node, tail_host, next_off, status_off, tail_off = self._level_consts[0]
 
         ctx.put(NULL_RANK, node, next_off)
         ctx.put(STATUS_WAIT, node, status_off)
@@ -239,12 +244,7 @@ class RMARWLockHandle(RWLockHandle):
         """Listing 5: release the DQ at ``level`` (2 <= level <= N)."""
         ctx = self.ctx
         spec = self.spec
-        layout = self._layout
-        node = layout.queue_node_rank(ctx.rank, level)
-        tail_host = layout.tail_host_rank(ctx.rank, level)
-        next_off = layout.next_offset(level)
-        status_off = layout.status_offset(level)
-        tail_off = layout.tail_offset(level)
+        node, tail_host, next_off, status_off, tail_off = self._level_consts[level - 1]
 
         succ = ctx.get(node, next_off)
         status = ctx.get(node, status_off)
@@ -277,12 +277,7 @@ class RMARWLockHandle(RWLockHandle):
         """Listing 8: release the level-1 DQ, possibly handing the lock to the readers."""
         ctx = self.ctx
         spec = self.spec
-        layout = self._layout
-        node = layout.queue_node_rank(ctx.rank, 1)
-        tail_host = layout.tail_host_rank(ctx.rank, 1)
-        next_off = layout.next_offset(1)
-        status_off = layout.status_offset(1)
-        tail_off = layout.tail_offset(1)
+        node, tail_host, next_off, status_off, tail_off = self._level_consts[0]
 
         counters_reset = False
         next_stat = ctx.get(node, status_off)
@@ -320,10 +315,10 @@ class RMARWLockHandle(RWLockHandle):
         ctx = self.ctx
         spec = self.spec
         dc = self._dc
-        layout = self._layout
         t_r = spec.reader_threshold
-        tail_host = layout.tail_host_rank(ctx.rank, 1)
-        tail_off = layout.tail_offset(1)
+        consts = self._level_consts[0]
+        tail_host = consts[1]
+        tail_off = consts[4]
 
         def writer_waiting() -> bool:
             """True when some writer is queued at the root DQ (Listing 9, line 17)."""

@@ -1,7 +1,8 @@
 """RMA substrate: windows, the Listing-1 call set, latency model and runtimes."""
 
+from repro.rma.baseline_runtime import BaselineSimRuntime
 from repro.rma.fabric import FabricContentionModel
-from repro.rma.latency import LatencyModel
+from repro.rma.latency import CostTable, LatencyModel, cost_table
 from repro.rma.ops import AtomicOp, RMACall
 from repro.rma.portability import (
     PORTABILITY_TABLE,
@@ -26,9 +27,12 @@ from repro.rma.window import Window
 
 __all__ = [
     "AtomicOp",
+    "BaselineSimRuntime",
     "Cell",
+    "CostTable",
     "FabricContentionModel",
     "LatencyModel",
+    "cost_table",
     "PORTABILITY_TABLE",
     "PortabilityEntry",
     "ProcessContext",

@@ -24,7 +24,7 @@ between runs and configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, MutableMapping
+from typing import Dict, MutableMapping, Tuple
 
 from repro.topology.dragonfly import DragonflyTopology, Link
 from repro.topology.machine import Machine
@@ -63,6 +63,12 @@ class FabricContentionModel:
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+        # Per-(src, dst) route cache: tuple of (link, occupancy) pairs.
+        # Routes are pure functions of the (frozen) topology, so the cache is
+        # safe to share between runs; it is attached via object.__setattr__
+        # because the dataclass itself is frozen.  It deliberately does not
+        # participate in equality/hashing.
+        object.__setattr__(self, "_route_cache", {})
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -127,13 +133,32 @@ class FabricContentionModel:
         if src_node == dst_node:
             return start_time
         t = float(start_time)
-        for link in self.topology.route(src_node, dst_node):
+        hop = self.hop_latency_us
+        for link, occupancy in self._route(src_node, dst_node):
             free_at = state.get(link, 0.0)
             if free_at > t:
                 t = free_at
-            state[link] = t + self.link_occupancy(link)
-            t += self.hop_latency_us
+            state[link] = t + occupancy
+            t += hop
         return t
+
+    def _route(self, src_node: int, dst_node: int) -> Tuple[Tuple[Link, float], ...]:
+        """Cached minimal route with the per-link occupancy pre-resolved.
+
+        ``topology.route`` rebuilds the path (and ``link_occupancy`` re-branches
+        on the link kind) on every message; under contention the same node
+        pairs exchange thousands of messages, so the hot path reuses one
+        immutable tuple per pair.
+        """
+        key = (src_node, dst_node)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            cached = tuple(
+                (link, self.link_occupancy(link))
+                for link in self.topology.route(src_node, dst_node)
+            )
+            self._route_cache[key] = cached
+        return cached
 
     def path_latency(self, src_node: int, dst_node: int) -> float:
         """Uncontended latency of the route between two nodes."""

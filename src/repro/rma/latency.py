@@ -16,12 +16,13 @@ absolute magnitudes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from functools import lru_cache
+from typing import Dict, List, Tuple
 
-from repro.rma.ops import RMACall
+from repro.rma.ops import CALLS, RMACall
 from repro.topology.machine import Machine
 
-__all__ = ["LatencyModel"]
+__all__ = ["CostTable", "LatencyModel", "cost_table"]
 
 
 @dataclass(frozen=True)
@@ -130,6 +131,17 @@ class LatencyModel:
             return self.atomic_occupancy_us
         return self.data_occupancy_us
 
+    def table(self, machine: Machine) -> "CostTable":
+        """Precomputed P x P x call cost/occupancy table for ``machine``.
+
+        The simulator's hot path replaces the per-operation ``cost()`` /
+        ``occupancy()`` method calls (hierarchy walks and branches) with two
+        flat-array lookups.  The table stores the *exact* floats the methods
+        return, so simulations using it are bit-identical to ones calling the
+        methods directly.  Results are cached per ``(model, machine)`` pair.
+        """
+        return cost_table(self, machine)
+
     def tier_table(self, machine: Machine) -> Dict[str, float]:
         """Human-readable map of tier name -> µs for reporting."""
         return {
@@ -138,3 +150,48 @@ class LatencyModel:
             "same_group": self.same_group_us if machine.n_levels >= 3 else self.global_us,
             "global": self.global_us,
         }
+
+
+class CostTable:
+    """Flat per-``(call, origin, target)`` latency and occupancy arrays.
+
+    ``cost[call_index][origin * P + target]`` is exactly
+    ``model.cost(call, machine, origin, target)`` and likewise for
+    ``occupancy``; the arrays are built by calling the model's methods once
+    per entry, so subclassed models with overridden ``cost``/``occupancy``
+    are honoured.  ``node_of[rank]`` caches the leaf element of every rank
+    (used by the fabric-contention fast path).
+    """
+
+    __slots__ = ("num_ranks", "cost", "occupancy", "node_of")
+
+    def __init__(self, model: "LatencyModel", machine: Machine):
+        p = machine.num_processes
+        self.num_ranks = p
+        ranks = range(p)
+        self.cost: List[List[float]] = [
+            [model.cost(call, machine, o, t) for o in ranks for t in ranks]
+            for call in CALLS
+        ]
+        self.occupancy: List[List[float]] = [
+            [model.occupancy(call, o, t) for o in ranks for t in ranks]
+            for call in CALLS
+        ]
+        self.node_of: Tuple[int, ...] = tuple(machine.node_of(r) for r in ranks)
+
+
+@lru_cache(maxsize=64)
+def _cached_cost_table(model: "LatencyModel", machine: Machine) -> CostTable:
+    return CostTable(model, machine)
+
+
+def cost_table(model: "LatencyModel", machine: Machine) -> CostTable:
+    """Build (or fetch from cache) the :class:`CostTable` for a model/machine.
+
+    Models are frozen dataclasses and therefore hashable; unhashable custom
+    subclasses simply skip the cache.
+    """
+    try:
+        return _cached_cost_table(model, machine)
+    except TypeError:  # unhashable custom model/machine
+        return CostTable(model, machine)

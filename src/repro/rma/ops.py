@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import enum
+from typing import Dict, Tuple
 
-__all__ = ["AtomicOp", "RMACall"]
+__all__ = ["AtomicOp", "CALLS", "CALL_INDEX", "NUM_CALLS", "RMACall"]
 
 
 class AtomicOp(enum.Enum):
@@ -23,3 +24,15 @@ class RMACall(enum.Enum):
     FAO = "fao"
     CAS = "cas"
     FLUSH = "flush"
+
+
+#: Definition-order tuple of all calls; fast-path op accounting indexes
+#: per-rank integer arrays by position in this tuple instead of hashing the
+#: enum (or its string value) on every operation.
+CALLS: Tuple[RMACall, ...] = tuple(RMACall)
+
+#: Call -> dense index into :data:`CALLS`.
+CALL_INDEX: Dict[RMACall, int] = {call: i for i, call in enumerate(CALLS)}
+
+#: Number of distinct RMA calls.
+NUM_CALLS: int = len(CALLS)

@@ -17,6 +17,28 @@ Values returned by ``get``/``fao``/``cas`` follow the paper's semantics of
 being usable after the subsequent ``flush``; both backends return them
 immediately but protocols still issue the flushes so that the simulated time
 accounting matches the real protocols.
+
+Deterministic scheduling contract
+---------------------------------
+The simulated backend executes rank programs under a *fixed total order* that
+any conforming scheduler must reproduce bit-identically:
+
+1. Every clock advance (RMA call or ``compute``) is a *scheduling point*.
+   After rank ``p`` advances its clock, execution continues with the rank
+   whose ``(clock, rank)`` key is the strict lexicographic minimum among all
+   runnable ranks.
+2. The *body* of an operation (port occupancy, fabric traversal, window
+   mutation, waking parked ranks) runs under the scheduling decision of the
+   rank's previous advance; bodies are atomic with respect to other ranks.
+3. ``spin_on_cells`` polls (Get+Flush rounds) are ordinary operations in that
+   order; a parked rank resumes polling at ``max(its clock, writer clock)``.
+
+The seed scheduler realised this order by handing a baton between rank
+threads at every scheduling point.  The horizon scheduler in
+:mod:`repro.rma.sim_runtime` realises the *same* order with a min-heap, a
+lock-free fast path for self-continuations, and threadless spin-wait tasks —
+see the "Simulator internals" section of the README.  The golden tests in
+``tests/rma/test_golden_determinism.py`` pin the contract down.
 """
 
 from __future__ import annotations
@@ -65,6 +87,8 @@ class RunResult:
         total_time_us: Makespan across all ranks.
         op_counts: Total number of RMA calls issued, keyed by call name.
         per_rank_op_counts: The same, broken down per rank.
+        wall_time_s: Host wall-clock seconds the run took (simulator
+            throughput metric; 0.0 when the backend does not record it).
     """
 
     returns: List[Any]
@@ -72,6 +96,7 @@ class RunResult:
     total_time_us: float
     op_counts: Dict[str, int] = field(default_factory=dict)
     per_rank_op_counts: List[Dict[str, int]] = field(default_factory=list)
+    wall_time_s: float = 0.0
 
     @property
     def num_ranks(self) -> int:
@@ -79,6 +104,16 @@ class RunResult:
 
     def total_ops(self) -> int:
         return int(sum(self.op_counts.values()))
+
+    def ops_per_sec(self) -> float:
+        """Simulator throughput: RMA operations executed per host second.
+
+        The headline metric of the perf suite (``benchmarks/test_perf_runtime.py``
+        and ``python -m repro perf``); 0.0 when wall time was not recorded.
+        """
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.total_ops() / self.wall_time_s
 
 
 class ProcessContext(abc.ABC):

@@ -1,37 +1,69 @@
-"""Deterministic discrete-event RMA runtime.
+"""Deterministic discrete-event RMA runtime with a time-horizon scheduler.
 
 This backend is the repository's substitute for the paper's Cray XC30 /
 foMPI testbed.  Every rank is a logical process with its own virtual clock
 and RMA window; RMA calls charge latencies from a
 :class:`~repro.rma.latency.LatencyModel` that depends on the topological
-distance between origin and target.  The scheduler always resumes the
-runnable rank with the smallest clock, which yields a deterministic,
-approximately causal interleaving, so the same program with the same seed
-produces bit-identical results on every run.
+distance between origin and target.  Execution follows the deterministic
+scheduling contract documented in :mod:`repro.rma.runtime_base`: after every
+clock advance, the runnable rank with the smallest ``(clock, rank)`` key
+continues, so the same program with the same seed produces bit-identical
+results on every run — and bit-identical results to the preserved seed
+scheduler (:mod:`repro.rma.baseline_runtime`), as pinned down by the golden
+tests.
 
-Implementation notes
---------------------
-* Each rank runs on its own OS thread, but a baton-passing scheduler ensures
-  that exactly one rank executes at any moment; there are no data races by
-  construction and the GIL is never contended.
-* ``spin_on_cells`` (the protocols' ``do {Get; Flush} while (...)`` loops)
-  parks the rank on the polled window cells instead of replaying millions of
-  poll iterations.  A per-cell version counter guarantees that a write that
-  lands between the poll and the park is never missed.
-* If every unfinished rank is parked or waiting at a barrier the runtime
-  raises :class:`~repro.rma.runtime_base.SimDeadlockError`, which doubles as
-  a protocol-level deadlock detector in the test-suite.
+Scheduler architecture (the "time-horizon" rewrite)
+---------------------------------------------------
+The seed scheduler paid a global lock, an O(P) linear scan and up to two OS
+thread handoffs per RMA operation.  This implementation produces the exact
+same execution order with three structural changes:
+
+* **Horizon fast path.**  The scheduler maintains ``_horizon``: the smallest
+  ``(clock, rank)`` key over every *other* runnable rank.  While the
+  executing rank's key stays below the horizon it keeps running — no lock,
+  no heap, no handoff — because the seed scheduler would have picked it
+  again anyway.  Only when an advance crosses the horizon does the rank
+  enter the scheduler.
+
+* **Min-heap scheduling.**  Runnable ranks wait in a heap keyed on
+  ``(clock, rank)``; picking the next rank is O(log P) instead of O(P).
+  Heap entries are validated against the rank's current status/clock on pop,
+  so stale entries (e.g. after an abort) are discarded lazily.
+
+* **Threadless spin-waiters.**  ``spin_on_cells`` — the protocols'
+  ``do {Get; Flush} while (...)`` loops and by far the densest source of
+  context switches under contention — runs as a *generator* task.  Poll
+  rounds execute inline on whichever thread currently drives the scheduler;
+  the waiting rank's own OS thread stays parked until the spin predicate is
+  finally satisfied.  A wake/re-park cycle therefore costs zero thread
+  handoffs (the seed paid two per poll round).  A per-cell version counter
+  guarantees that a write landing between the poll and the park is never
+  missed.
+
+Thread handoffs that do remain (program-to-program baton transfers) use a
+raw ``threading.Lock`` as a binary semaphore, which is roughly twice as fast
+as the seed's ``threading.Event`` round trip.  Per-operation accounting uses
+per-rank integer arrays indexed by call (folded into name-keyed dicts once at
+``run()`` end) and the precomputed :class:`~repro.rma.latency.CostTable`, so
+the fast path is a handful of array lookups.
+
+If every unfinished rank is parked or waiting at a barrier the runtime
+raises :class:`~repro.rma.runtime_base.SimDeadlockError`, which doubles as a
+protocol-level deadlock detector in the test-suite.
 """
 
 from __future__ import annotations
 
+import gc
 import threading
-from collections import Counter, defaultdict
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+import time
+from collections import defaultdict
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.rma.fabric import FabricContentionModel
-from repro.rma.latency import LatencyModel
-from repro.rma.ops import AtomicOp, RMACall
+from repro.rma.latency import LatencyModel, cost_table
+from repro.rma.ops import CALLS, CALL_INDEX, NUM_CALLS, AtomicOp, RMACall
 from repro.rma.runtime_base import (
     Cell,
     ProcessContext,
@@ -47,11 +79,27 @@ from repro.util.rng import rank_rng
 
 __all__ = ["SimRuntime", "SimProcessContext"]
 
-# Rank states
-_READY = "ready"
-_PARKED = "parked"
-_BARRIER = "barrier"
-_FINISHED = "finished"
+# Rank states (ints: compared on the hot path).
+_READY = 0
+_PARKED = 1
+_BARRIER = 2
+_FINISHED = 3
+
+#: Horizon sentinel when no other rank is runnable: every finite clock wins.
+_INF_KEY: Tuple[float, int] = (float("inf"), -1)
+
+_PUT = RMACall.PUT
+_GET = RMACall.GET
+_ACCUMULATE = RMACall.ACCUMULATE
+_FAO = RMACall.FAO
+_CAS = RMACall.CAS
+_FLUSH = RMACall.FLUSH
+_PUT_I = CALL_INDEX[_PUT]
+_GET_I = CALL_INDEX[_GET]
+_ACCUMULATE_I = CALL_INDEX[_ACCUMULATE]
+_FAO_I = CALL_INDEX[_FAO]
+_CAS_I = CALL_INDEX[_CAS]
+_FLUSH_I = CALL_INDEX[_FLUSH]
 
 
 class _Aborted(BaseException):
@@ -65,22 +113,34 @@ class _RankState:
         "rank",
         "clock",
         "status",
-        "event",
+        "baton",
         "watching",
         "result",
         "finish_time",
-        "op_counts",
+        "ops",
+        "spin",
+        "spin_values",
     )
 
     def __init__(self, rank: int):
         self.rank = rank
         self.clock = 0.0
         self.status = _READY
-        self.event = threading.Event()
+        # Binary semaphore: created locked; the rank's thread blocks by
+        # acquiring it, the scheduler resumes the thread by releasing it.
+        # A successful acquire leaves the lock locked again, which is exactly
+        # the state the next wait needs.
+        self.baton = threading.Lock()
+        self.baton.acquire()
         self.watching: Set[Cell] = set()
         self.result: Any = None
         self.finish_time = 0.0
-        self.op_counts: Counter = Counter()
+        #: Per-call op counters indexed by repro.rma.ops.CALL_INDEX.
+        self.ops: List[int] = [0] * NUM_CALLS
+        #: Active spin-wait generator (threadless poll task), or None.
+        self.spin: Any = None
+        #: Values observed by the spin task when its predicate passed.
+        self.spin_values: Optional[List[int]] = None
 
 
 class SimProcessContext(ProcessContext):
@@ -106,54 +166,60 @@ class SimProcessContext(ProcessContext):
     # -- Listing 1 -------------------------------------------------------- #
 
     def put(self, src_data: int, target: int, offset: int) -> None:
-        self._rt._issue(self._state, RMACall.PUT, target)
-        self._rt._apply_write(self._state, target, offset, lambda w: w.write(offset, int(src_data)))
+        rt = self._rt
+        rt._issue(self._state, _PUT, _PUT_I, target)
+        rt.windows[target].write(offset, int(src_data))
+        rt._post_write(self._state, target, offset)
 
     def get(self, target: int, offset: int) -> int:
-        self._rt._issue(self._state, RMACall.GET, target)
-        return self._rt._read(target, offset)
+        rt = self._rt
+        rt._issue(self._state, _GET, _GET_I, target)
+        return rt.windows[target].read(offset)
 
     def accumulate(self, operand: int, target: int, offset: int, op: AtomicOp = AtomicOp.SUM) -> None:
-        self._rt._issue(self._state, RMACall.ACCUMULATE, target)
-        self._rt._apply_write(
-            self._state, target, offset, lambda w: w.apply(offset, int(operand), op)
-        )
+        rt = self._rt
+        rt._issue(self._state, _ACCUMULATE, _ACCUMULATE_I, target)
+        rt.windows[target].apply(offset, int(operand), op)
+        rt._post_write(self._state, target, offset)
 
     def fao(self, operand: int, target: int, offset: int, op: AtomicOp) -> int:
-        self._rt._issue(self._state, RMACall.FAO, target)
-        box: List[int] = []
-        self._rt._apply_write(
-            self._state, target, offset, lambda w: box.append(w.fetch_and_op(offset, int(operand), op))
-        )
-        return box[0]
+        rt = self._rt
+        rt._issue(self._state, _FAO, _FAO_I, target)
+        value = rt.windows[target].fetch_and_op(offset, int(operand), op)
+        rt._post_write(self._state, target, offset)
+        return value
 
     def cas(self, src_data: int, cmp_data: int, target: int, offset: int) -> int:
-        self._rt._issue(self._state, RMACall.CAS, target)
-        box: List[int] = []
-        self._rt._apply_write(
-            self._state,
-            target,
-            offset,
-            lambda w: box.append(w.compare_and_swap(offset, int(cmp_data), int(src_data))),
-        )
-        return box[0]
+        rt = self._rt
+        rt._issue(self._state, _CAS, _CAS_I, target)
+        value = rt.windows[target].compare_and_swap(offset, int(cmp_data), int(src_data))
+        rt._post_write(self._state, target, offset)
+        return value
 
     def flush(self, target: int) -> None:
-        self._rt._issue(self._state, RMACall.FLUSH, target)
+        self._rt._issue(self._state, _FLUSH, _FLUSH_I, target)
 
     # -- helpers ----------------------------------------------------------- #
 
     def spin_on_cells(self, cells: Sequence[Cell], predicate: Callable[[Sequence[int]], bool]) -> List[int]:
-        cells = [(int(t), int(o)) for t, o in cells]
-        targets = sorted({t for t, _ in cells})
-        while True:
-            versions = self._rt._versions_of(cells)
-            values = [self.get(t, o) for t, o in cells]
-            for t in targets:
-                self.flush(t)
-            if not predicate(values):
-                return values
-            self._rt._park_if_unchanged(self._state, cells, versions)
+        rt = self._rt
+        state = self._state
+        # Normalization and the sorted flush-target list are computed once per
+        # spin, not per poll round; the generator below reuses them for every
+        # wake/re-poll cycle.
+        norm_cells = [(int(t), int(o)) for t, o in cells]
+        targets = sorted({t for t, _ in norm_cells})
+        state.spin = rt._spin_task(state, norm_cells, targets, predicate)
+        # The first poll round runs immediately on this thread — exactly like
+        # the seed, where the first Get's body executed before any scheduling
+        # decision.  If the predicate is already false the spin never touches
+        # the scheduler at all.
+        if not rt._step_spin(state, own_thread=True):
+            rt._run_tasks(state)
+        values = state.spin_values
+        state.spin_values = None
+        assert values is not None
+        return values
 
     def compute(self, duration_us: float) -> None:
         if duration_us < 0:
@@ -196,18 +262,29 @@ class SimRuntime(RMARuntime):
         if self.window_words < 1:
             raise ValueError("window_words must be >= 1")
 
-        # Per-run state (created in run()).
+        # Re-entry guard: run() builds all per-run state and would corrupt an
+        # in-flight run if invoked concurrently on the same instance.
+        self._run_guard = threading.Lock()
+        self._run_active = False
+
+        # Per-run state (installed atomically at the top of run()).
         self.windows: List[Window] = []
         self._states: List[_RankState] = []
+        self._nranks = machine.num_processes
         self._port_free: List[float] = []
         self._link_free: Dict[object, float] = {}
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards abort/stall transitions only
         self._watchers: Dict[Cell, Set[int]] = {}
         self._versions: Dict[Cell, int] = defaultdict(int)
         self._barrier_waiting: List[int] = []
         self._abort = False
         self._abort_exc: Optional[BaseException] = None
         self._total_ops = 0
+        self._heap: List[Tuple[float, int]] = []
+        self._horizon: Tuple[float, int] = _INF_KEY
+        self._cost: List[List[float]] = []
+        self._occ: List[List[float]] = []
+        self._node_of: Tuple[int, ...] = ()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -231,15 +308,44 @@ class SimRuntime(RMARuntime):
         nranks = self.num_ranks
         if program_args is not None and len(program_args) != nranks:
             raise ValueError(f"program_args must have one entry per rank ({nranks})")
+        with self._run_guard:
+            if self._run_active:
+                raise RuntimeError_(
+                    "SimRuntime.run() is not reentrant: a run is already active on "
+                    "this instance; create one runtime per concurrent run"
+                )
+            self._run_active = True
+        try:
+            return self._execute(program, window_init, program_args, nranks)
+        finally:
+            with self._run_guard:
+                self._run_active = False
 
-        self.windows = [Window(self.window_words) for _ in range(nranks)]
+    def _execute(
+        self,
+        program: Callable[..., Any],
+        window_init: Optional[WindowInit],
+        program_args: Optional[Sequence[Any]],
+        nranks: int,
+    ) -> RunResult:
+        # Build the fresh per-run state in locals first so a failure while
+        # constructing it (e.g. a raising window_init) cannot leave the
+        # instance with a half-reset mixture of old and new state.
+        windows = [Window(self.window_words) for _ in range(nranks)]
         if window_init is not None:
             for rank in range(nranks):
                 init = window_init(rank)
                 if init:
-                    self.windows[rank].load(init)
+                    windows[rank].load(init)
+        table = cost_table(self.latency, self.machine)
+        states = [_RankState(r) for r in range(nranks)]
 
-        self._states = [_RankState(r) for r in range(nranks)]
+        self.windows = windows
+        self._states = states
+        self._nranks = nranks
+        self._cost = table.cost
+        self._occ = table.occupancy
+        self._node_of = table.node_of
         self._port_free = [0.0] * nranks
         self._link_free = self.fabric.new_state() if self.fabric is not None else {}
         self._watchers = {}
@@ -248,6 +354,10 @@ class SimRuntime(RMARuntime):
         self._abort = False
         self._abort_exc = None
         self._total_ops = 0
+        # All clocks are zero; ties break by rank, so rank 0 starts and the
+        # rest wait in the heap (already heap-ordered by construction).
+        self._heap = [(0.0, r) for r in range(1, nranks)]
+        self._horizon = (0.0, 1) if nranks > 1 else _INF_KEY
 
         threads = []
         for rank in range(nranks):
@@ -259,27 +369,54 @@ class SimRuntime(RMARuntime):
                 daemon=True,
             )
             threads.append(t)
-        for t in threads:
-            t.start()
-        # Hand the baton to rank 0 (all clocks are zero; ties break by rank).
-        self._states[0].event.set()
-        for t in threads:
-            t.join()
+        # The run allocates heavily (heap keys, poll values) but creates no
+        # reference cycles on the hot path; pausing the cyclic GC for the
+        # duration avoids collection stalls that would otherwise interrupt
+        # the baton hand-offs.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        run_done = threading.Event()
+        watchdog = threading.Thread(
+            target=self._watchdog_main, args=(run_done,), name="sim-watchdog", daemon=True
+        )
+        wall_start = time.perf_counter()
+        try:
+            watchdog.start()
+            for t in threads:
+                t.start()
+            states[0].baton.release()
+            for t in threads:
+                t.join()
+        finally:
+            wall_time = time.perf_counter() - wall_start
+            run_done.set()
+            if gc_was_enabled:
+                gc.enable()
+        watchdog.join()
 
         if self._abort_exc is not None:
             raise self._abort_exc
 
-        finish_times = [s.finish_time for s in self._states]
-        per_rank_counts = [dict(s.op_counts) for s in self._states]
-        totals: Counter = Counter()
-        for c in self._states:
-            totals.update(c.op_counts)
+        finish_times = [s.finish_time for s in states]
+        totals = [0] * NUM_CALLS
+        per_rank_counts: List[Dict[str, int]] = []
+        for s in states:
+            counts: Dict[str, int] = {}
+            ops = s.ops
+            for i in range(NUM_CALLS):
+                n = ops[i]
+                if n:
+                    counts[CALLS[i].value] = n
+                    totals[i] += n
+            per_rank_counts.append(counts)
         return RunResult(
-            returns=[s.result for s in self._states],
+            returns=[s.result for s in states],
             finish_times_us=finish_times,
             total_time_us=max(finish_times) if finish_times else 0.0,
-            op_counts={k: int(v) for k, v in totals.items()},
+            op_counts={CALLS[i].value: totals[i] for i in range(NUM_CALLS) if totals[i]},
             per_rank_op_counts=per_rank_counts,
+            wall_time_s=wall_time,
         )
 
     # ------------------------------------------------------------------ #
@@ -288,12 +425,9 @@ class SimRuntime(RMARuntime):
 
     def _rank_main(self, rank: int, program: Callable[..., Any], arg: Any, has_arg: bool) -> None:
         state = self._states[rank]
-        state.event.wait()
-        state.event.clear()
         ctx = SimProcessContext(self, state)
         try:
-            if self._abort:
-                raise _Aborted()
+            self._wait_for_turn(state)
             state.result = program(ctx, arg) if has_arg else program(ctx)
         except _Aborted:
             pass
@@ -310,46 +444,121 @@ class SimRuntime(RMARuntime):
         with self._lock:
             state.status = _FINISHED
             state.finish_time = state.clock
-            nxt = self._pick_runnable_locked()
-            if nxt is not None:
-                nxt.event.set()
-                return
             if self._abort:
                 return
+        # This thread still owns the baton: drive remaining tasks until the
+        # baton can be handed to another thread (or the run drains).
+        self._run_tasks(None)
+
+    # ------------------------------------------------------------------ #
+    # Scheduler core
+    # ------------------------------------------------------------------ #
+    #
+    # Exactly one thread at a time executes scheduler/program code (it "owns
+    # the baton"); every other thread is blocked in _wait_for_turn.  All
+    # scheduler structures (heap, horizon, states, windows, ports, watchers)
+    # are therefore baton-protected and accessed without self._lock, which
+    # only serializes abort/stall transitions initiated by waiting threads.
+
+    def _run_tasks(self, owner: Optional[_RankState]) -> None:
+        """Drive scheduling until ``owner`` is picked again (or handed off).
+
+        ``owner`` is the rank whose thread is executing this loop, with its
+        heap key already pushed if it is runnable; ``None`` when called from a
+        finishing rank that only needs to pass the baton on.  Spin tasks are
+        executed inline on this thread; picking another threaded rank releases
+        that rank's baton and blocks this one.
+        """
+        heap = self._heap
+        states = self._states
+        while True:
+            if self._abort:
+                if owner is None:
+                    return
+                raise _Aborted()
+            s = None
+            while heap:
+                clock, rank = heap[0]
+                cand = states[rank]
+                if cand.status == _READY and cand.clock == clock:
+                    s = cand
+                    break
+                heappop(heap)  # stale entry (aborted/retired rank)
+            if s is None:
+                self._no_runnable(owner)
+                return
+            heappop(heap)
+            # Inline _peek_key: the next-smallest valid key becomes the
+            # horizon of whichever task is dispatched below.
+            while heap:
+                clock, rank = heap[0]
+                cand = states[rank]
+                if cand.status == _READY and cand.clock == clock:
+                    self._horizon = (clock, rank)
+                    break
+                heappop(heap)
+            else:
+                self._horizon = _INF_KEY
+            if s.spin is not None:
+                if self._step_spin(s):
+                    # Spin finished: the rank becomes an ordinary threaded
+                    # task again at its current key.
+                    heappush(heap, (s.clock, s.rank))
+                continue
+            if s is owner:
+                return
+            s.baton.release()
+            if owner is not None:
+                self._wait_for_turn(owner)
+            return
+
+    def _peek_key(self) -> Tuple[float, int]:
+        """Smallest valid heap key (discarding stale entries), or the sentinel."""
+        heap = self._heap
+        states = self._states
+        while heap:
+            clock, rank = heap[0]
+            s = states[rank]
+            if s.status == _READY and s.clock == clock:
+                return (clock, rank)
+            heappop(heap)
+        return _INF_KEY
+
+    def _schedule(self, state: _RankState) -> None:
+        """Enter the scheduler after ``state`` crossed the horizon."""
+        heappush(self._heap, (state.clock, state.rank))
+        self._run_tasks(state)
+
+    def _no_runnable(self, owner: Optional[_RankState]) -> None:
+        """Handle an empty scheduler: clean drain, or deadlock."""
+        with self._lock:
+            if self._abort:
+                if owner is None:
+                    return
+                raise _Aborted()
             unfinished = [s.rank for s in self._states if s.status != _FINISHED]
-            if unfinished:
-                # Everyone left is parked or stuck in a barrier: deadlock.
-                self._abort = True
-                if self._abort_exc is None:
-                    self._abort_exc = SimDeadlockError(
-                        f"ranks {unfinished} are blocked forever after rank "
-                        f"{state.rank} finished: {self._blocked_report_locked()}"
-                    )
-                self._wake_all_locked()
-
-    # ------------------------------------------------------------------ #
-    # Scheduler primitives (all take/hold self._lock where noted)
-    # ------------------------------------------------------------------ #
-
-    def _pick_runnable_locked(self) -> Optional[_RankState]:
-        best: Optional[_RankState] = None
-        for s in self._states:
-            if s.status == _READY:
-                if best is None or (s.clock, s.rank) < (best.clock, best.rank):
-                    best = s
-        return best
+            if not unfinished:
+                return  # every rank finished; the run drains cleanly
+            self._abort = True
+            if self._abort_exc is None:
+                self._abort_exc = SimDeadlockError(
+                    f"ranks {unfinished} are blocked forever with no runnable rank "
+                    f"left: {self._blocked_report()}"
+                )
+            self._wake_all_locked()
+        if owner is not None:
+            raise _Aborted()
 
     def _wake_all_locked(self) -> None:
         for s in self._states:
             if s.status != _FINISHED:
                 s.status = _READY
-                s.event.set()
+                try:
+                    s.baton.release()
+                except RuntimeError:
+                    pass  # thread was not waiting; its next acquire will not block
 
-    def _check_abort(self) -> None:
-        if self._abort:
-            raise _Aborted()
-
-    def _blocked_report_locked(self) -> str:
+    def _blocked_report(self) -> str:
         """Human-readable description of every blocked rank (for deadlock errors)."""
         lines = []
         for s in self._states:
@@ -361,161 +570,265 @@ class SimRuntime(RMARuntime):
         return "; ".join(lines) if lines else "(no blocked ranks)"
 
     def _wait_for_turn(self, state: _RankState) -> None:
-        waited = 0.0
-        while not state.event.wait(timeout=0.5):
-            if self._abort:
-                raise _Aborted()
-            waited += 0.5
-            if waited >= self.stall_timeout_s:
+        # Untimed acquire: cheaper than a timed wait, and safe because every
+        # abort path releases all batons (_wake_all_locked) and wall-clock
+        # stalls are detected by the watchdog thread rather than by polling
+        # from all P rank threads.
+        state.baton.acquire()
+        if self._abort:
+            raise _Aborted()
+
+    def _watchdog_main(self, run_done: threading.Event) -> None:
+        """Abort the run if no simulation progress happens for stall_timeout_s.
+
+        Progress is observed through ``_total_ops`` plus the per-rank finish
+        count; the watchdog wakes a few times per stall window, so a healthy
+        run pays essentially nothing for it.
+        """
+        interval = min(max(self.stall_timeout_s / 4.0, 0.05), 5.0)
+        last = (-1, -1)
+        stalled_for = 0.0
+        while not run_done.wait(interval):
+            snapshot = (
+                self._total_ops,
+                sum(1 for s in self._states if s.status == _FINISHED),
+            )
+            if snapshot != last:
+                last = snapshot
+                stalled_for = 0.0
+                continue
+            stalled_for += interval
+            if stalled_for >= self.stall_timeout_s:
                 with self._lock:
+                    if self._abort:
+                        return
                     self._abort = True
                     if self._abort_exc is None:
                         self._abort_exc = RuntimeError_(
-                            f"scheduler stall: rank {state.rank} was never resumed "
-                            f"within {self.stall_timeout_s}s of wall-clock time"
+                            f"scheduler stall: no simulation progress within "
+                            f"{self.stall_timeout_s}s of wall-clock time"
                         )
                     self._wake_all_locked()
-                raise _Aborted()
-        state.event.clear()
-        self._check_abort()
-
-    def _maybe_switch(self, state: _RankState) -> None:
-        """After advancing ``state``'s clock, hand the baton to the earliest rank."""
-        need_wait = False
-        with self._lock:
-            if self._abort:
-                raise _Aborted()
-            nxt = self._pick_runnable_locked()
-            if nxt is not None and nxt is not state:
-                nxt.event.set()
-                need_wait = True
-        if need_wait:
-            self._wait_for_turn(state)
-
-    def _advance(self, state: _RankState, dt: float) -> None:
-        self._check_abort()
-        state.clock += dt
-        self._maybe_switch(state)
+                return
 
     # ------------------------------------------------------------------ #
     # RMA operation plumbing
     # ------------------------------------------------------------------ #
 
-    def _issue(self, state: _RankState, call: RMACall, target: int) -> None:
-        """Charge the latency of ``call``, model target-port contention and account for it."""
-        self._check_abort()
-        if not 0 <= target < self.num_ranks:
-            raise ValueError(f"target rank {target} out of range 0..{self.num_ranks - 1}")
-        state.op_counts[call.value] += 1
-        self._total_ops += 1
-        if self.max_ops is not None and self._total_ops > self.max_ops:
+    def _op_body(self, state: _RankState, call: RMACall, ci: int, target: int) -> float:
+        """Account, charge and time one RMA call; returns the post-op clock.
+
+        This is the shared body of program-issued and spin-task-issued
+        operations (``ci`` is the call's dense :data:`~repro.rma.ops.CALL_INDEX`,
+        passed alongside to keep the enum off the hot path).  The caller is
+        responsible for the scheduling decision (horizon check) that follows
+        the advance.
+        """
+        if self._abort:
+            raise _Aborted()
+        nranks = self._nranks
+        if not 0 <= target < nranks:
+            raise ValueError(f"target rank {target} out of range 0..{nranks - 1}")
+        state.ops[ci] += 1
+        total = self._total_ops + 1
+        self._total_ops = total
+        if self.max_ops is not None and total > self.max_ops:
             raise RuntimeError_(
                 f"simulation exceeded max_ops={self.max_ops}; possible livelock"
             )
-        cost = self.latency.cost(call, self.machine, state.rank, target)
-        occupancy = self.latency.occupancy(call, state.rank, target)
+        rank = state.rank
+        idx = rank * nranks + target
+        cost = self._cost[ci][idx]
+        start = state.clock
         # Remote accesses serialize at the target: if its port is busy, the
         # operation starts only once the port frees up.  This queueing is what
         # turns a single hot lock word into a scalability bottleneck.
-        start = state.clock
+        occupancy = self._occ[ci][idx]
         if occupancy > 0.0:
-            start = max(start, self._port_free[target])
+            port_free = self._port_free[target]
+            if port_free > start:
+                start = port_free
             self._port_free[target] = start + occupancy
         # Optional link-level contention: inter-node data/atomic traffic also
         # serializes on every Dragonfly link along its minimal route.
-        if (
-            self.fabric is not None
-            and call is not RMACall.FLUSH
-            and not self.machine.same_node(state.rank, target)
-        ):
-            src_node = self.machine.node_of(state.rank)
-            dst_node = self.machine.node_of(target)
-            arrival = self.fabric.traverse(self._link_free, src_node, dst_node, start)
-            cost += arrival - start
+        if self.fabric is not None and call is not _FLUSH:
+            node_of = self._node_of
+            src_node = node_of[rank]
+            dst_node = node_of[target]
+            if src_node != dst_node:
+                arrival = self.fabric.traverse(self._link_free, src_node, dst_node, start)
+                cost += arrival - start
         if self.tracer is not None:
-            self.tracer.record(state.rank, call, target, start, cost)
-        state.clock = start
-        self._advance(state, cost)
+            self.tracer.record(rank, call, target, start, cost)
+        clock = start + cost
+        state.clock = clock
+        return clock
 
-    def _read(self, target: int, offset: int) -> int:
-        return self.windows[target].read(offset)
+    def _issue(self, state: _RankState, call: RMACall, ci: int, target: int) -> None:
+        clock = self._op_body(state, call, ci, target)
+        h = self._horizon
+        if clock < h[0] or (clock == h[0] and state.rank < h[1]):
+            return  # fast path: still the earliest runnable rank
+        heappush(self._heap, (clock, state.rank))
+        self._run_tasks(state)
 
-    def _apply_write(self, state: _RankState, target: int, offset: int, effect: Callable[[Window], Any]) -> None:
-        """Apply a window mutation and wake any rank parked on that cell."""
-        effect(self.windows[target])
+    def _advance(self, state: _RankState, dt: float) -> None:
+        if self._abort:
+            raise _Aborted()
+        clock = state.clock + dt
+        state.clock = clock
+        h = self._horizon
+        if clock < h[0] or (clock == h[0] and state.rank < h[1]):
+            return
+        self._schedule(state)
+
+    def _post_write(self, state: _RankState, target: int, offset: int) -> None:
+        """Version-bump a just-written cell and wake any rank parked on it.
+
+        Callers mutate the window directly (between ``_issue`` and this call)
+        so the hot path carries no per-operation effect closures.
+        """
         cell = (target, offset)
-        with self._lock:
-            self._versions[cell] += 1
-            waiters = self._watchers.pop(cell, None)
-            if waiters:
-                for rank in waiters:
-                    ws = self._states[rank]
-                    if ws.status != _PARKED:
-                        continue
-                    for other in ws.watching:
-                        if other != cell and other in self._watchers:
-                            self._watchers[other].discard(rank)
-                    ws.watching.clear()
-                    ws.status = _READY
-                    # The sleeper was logically polling all along; it observes
-                    # the write no earlier than the writer's current time.
-                    ws.clock = max(ws.clock, state.clock)
+        self._versions[cell] += 1
+        waiters = self._watchers.pop(cell, None)
+        if waiters:
+            states = self._states
+            heap = self._heap
+            horizon = self._horizon
+            writer_clock = state.clock
+            for rank in waiters:
+                ws = states[rank]
+                if ws.status != _PARKED:
+                    continue
+                for other in ws.watching:
+                    if other != cell and other in self._watchers:
+                        self._watchers[other].discard(rank)
+                ws.watching.clear()
+                ws.status = _READY
+                # The sleeper was logically polling all along; it observes
+                # the write no earlier than the writer's current time.
+                if writer_clock > ws.clock:
+                    ws.clock = writer_clock
+                key = (ws.clock, rank)
+                heappush(heap, key)
+                if key < horizon:
+                    horizon = key
+            self._horizon = horizon
 
     # ------------------------------------------------------------------ #
-    # Parking / barrier
+    # Spin-wait tasks (threadless waiters)
     # ------------------------------------------------------------------ #
 
-    def _versions_of(self, cells: Sequence[Cell]) -> Tuple[int, ...]:
-        with self._lock:
-            return tuple(self._versions[c] for c in cells)
+    def _step_spin(self, state: _RankState, own_thread: bool = False) -> bool:
+        """Advance ``state``'s spin generator one leg; True when it completed.
 
-    def _park_if_unchanged(self, state: _RankState, cells: Sequence[Cell], versions: Tuple[int, ...]) -> None:
-        """Park ``state`` until one of ``cells`` is written, unless one already was."""
-        with self._lock:
+        ``own_thread`` marks the initial step taken by the spinning rank's own
+        thread (from ``spin_on_cells``): there an exception simply propagates
+        into that rank's program, exactly like the seed scheduler.  Later
+        steps run on whichever thread drives the scheduler, so a raising
+        predicate/op must not unwind through a *different* rank's program
+        frames — it is recorded as the run's failure and the driving thread
+        is unwound with the internal ``_Aborted`` signal instead.
+        """
+        try:
+            state.spin.send(None)
+        except StopIteration:
+            state.spin = None
+            return True
+        except _Aborted:
+            state.spin = None
+            raise
+        except BaseException as exc:  # noqa: BLE001 - reroute foreign failures
+            state.spin = None
+            if own_thread:
+                raise
+            with self._lock:
+                if self._abort_exc is None:
+                    self._abort_exc = exc
+                self._abort = True
+                self._wake_all_locked()
+            raise _Aborted() from None
+        return False
+
+    def _spin_task(
+        self,
+        state: _RankState,
+        cells: List[Cell],
+        targets: List[int],
+        predicate: Callable[[Sequence[int]], bool],
+    ):
+        """Generator running one rank's Get+Flush poll loop without its thread.
+
+        Yields whenever the rank must wait (its key crossed the horizon, or it
+        parked on the polled cells); the scheduler resumes it when its key is
+        the minimum again.  Returns (via StopIteration) once the predicate is
+        satisfied, with the observed values left in ``state.spin_values``.
+        """
+        versions = self._versions
+        watchers = self._watchers
+        heap = self._heap
+        rank = state.rank
+        while True:
+            snapshot = [versions[c] for c in cells]
+            values: List[int] = []
+            for t, o in cells:
+                clock = self._op_body(state, _GET, _GET_I, t)
+                h = self._horizon
+                if not (clock < h[0] or (clock == h[0] and rank < h[1])):
+                    heappush(heap, (clock, rank))
+                    yield
+                    if self._abort:
+                        raise _Aborted()
+                values.append(self.windows[t].read(o))
+            for t in targets:
+                clock = self._op_body(state, _FLUSH, _FLUSH_I, t)
+                h = self._horizon
+                if not (clock < h[0] or (clock == h[0] and rank < h[1])):
+                    heappush(heap, (clock, rank))
+                    yield
+                    if self._abort:
+                        raise _Aborted()
+            if not predicate(values):
+                state.spin_values = values
+                return
+            if [versions[c] for c in cells] != snapshot:
+                continue  # a write raced with the poll; re-read instead of parking
+            for c in cells:
+                watchers.setdefault(c, set()).add(rank)
+            state.watching.update(cells)
+            state.status = _PARKED
+            yield  # resumed only after a write wakes this rank
             if self._abort:
                 raise _Aborted()
-            current = tuple(self._versions[c] for c in cells)
-            if current != versions:
-                return  # a write raced with the poll; re-read instead of parking
-            for c in cells:
-                self._watchers.setdefault(c, set()).add(state.rank)
-                state.watching.add(c)
-            state.status = _PARKED
-            nxt = self._pick_runnable_locked()
-            if nxt is None:
-                raise SimDeadlockError(
-                    f"all unfinished ranks are blocked; rank {state.rank} parked on "
-                    f"cells {list(cells)} with nobody left to wake it: "
-                    f"{self._blocked_report_locked()}"
-                )
-            nxt.event.set()
-        self._wait_for_turn(state)
+
+    # ------------------------------------------------------------------ #
+    # Barrier
+    # ------------------------------------------------------------------ #
 
     def _barrier(self, state: _RankState) -> None:
-        self._check_abort()
-        release = False
-        with self._lock:
-            self._barrier_waiting.append(state.rank)
-            if len(self._barrier_waiting) == self.num_ranks:
-                release = True
-                release_time = max(self._states[r].clock for r in self._barrier_waiting)
-                release_time += self.barrier_cost_us
-                for r in self._barrier_waiting:
-                    s = self._states[r]
-                    s.clock = release_time
-                    s.status = _READY
-                self._barrier_waiting = []
-            else:
-                state.status = _BARRIER
-                nxt = self._pick_runnable_locked()
-                if nxt is None:
-                    raise SimDeadlockError(
-                        f"barrier cannot complete: {self.num_ranks - len(self._barrier_waiting)} "
-                        f"rank(s) never arrived; blocked ranks: {self._blocked_report_locked()}"
-                    )
-                nxt.event.set()
-        if release:
-            # The releasing rank continues; equal clocks, ties broken by rank.
-            self._maybe_switch(state)
-        else:
-            self._wait_for_turn(state)
+        if self._abort:
+            raise _Aborted()
+        waiting = self._barrier_waiting
+        waiting.append(state.rank)
+        if len(waiting) < self._nranks:
+            state.status = _BARRIER
+            self._run_tasks(state)
+            return
+        states = self._states
+        release_time = max(states[r].clock for r in waiting)
+        release_time += self.barrier_cost_us
+        heap = self._heap
+        me = state.rank
+        for r in waiting:
+            s = states[r]
+            s.clock = release_time
+            s.status = _READY
+            if r != me:
+                heappush(heap, (release_time, r))
+        self._barrier_waiting = []
+        # The releasing rank continues; equal clocks, ties broken by rank.
+        h = self._peek_key()
+        self._horizon = h
+        if release_time < h[0] or (release_time == h[0] and me < h[1]):
+            return
+        self._schedule(state)

@@ -97,7 +97,8 @@ class TestEnvironmentKnobs:
     def test_default_process_counts_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_BENCH_PROCS", raising=False)
         counts = default_process_counts()
-        assert counts == (4, 8, 16, 32, 64)
+        # The horizon scheduler (PR 1) extended the default sweep to P=128.
+        assert counts == (4, 8, 16, 32, 64, 128)
 
     def test_default_process_counts_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_PROCS", "4, 8 12")

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.rma.latency import LatencyModel
@@ -320,6 +322,51 @@ class TestFailureModes:
         with pytest.raises(ValueError, match="boom from rank 1"):
             rt.run(program)
 
+    def test_spin_predicate_error_surfaces_and_never_leaks_across_ranks(self):
+        """A raising spin predicate fails the run with its own exception.
+
+        The poll round that re-evaluates the predicate after a wake runs on
+        whichever thread drives the scheduler (threadless waiters), so the
+        error must be routed through the abort machinery instead of unwinding
+        through another rank's program frames.
+        """
+        rt = make_runtime()
+
+        def flaky_predicate(v):
+            if v != 0:
+                raise ValueError("predicate exploded")
+            return True  # keep spinning while the cell is 0
+
+        def program(ctx):
+            if ctx.rank == 1:
+                ctx.spin_while(1, 0, flaky_predicate)
+                return None
+            if ctx.rank == 0:
+                caught = False
+                try:
+                    ctx.compute(50.0)
+                    ctx.put(1, 1, 0)  # wakes rank 1, whose re-poll raises
+                    ctx.flush(1)
+                    ctx.compute(50.0)
+                except ValueError:
+                    caught = True  # must never see rank 1's error
+                assert not caught, "rank 1's predicate error leaked into rank 0"
+            return None
+
+        with pytest.raises(ValueError, match="predicate exploded"):
+            rt.run(program)
+
+    def test_spin_error_on_first_poll_propagates_like_any_program_error(self):
+        rt = make_runtime()
+
+        def program(ctx):
+            if ctx.rank == 2:
+                ctx.spin_while(0, 0, lambda v: 1 / 0 > 0)
+            ctx.barrier()
+
+        with pytest.raises(ZeroDivisionError):
+            rt.run(program)
+
     def test_max_ops_guards_against_livelock(self):
         rt = make_runtime(max_ops=50)
 
@@ -330,6 +377,67 @@ class TestFailureModes:
 
         with pytest.raises(RuntimeError_, match="max_ops"):
             rt.run(program)
+
+
+class TestRunLifecycle:
+    def test_concurrent_run_on_same_instance_rejected(self):
+        rt = make_runtime()
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_program(ctx):
+            if ctx.rank == 0:
+                started.set()
+                release.wait(timeout=30)
+            return ctx.rank
+
+        results = {}
+
+        def driver():
+            results["first"] = rt.run(slow_program)
+
+        t = threading.Thread(target=driver, daemon=True)
+        t.start()
+        assert started.wait(timeout=30)
+        with pytest.raises(RuntimeError_, match="not reentrant"):
+            rt.run(lambda ctx: ctx.rank)
+        release.set()
+        t.join(timeout=30)
+        assert not t.is_alive()
+        assert results["first"].returns == [0, 1, 2, 3]
+        # The guard is released once the first run completes.
+        assert rt.run(lambda ctx: ctx.rank).returns == [0, 1, 2, 3]
+
+    def test_failed_run_does_not_leak_into_next_run(self):
+        rt = make_runtime()
+
+        def failing(ctx):
+            ctx.put(7, 0, 0)
+            ctx.flush(0)
+            if ctx.rank == 2:
+                raise ValueError("injected failure")
+            ctx.barrier()
+
+        with pytest.raises(ValueError, match="injected failure"):
+            rt.run(failing)
+
+        # A fresh run starts from clean windows, counters and scheduler state.
+        result = rt.run(lambda ctx: ctx.get(0, 0))
+        assert result.returns == [0, 0, 0, 0]
+        assert result.op_counts == {"get": 4}
+        assert all(t >= 0.0 for t in result.finish_times_us)
+
+    def test_window_init_failure_keeps_runtime_usable(self):
+        rt = make_runtime()
+
+        def bad_init(rank):
+            raise KeyError("bad init")
+
+        with pytest.raises(KeyError, match="bad init"):
+            rt.run(lambda ctx: None, window_init=bad_init)
+
+        result = rt.run(lambda ctx: ctx.rank * 2)
+        assert result.returns == [0, 2, 4, 6]
 
 
 class TestStatistics:
@@ -365,6 +473,17 @@ class TestStatistics:
     def test_num_ranks_property(self):
         machine = Machine.cluster(nodes=3, procs_per_node=5)
         assert SimRuntime(machine, window_words=2).num_ranks == 15
+
+    def test_wall_time_and_ops_rate_recorded(self):
+        rt = make_runtime()
+
+        def program(ctx):
+            ctx.put(1, 0, 0)
+            ctx.flush(0)
+
+        result = rt.run(program)
+        assert result.wall_time_s > 0.0
+        assert result.ops_per_sec() > 0.0
 
     def test_custom_latency_model_respected(self):
         machine = Machine.cluster(nodes=2, procs_per_node=2)

@@ -61,8 +61,38 @@ from repro.topology import CounterPlacement, Machine, figure2_machine, xc30_like
 
 __version__ = "0.1.0"
 
+#: Public-API names resolved lazily from :mod:`repro.api` (PEP 562), so that
+#: ``from repro import Cluster`` works without the base package paying the
+#: import cost of the benchmark harness.
+_API_EXPORTS = frozenset(
+    {
+        "Cluster",
+        "ClusterLock",
+        "Session",
+        "ParamSpec",
+        "UnknownNameError",
+        "register_benchmark",
+        "register_runtime",
+        "register_scheme",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _API_EXPORTS:
+        import repro.api as _api
+
+        return getattr(_api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _API_EXPORTS)
+
 __all__ = [
     "AtomicOp",
+    "Cluster",
+    "ClusterLock",
     "CohortTicketLockSpec",
     "CounterPlacement",
     "DMCSLockSpec",
@@ -76,6 +106,7 @@ __all__ = [
     "LockSpec",
     "Machine",
     "NumaRWLockSpec",
+    "ParamSpec",
     "ProcessContext",
     "RMACall",
     "RMAMCSLockSpec",
@@ -83,12 +114,17 @@ __all__ = [
     "RWLockHandle",
     "RWLockSpec",
     "RunResult",
+    "Session",
     "SimDeadlockError",
     "SimRuntime",
     "ThreadRuntime",
     "TicketLockSpec",
+    "UnknownNameError",
     "Window",
     "figure2_machine",
+    "register_benchmark",
+    "register_runtime",
+    "register_scheme",
     "xc30_like",
     "__version__",
 ]

@@ -2,7 +2,14 @@
 
 from repro.bench.ascii_plot import bar_chart, figure_chart, line_chart
 from repro.bench.export import load_rows, rows_to_csv, rows_to_json, save_figure_rows
-from repro.bench.harness import LockBenchResult, build_lock_spec, run_lock_benchmark
+from repro.bench.harness import (
+    LockBenchResult,
+    build_lock_spec,
+    default_scheduler,
+    run_lock_benchmark,
+    set_default_scheduler,
+    using_scheduler,
+)
 from repro.bench.report import format_figure, format_table, pivot_rows, summarize_speedup
 from repro.bench.trace import (
     TraceEvent,
@@ -44,6 +51,9 @@ __all__ = [
     "bench_scale",
     "build_lock_spec",
     "default_process_counts",
+    "default_scheduler",
+    "set_default_scheduler",
+    "using_scheduler",
     "distance_breakdown",
     "experiments",
     "figure_chart",

@@ -18,14 +18,11 @@ P = 128; pass ``process_counts`` or set ``REPRO_BENCH_PROCS`` to trim it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.registry import scheme_names
 from repro.bench.harness import run_lock_benchmark
 from repro.bench.workloads import (
-    MCS_SCHEMES,
-    RELATED_MCS_SCHEMES,
-    RELATED_RW_SCHEMES,
-    RW_SCHEMES,
     LockBenchConfig,
     bench_scale,
     default_process_counts,
@@ -100,7 +97,7 @@ def figure3(
     iters = _iterations(iterations)
     for benchmark in benchmarks:
         for p, machine in _machines(process_counts, procs_per_node):
-            for scheme in MCS_SCHEMES:
+            for scheme in scheme_names(category="mcs"):
                 config = LockBenchConfig(
                     machine=machine,
                     scheme=scheme,
@@ -587,9 +584,11 @@ def related_mcs_comparison(
     NUMA/topology-aware designs (cohort, RMA-MCS) on top, with RMA-MCS ahead
     of the two-level cohort lock on machines with more than two levels.
     """
+    # Queried live (not the import-time tuples) so custom schemes registered
+    # in the comparison categories show up without touching this driver.
     rows: List[Row] = []
     iters = _iterations(iterations)
-    schemes = tuple(MCS_SCHEMES) + tuple(RELATED_MCS_SCHEMES)
+    schemes = scheme_names(category="mcs") + scheme_names(category="related-mcs")
     for benchmark in benchmarks:
         for p, machine in _machines(process_counts, procs_per_node):
             for scheme in schemes:
@@ -630,7 +629,7 @@ def related_rw_comparison(
     """
     rows: List[Row] = []
     iters = _iterations(iterations)
-    schemes = tuple(RW_SCHEMES) + tuple(RELATED_RW_SCHEMES)
+    schemes = scheme_names(category="rw") + scheme_names(category="related-rw")
     for fw in fw_values:
         for p, machine in _machines(process_counts, procs_per_node):
             for scheme in schemes:

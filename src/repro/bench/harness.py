@@ -9,26 +9,57 @@ virtual microseconds of the :class:`~repro.rma.sim_runtime.SimRuntime`.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
+from repro.api.registry import get_benchmark, get_runtime, get_scheme
 from repro.bench.workloads import LockBenchConfig
-from repro.core.baselines import FompiRWLockSpec, FompiSpinLockSpec
-from repro.core.dmcs import DMCSLockSpec
-from repro.core.lock_base import LockSpec, RWLockHandle
-from repro.core.rma_mcs import RMAMCSLockSpec
-from repro.core.rma_rw import RMARWLockSpec
-from repro.related.cohort import CohortTicketLockSpec
-from repro.related.hbo import HBOLockSpec
-from repro.related.numa_rw import NumaRWLockSpec
-from repro.related.ticket import TicketLockSpec
+from repro.core.lock_base import LockSpec, RWLockHandle, RWLockSpec
 from repro.rma.fabric import FabricContentionModel
 from repro.rma.latency import LatencyModel
 from repro.rma.runtime_base import ProcessContext
-from repro.rma.sim_runtime import SimRuntime
 from repro.util.stats import summarize
 
-__all__ = ["LockBenchResult", "build_lock_spec", "make_lock_program", "run_lock_benchmark"]
+__all__ = [
+    "LockBenchResult",
+    "build_lock_spec",
+    "default_scheduler",
+    "make_lock_program",
+    "run_lock_benchmark",
+    "set_default_scheduler",
+    "using_scheduler",
+]
+
+#: Scheduler (runtime registry name) used when ``run_lock_benchmark`` is not
+#: given an explicit one.  The figure drivers call the harness through many
+#: layers, so the CLI's ``--scheduler`` flag switches this process-wide
+#: default instead of threading a parameter through every driver signature.
+_DEFAULT_SCHEDULER = "horizon"
+
+
+def default_scheduler() -> str:
+    """The runtime used when no explicit ``scheduler=`` is passed."""
+    return _DEFAULT_SCHEDULER
+
+
+def set_default_scheduler(name: str) -> str:
+    """Set the process-wide default scheduler; returns the previous one."""
+    global _DEFAULT_SCHEDULER
+    get_runtime(name)  # validate, helpful UnknownNameError
+    previous = _DEFAULT_SCHEDULER
+    _DEFAULT_SCHEDULER = name
+    return previous
+
+
+@contextmanager
+def using_scheduler(name: str) -> Iterator[None]:
+    """Context manager form of :func:`set_default_scheduler`."""
+    previous = set_default_scheduler(name)
+    try:
+        yield
+    finally:
+        set_default_scheduler(previous)
 
 
 @dataclass
@@ -69,66 +100,45 @@ class LockBenchResult:
 
 
 def build_lock_spec(config: LockBenchConfig) -> Tuple[LockSpec, bool]:
-    """Build the lock spec for ``config.scheme``; returns ``(spec, is_rw)``."""
-    machine = config.machine
-    p = machine.num_processes
-    scheme = config.scheme
-    if scheme == "fompi-spin":
-        return FompiSpinLockSpec(num_processes=p), False
-    if scheme == "d-mcs":
-        return DMCSLockSpec(num_processes=p), False
-    if scheme == "rma-mcs":
-        return RMAMCSLockSpec(machine, t_l=config.t_l), False
-    if scheme == "fompi-rw":
-        return FompiRWLockSpec(num_processes=p), True
-    if scheme == "rma-rw":
-        return (
-            RMARWLockSpec(
-                machine,
-                t_dc=config.t_dc,
-                t_l=config.t_l,
-                t_r=config.t_r,
-                t_w=config.t_w,
-            ),
-            True,
+    """Build the lock spec for ``config.scheme``; returns ``(spec, is_rw)``.
+
+    Dispatch is generated from the scheme registry (:mod:`repro.api`): the
+    registered builder receives the machine plus every declared parameter,
+    each extracted from ``config`` via its :class:`~repro.api.registry.ParamSpec`
+    (``getattr(config, name, default)`` unless the spec supplies a custom
+    ``from_config`` extractor, as the cohort-style locks do for their
+    may-pass-local bound).
+    """
+    info = get_scheme(config.scheme)
+    if not info.harness:
+        raise ValueError(
+            f"scheme {config.scheme!r} does not follow the plain lock-handle "
+            f"protocol and cannot run under the lock benchmark harness"
         )
-    # Related-work comparison targets (Sections 2.3 and 7).  The cohort-style
-    # locks reuse the leaf-level locality threshold as their may-pass-local
-    # bound so that a sweep over ``t_l`` exercises the same knob everywhere.
-    if scheme == "ticket":
-        return TicketLockSpec(num_processes=p), False
-    if scheme == "hbo":
-        return HBOLockSpec(machine), False
-    if scheme == "cohort":
-        return CohortTicketLockSpec(machine, max_local_passes=_leaf_threshold(config)), False
-    if scheme == "numa-rw":
-        return NumaRWLockSpec(machine, max_local_passes=_leaf_threshold(config)), True
-    raise ValueError(f"unknown scheme {scheme!r}")
-
-
-def _leaf_threshold(config: LockBenchConfig, default: int = 16) -> int:
-    """Leaf-level locality threshold of ``config`` (cohort may-pass-local bound)."""
-    if not config.t_l:
-        return default
-    return max(1, int(list(config.t_l)[-1]))
+    return info.build(config.machine, **info.params_from_config(config)), info.rw
 
 
 def make_lock_program(config: LockBenchConfig, spec: LockSpec, is_rw: bool, shared_offset: int):
     """Build the SPMD rank program for one benchmark configuration.
 
     Public so that the perf suite and the golden-determinism tools can run the
-    exact program the harness runs against an arbitrary runtime backend.
+    exact program the harness runs against an arbitrary runtime backend.  A
+    benchmark registered with a custom ``program_factory`` replaces this
+    default body entirely; the built-ins parameterize it declaratively via
+    their :class:`~repro.api.registry.BenchmarkInfo` fields.
     """
-    benchmark = config.benchmark
+    bench_info = get_benchmark(config.benchmark)
+    if bench_info.program_factory is not None:
+        return bench_info.program_factory(config, spec, is_rw, shared_offset)
     cs_lo, cs_hi = config.cs_compute_us
     wait_lo, wait_hi = config.wait_after_release_us
 
     # Per-iteration flags and config scalars, hoisted out of the measured
     # loop (string comparisons and attribute chains cost real time at the
     # iteration counts the faster simulator core makes affordable).
-    is_sob = benchmark == "sob"
-    is_wcsb = benchmark == "wcsb"
-    is_warb = benchmark == "warb"
+    is_sob = bench_info.cs_kind == "single-op"
+    is_wcsb = bench_info.cs_kind == "counter-compute"
+    is_warb = bench_info.post_release_wait
     draw_role = is_rw and config.is_rw_scheme
     fw = config.fw
     iterations = config.iterations
@@ -211,32 +221,40 @@ def run_lock_benchmark(
     latency_model: Optional[LatencyModel] = None,
     fabric: Optional["FabricContentionModel"] = None,
     seed: Optional[int] = None,
-    scheduler: str = "horizon",
+    scheduler: Optional[str] = None,
+    spec: Optional[LockSpec] = None,
+    is_rw: Optional[bool] = None,
 ) -> LockBenchResult:
     """Run one benchmark configuration on the simulated runtime.
 
     ``latency_model`` overrides the default Cray-XC30-like end-point latency
     model; ``fabric`` optionally adds Dragonfly link-level contention
-    (:class:`~repro.rma.fabric.FabricContentionModel`).  ``scheduler`` picks
-    the simulator core: ``"horizon"`` (default) is the fast scheduler,
-    ``"baseline"`` the preserved seed scheduler — both produce bit-identical
-    results, so the switch only matters for wall-clock measurements.
+    (:class:`~repro.rma.fabric.FabricContentionModel`).  ``scheduler`` names
+    a registered runtime backend (default: :func:`default_scheduler`, normally
+    ``"horizon"``; ``"baseline"`` is the preserved seed scheduler — both
+    produce bit-identical results, so that switch only matters for wall-clock
+    measurements).  ``spec`` lets a caller (e.g. ``Cluster.bench``) supply an
+    already-built lock spec instead of rebuilding it from ``config``.
     """
-    if scheduler == "horizon":
-        runtime_cls = SimRuntime
-    elif scheduler == "baseline":
-        from repro.rma.baseline_runtime import BaselineSimRuntime
-
-        runtime_cls = BaselineSimRuntime
-    else:
-        raise ValueError(f"unknown scheduler {scheduler!r}; expected 'horizon' or 'baseline'")
-    spec, is_rw = build_lock_spec(config)
+    runtime_info = get_runtime(scheduler if scheduler is not None else _DEFAULT_SCHEDULER)
+    if not runtime_info.deterministic:
+        raise ValueError(
+            f"scheduler {runtime_info.name!r} is a wall-clock backend; the lock "
+            f"benchmark harness reports virtual-time metrics and requires a "
+            f"deterministic simulator runtime (use Cluster.session / the runtime "
+            f"directly to drive programs on it)"
+        )
+    if spec is None:
+        spec, is_rw = build_lock_spec(config)
+    elif is_rw is None:
+        is_rw = isinstance(spec, RWLockSpec)
     shared_offset = spec.window_words
-    runtime = runtime_cls(
+    runtime = runtime_info.factory(
         config.machine,
         window_words=spec.window_words + 2,
         latency=latency_model,
         fabric=fabric,
+        tracer=None,
         seed=config.seed if seed is None else seed,
     )
     program = make_lock_program(config, spec, is_rw, shared_offset)

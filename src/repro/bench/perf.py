@@ -24,10 +24,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.registry import get_runtime
 from repro.bench.harness import build_lock_spec, make_lock_program
 from repro.bench.workloads import LockBenchConfig
-from repro.rma.baseline_runtime import BaselineSimRuntime
-from repro.rma.sim_runtime import SimRuntime
 from repro.topology.builder import xc30_like
 
 __all__ = [
@@ -109,8 +108,9 @@ def _result_key(result) -> Tuple:
     )
 
 
-def _best_run(runtime_cls, case: PerfCase, reps: int) -> Tuple[float, object]:
+def _best_run(runtime_name: str, case: PerfCase, reps: int) -> Tuple[float, object]:
     """Run ``case`` ``reps`` times; return (best wall seconds, a result)."""
+    runtime_info = get_runtime(runtime_name)
     config = case.config()
     spec, is_rw = build_lock_spec(config)
     program = make_lock_program(config, spec, is_rw, spec.window_words)
@@ -118,7 +118,7 @@ def _best_run(runtime_cls, case: PerfCase, reps: int) -> Tuple[float, object]:
     first_key = None
     result = None
     for _ in range(max(1, reps)):
-        runtime = runtime_cls(
+        runtime = runtime_info.factory(
             config.machine, window_words=spec.window_words + 2, seed=config.seed
         )
         t0 = time.perf_counter()
@@ -129,7 +129,7 @@ def _best_run(runtime_cls, case: PerfCase, reps: int) -> Tuple[float, object]:
             first_key = key
         elif key != first_key:
             raise AssertionError(
-                f"{runtime_cls.__name__} produced non-deterministic results on "
+                f"runtime {runtime_name!r} produced non-deterministic results on "
                 f"perf case {case.name!r}"
             )
         if best_wall is None or wall < best_wall:
@@ -153,7 +153,7 @@ def measure_case(
     when ``compare_baseline`` is set, bit-identical between the horizon and
     the seed scheduler before any throughput is reported.
     """
-    new_wall, new_result = _best_run(SimRuntime, case, reps)
+    new_wall, new_result = _best_run("horizon", case, reps)
     total_ops = new_result.total_ops()
     row: Dict[str, object] = {
         "case": case.name,
@@ -168,7 +168,7 @@ def measure_case(
         "new_ops_per_s": round(total_ops / new_wall, 1),
     }
     if compare_baseline:
-        base_wall, base_result = _best_run(BaselineSimRuntime, case, baseline_reps)
+        base_wall, base_result = _best_run("baseline", case, baseline_reps)
         if _result_key(base_result) != _result_key(new_result):
             raise AssertionError(
                 f"horizon scheduler diverged from the seed scheduler on perf "

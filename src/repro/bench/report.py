@@ -8,7 +8,7 @@ tables, so a benchmark run prints something directly comparable to the paper.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 __all__ = ["format_table", "pivot_rows", "format_figure", "summarize_speedup"]
 

@@ -21,6 +21,15 @@ import os
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+from repro.api.registry import (
+    BenchmarkInfo,
+    benchmark_names,
+    get_benchmark,
+    get_scheme,
+    load_builtin_schemes,
+    register_benchmark_info,
+    scheme_names,
+)
 from repro.topology.machine import Machine
 
 __all__ = [
@@ -35,23 +44,53 @@ __all__ = [
     "default_process_counts",
 ]
 
+# The five microbenchmarks of the paper's evaluation register here; the
+# harness derives the rank program from the declarative fields (``cs_kind``,
+# ``post_release_wait``).  Third parties add benchmarks with
+# ``@repro.api.register_benchmark`` and a custom program factory.
+for _info in (
+    BenchmarkInfo("lb", help="latency of one acquire+release"),
+    BenchmarkInfo("ecsb", help="throughput with an empty critical section"),
+    BenchmarkInfo(
+        "sob",
+        help="one remote memory access inside the CS (irregular-workload proxy)",
+        cs_kind="single-op",
+    ),
+    BenchmarkInfo(
+        "wcsb",
+        help="CS increments a shared counter then spins 1-4 us locally",
+        cs_kind="counter-compute",
+    ),
+    BenchmarkInfo(
+        "warb",
+        help="random 1-4 us wait after each release (varies contention)",
+        post_release_wait=True,
+    ),
+):
+    register_benchmark_info(_info)
+
 #: The five microbenchmarks of the paper's evaluation.
-BENCHMARKS: Tuple[str, ...] = ("lb", "ecsb", "sob", "wcsb", "warb")
+BENCHMARKS: Tuple[str, ...] = benchmark_names()
+
+# The scheme catalogue is derived from the registry; importing the builtin
+# lock modules (repro.core.*, repro.related.*, repro.dht.striped_lock)
+# populates it, and each module's decorator placement fixes the order.
+load_builtin_schemes()
 
 #: Mutual-exclusion schemes compared in Figure 3.
-MCS_SCHEMES: Tuple[str, ...] = ("fompi-spin", "d-mcs", "rma-mcs")
+MCS_SCHEMES: Tuple[str, ...] = scheme_names(category="mcs")
 
 #: Reader-writer schemes compared in Figures 4-5.
-RW_SCHEMES: Tuple[str, ...] = ("fompi-rw", "rma-rw")
+RW_SCHEMES: Tuple[str, ...] = scheme_names(category="rw")
 
 #: Additional mutual-exclusion comparison targets from the related work
 #: (Sections 2.3 and 7): a FIFO ticket lock, the hierarchical backoff lock
 #: and a two-level cohort lock.
-RELATED_MCS_SCHEMES: Tuple[str, ...] = ("ticket", "hbo", "cohort")
+RELATED_MCS_SCHEMES: Tuple[str, ...] = scheme_names(category="related-mcs")
 
 #: Additional reader-writer comparison target: the NUMA-aware RW lock with
 #: per-node reader counters (Calciu et al.).
-RELATED_RW_SCHEMES: Tuple[str, ...] = ("numa-rw",)
+RELATED_RW_SCHEMES: Tuple[str, ...] = scheme_names(category="related-rw")
 
 #: Every lock scheme the harness knows how to build.
 SCHEMES: Tuple[str, ...] = MCS_SCHEMES + RW_SCHEMES + RELATED_MCS_SCHEMES + RELATED_RW_SCHEMES
@@ -118,10 +157,16 @@ class LockBenchConfig:
     warmup_fraction: float = 0.1
 
     def __post_init__(self) -> None:
-        if self.scheme not in SCHEMES:
-            raise ValueError(f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}")
-        if self.benchmark not in BENCHMARKS:
-            raise ValueError(f"unknown benchmark {self.benchmark!r}; expected one of {BENCHMARKS}")
+        # Validate against the live registries (not the module-import-time
+        # tuples) so that schemes and benchmarks registered by third-party
+        # code work everywhere the built-ins do.
+        scheme_info = get_scheme(self.scheme)
+        if not scheme_info.harness:
+            raise ValueError(
+                f"scheme {self.scheme!r} does not follow the plain lock-handle "
+                f"protocol and cannot run under the lock benchmark harness"
+            )
+        get_benchmark(self.benchmark)
         if self.iterations < 1:
             raise ValueError("iterations must be >= 1")
         if not 0.0 <= self.fw <= 1.0:
@@ -138,4 +183,4 @@ class LockBenchConfig:
     @property
     def is_rw_scheme(self) -> bool:
         """True when the scheme distinguishes readers from writers."""
-        return self.scheme in RW_SCHEMES or self.scheme in RELATED_RW_SCHEMES
+        return get_scheme(self.scheme).rw

@@ -22,13 +22,22 @@ Five subcommands cover the common workflows:
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
-from typing import List, Optional, Sequence
+from dataclasses import fields as _dataclass_fields
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.registry import (
+    ParamSpec,
+    benchmark_names,
+    get_scheme,
+    runtime_names,
+    scheme_names,
+)
 from repro.bench import experiments
-from repro.bench.harness import run_lock_benchmark
+from repro.bench.harness import run_lock_benchmark, using_scheduler
 from repro.bench.report import format_figure, format_table
-from repro.bench.workloads import BENCHMARKS, SCHEMES, LockBenchConfig
+from repro.bench.workloads import LockBenchConfig
 from repro.rma.portability import environments, supports_all_required_ops
 from repro.topology.builder import xc30_like
 
@@ -55,33 +64,79 @@ _FIGURES = {
 }
 
 
+def _config_threshold_params() -> Dict[str, Tuple[ParamSpec, List[str]]]:
+    """Scheme parameters that map onto ``LockBenchConfig`` fields.
+
+    Returns ``{param_name: (spec, [schemes using it])}`` in registry order;
+    the CLI's per-scheme threshold flags are generated from this, so a newly
+    registered scheme whose parameters reuse config fields (``t_dc``, ``t_l``,
+    ``t_r``, ``t_w``, ...) gets its flags for free.
+    """
+    config_fields = {f.name for f in _dataclass_fields(LockBenchConfig)}
+    out: Dict[str, Tuple[ParamSpec, List[str]]] = {}
+    for scheme in scheme_names(harness=True):
+        for param in get_scheme(scheme).params:
+            if param.name not in config_fields:
+                continue
+            if param.name not in out:
+                out[param.name] = (param, [])
+            out[param.name][1].append(scheme)
+    return out
+
+
+def _add_threshold_flags(parser: argparse.ArgumentParser) -> None:
+    """Add one generated ``--<param>`` flag per registry threshold parameter."""
+    for name, (param, users) in _config_threshold_params().items():
+        flag = "--" + name.replace("_", "-")
+        help_text = f"{param.help} [schemes: {', '.join(users)}]"
+        if param.sequence:
+            parser.add_argument(flag, type=param.type, nargs="+", default=param.default, help=help_text)
+        else:
+            parser.add_argument(flag, type=param.type, default=param.default, help=help_text)
+
+
+def _threshold_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """Collect the generated threshold flags back into config kwargs."""
+    kwargs: Dict[str, object] = {}
+    for name, (param, _) in _config_threshold_params().items():
+        value = getattr(args, name, None)
+        if value is None:
+            continue
+        kwargs[name] = tuple(value) if param.sequence else value
+    return kwargs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'High-Performance Distributed RMA Locks' (HPDC'16)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    schemes = scheme_names(harness=True)
+    schedulers = runtime_names(deterministic=True)
 
     figures = sub.add_parser("figures", help="regenerate paper figures as text tables")
     figures.add_argument("names", nargs="*", default=[], help=f"figures to run (default: all); choices: {', '.join(_FIGURES)}")
     figures.add_argument("--procs", type=int, nargs="+", default=None, help="process counts to sweep")
     figures.add_argument("--iterations", type=int, default=None, help="lock acquisitions per process")
     figures.add_argument("--output-dir", default=None, help="also save each figure's rows as CSV and JSON in this directory")
+    figures.add_argument("--scheduler", choices=schedulers, default="horizon",
+                         help="simulator core (bit-identical results; only wall-clock differs)")
 
     bench = sub.add_parser("bench", help="run one lock microbenchmark configuration")
-    bench.add_argument("--scheme", choices=SCHEMES, default="rma-rw")
-    bench.add_argument("--benchmark", choices=BENCHMARKS, default="ecsb")
+    bench.add_argument("--scheme", choices=schemes, default="rma-rw")
+    bench.add_argument("--benchmark", choices=benchmark_names(), default="ecsb")
     bench.add_argument("--procs", type=int, default=32)
     bench.add_argument("--procs-per-node", type=int, default=8)
     bench.add_argument("--iterations", type=int, default=20)
     bench.add_argument("--fw", type=float, default=0.02, help="fraction of writers")
-    bench.add_argument("--t-dc", type=int, default=None)
-    bench.add_argument("--t-r", type=int, default=64)
-    bench.add_argument("--t-l", type=int, nargs="+", default=None)
+    _add_threshold_flags(bench)
     bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--scheduler", choices=schedulers, default="horizon",
+                       help="simulator core (bit-identical results; only wall-clock differs)")
 
     trace = sub.add_parser("trace", help="trace one contended workload and show where its RMA time goes")
-    trace.add_argument("--scheme", choices=SCHEMES, default="rma-mcs")
+    trace.add_argument("--scheme", choices=schemes, default="rma-mcs")
     trace.add_argument("--procs", type=int, default=32)
     trace.add_argument("--procs-per-node", type=int, default=8)
     trace.add_argument("--iterations", type=int, default=8)
@@ -111,24 +166,36 @@ def _run_figures(args: argparse.Namespace) -> int:
     names = args.names or list(_FIGURES)
     unknown = [n for n in names if n not in _FIGURES]
     if unknown:
-        print(f"unknown figure(s): {', '.join(unknown)}; choices: {', '.join(_FIGURES)}", file=sys.stderr)
+        message = f"unknown figure(s): {', '.join(unknown)}; choices: {', '.join(_FIGURES)}"
+        hints = [
+            m[0]
+            for m in (difflib.get_close_matches(n, list(_FIGURES), n=1, cutoff=0.5) for n in unknown)
+            if m
+        ]
+        if hints:
+            message += f". Did you mean: {', '.join(hints)}?"
+        print(message, file=sys.stderr)
         return 2
-    for name in names:
-        driver_name, series, value = _FIGURES[name]
-        driver = getattr(experiments, driver_name)
-        kwargs = {}
-        if args.procs is not None:
-            kwargs["process_counts"] = tuple(args.procs)
-        if args.iterations is not None and driver_name != "figure6":
-            kwargs["iterations"] = args.iterations
-        rows = driver(**kwargs)
-        print(format_figure(rows, title=f"Figure {name}", series=series, value=value))
-        print()
-        if args.output_dir:
-            from repro.bench.export import save_figure_rows
+    # The figure drivers call the harness through many layers; the scheduler
+    # choice is a process-wide default (restored afterwards for in-process
+    # callers) rather than a per-driver parameter.
+    with using_scheduler(args.scheduler):
+        for name in names:
+            driver_name, series, value = _FIGURES[name]
+            driver = getattr(experiments, driver_name)
+            kwargs = {}
+            if args.procs is not None:
+                kwargs["process_counts"] = tuple(args.procs)
+            if args.iterations is not None and driver_name != "figure6":
+                kwargs["iterations"] = args.iterations
+            rows = driver(**kwargs)
+            print(format_figure(rows, title=f"Figure {name}", series=series, value=value))
+            print()
+            if args.output_dir:
+                from repro.bench.export import save_figure_rows
 
-            paths = save_figure_rows(rows, args.output_dir, f"figure_{name.replace('-', '_')}")
-            print(f"  saved: {paths['csv']} and {paths['json']}\n")
+                paths = save_figure_rows(rows, args.output_dir, f"figure_{name.replace('-', '_')}")
+                print(f"  saved: {paths['csv']} and {paths['json']}\n")
     return 0
 
 
@@ -140,12 +207,10 @@ def _run_bench(args: argparse.Namespace) -> int:
         benchmark=args.benchmark,
         iterations=args.iterations,
         fw=args.fw,
-        t_dc=args.t_dc,
-        t_l=tuple(args.t_l) if args.t_l else None,
-        t_r=args.t_r,
         seed=args.seed,
+        **_threshold_kwargs(args),
     )
-    result = run_lock_benchmark(config)
+    result = run_lock_benchmark(config, scheduler=args.scheduler)
     print(format_table([result.as_row()]))
     print(f"\nRMA operations issued: {sum(result.op_counts.values())} ({dict(sorted(result.op_counts.items()))})")
     return 0

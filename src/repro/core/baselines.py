@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.api.registry import register_scheme
 from repro.core.layout import LayoutAllocator
 from repro.core.lock_base import LockHandle, LockSpec, RWLockHandle, RWLockSpec
 from repro.rma.ops import AtomicOp
@@ -184,3 +185,26 @@ class FompiRWLockHandle(RWLockHandle):
         spec = self.spec
         ctx.accumulate(-_RW_WRITER_BIT, spec.home_rank, spec.word_offset, AtomicOp.SUM)
         ctx.flush(spec.home_rank)
+
+
+# --------------------------------------------------------------------------- #
+# Registry entries (see repro.api): the centralized foMPI baselines.
+# --------------------------------------------------------------------------- #
+
+@register_scheme(
+    "fompi-spin",
+    category="mcs",
+    help="centralized CAS spin lock with exponential back-off (foMPI-Spin stand-in)",
+)
+def _build_fompi_spin(machine) -> FompiSpinLockSpec:
+    return FompiSpinLockSpec(num_processes=machine.num_processes)
+
+
+@register_scheme(
+    "fompi-rw",
+    rw=True,
+    category="rw",
+    help="centralized reader-counter/writer-bit RW lock (foMPI-RW stand-in)",
+)
+def _build_fompi_rw(machine) -> FompiRWLockSpec:
+    return FompiRWLockSpec(num_processes=machine.num_processes)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.api.registry import register_scheme
 from repro.core.constants import NULL_RANK
 from repro.core.layout import LayoutAllocator
 from repro.core.lock_base import LockHandle, LockSpec
@@ -117,3 +118,16 @@ class DMCSLockHandle(LockHandle):
         # Notify the successor.
         ctx.put(_GRANTED, succ, spec.status_offset)
         ctx.flush(succ)
+
+
+# --------------------------------------------------------------------------- #
+# Registry entry (see repro.api).
+# --------------------------------------------------------------------------- #
+
+@register_scheme(
+    "d-mcs",
+    category="mcs",
+    help="distributed topology-oblivious MCS queue lock (Listings 2-3)",
+)
+def _build_dmcs(machine) -> DMCSLockSpec:
+    return DMCSLockSpec(num_processes=machine.num_processes)

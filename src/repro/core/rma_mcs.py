@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Tuple
 
+from repro.api.registry import ParamSpec, register_scheme
 from repro.core.constants import (
     ACQUIRE_START,
     NULL_RANK,
@@ -182,3 +183,23 @@ class RMAMCSLockHandle(LockHandle):
             # Level 1 has no parent; the lock itself is handed to the successor.
             ctx.put(status + 1, succ, status_off)
         ctx.flush(succ)
+
+
+# --------------------------------------------------------------------------- #
+# Registry entry (see repro.api).
+# --------------------------------------------------------------------------- #
+
+@register_scheme(
+    "rma-mcs",
+    category="mcs",
+    params=(
+        ParamSpec(
+            "t_l", int, None,
+            "per-level locality thresholds T_L,i (max consecutive passings per element)",
+            sequence=True,
+        ),
+    ),
+    help="topology-aware distributed MCS lock: a tree of queues (Section 3.5)",
+)
+def _build_rma_mcs(machine: Machine, t_l=None) -> RMAMCSLockSpec:
+    return RMAMCSLockSpec(machine, t_l=t_l)

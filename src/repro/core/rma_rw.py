@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Tuple
 
+from repro.api.registry import ParamSpec, register_scheme
 from repro.core.constants import (
     ACQUIRE_START,
     NULL_RANK,
@@ -360,3 +361,27 @@ class RMARWLockHandle(RWLockHandle):
     def counter_handle(self) -> DistributedCounterHandle:
         """The distributed-counter handle (exposed for tests and diagnostics)."""
         return self._dc
+
+
+# --------------------------------------------------------------------------- #
+# Registry entry (see repro.api).
+# --------------------------------------------------------------------------- #
+
+@register_scheme(
+    "rma-rw",
+    rw=True,
+    category="rw",
+    params=(
+        ParamSpec("t_dc", int, None, "distributed-counter stride in ranks (default: one counter per node)"),
+        ParamSpec(
+            "t_l", int, None,
+            "per-level locality thresholds T_L,i (max consecutive passings per element)",
+            sequence=True,
+        ),
+        ParamSpec("t_r", int, 64, "consecutive reader acquisitions per counter before a writer wins"),
+        ParamSpec("t_w", int, None, "writer hand-overs at the tree root before readers win (default: prod T_L,i)"),
+    ),
+    help="topology-aware distributed reader-writer lock (Section 3)",
+)
+def _build_rma_rw(machine: Machine, t_dc=None, t_l=None, t_r=64, t_w=None) -> RMARWLockSpec:
+    return RMARWLockSpec(machine, t_dc=t_dc, t_l=t_l, t_r=t_r, t_w=t_w)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.api.registry import register_scheme
 from repro.core.layout import LayoutAllocator
 from repro.rma.ops import AtomicOp
 from repro.rma.runtime_base import ProcessContext
@@ -160,3 +161,21 @@ class _StripeGuard:
         else:
             self.handle.release_read(self.volume)
         return False
+
+
+# --------------------------------------------------------------------------- #
+# Registry entry (see repro.api).  The striped lock's handle takes a volume
+# argument, so it is not a plain LockHandle and opts out of the lock
+# microbenchmark harness (harness=False); the DHT workload builds it through
+# the registry like every other scheme.
+# --------------------------------------------------------------------------- #
+
+@register_scheme(
+    "striped-rw",
+    rw=True,
+    category="dht",
+    harness=False,
+    help="one centralized RW lock word per local volume (fine-grained striping)",
+)
+def _build_striped_rw(machine) -> StripedRWLockSpec:
+    return StripedRWLockSpec(num_processes=machine.num_processes)

@@ -13,15 +13,14 @@ fraction ``F_W``.  Three synchronization variants are compared:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional, Sequence
+from typing import Dict, Literal, Optional, Sequence
 
-from repro.core.baselines import FompiRWLockSpec
+from repro.api.registry import get_scheme
 from repro.core.lock_base import RWLockSpec
-from repro.core.rma_rw import RMARWLockSpec
 from repro.dht.distributions import DISTRIBUTIONS, KeyDistribution
 from repro.dht.hashtable import DHTSpec
 from repro.dht.striped_lock import StripedRWLockSpec
-from repro.rma.runtime_base import ProcessContext, WindowInit
+from repro.rma.runtime_base import ProcessContext
 from repro.rma.sim_runtime import SimRuntime
 from repro.topology.machine import Machine
 
@@ -127,19 +126,20 @@ def build_dht_setup(config: DHTWorkloadConfig):
         # Every process may direct all of its inserts at the victim volume.
         heap_size = max(4, (p - 1) * config.ops_per_process + 8)
 
+    # "fompi-a" is lock-free; every other variant is built through the scheme
+    # registry, so any registered reader-writer lock (including third-party
+    # ones) can bracket the DHT operations.
     lock_spec: Optional[RWLockSpec | StripedRWLockSpec]
-    if config.scheme == "rma-rw":
-        lock_spec = RMARWLockSpec(
-            machine, t_dc=config.t_dc, t_l=config.t_l, t_r=config.t_r
-        )
-    elif config.scheme == "fompi-rw":
-        lock_spec = FompiRWLockSpec(num_processes=p)
-    elif config.scheme == "striped-rw":
-        lock_spec = StripedRWLockSpec(num_processes=p)
-    elif config.scheme == "fompi-a":
+    if config.scheme == "fompi-a":
         lock_spec = None
     else:
-        raise ValueError(f"unknown DHT scheme {config.scheme!r}")
+        info = get_scheme(config.scheme)
+        if not info.rw:
+            raise ValueError(
+                f"DHT scheme {config.scheme!r} must be a reader-writer lock "
+                f"(or 'fompi-a' for the lock-free variant)"
+            )
+        lock_spec = info.build(machine, **info.params_from_config(config))
 
     dht_base = lock_spec.window_words if lock_spec is not None else 0
     dht_spec = DHTSpec(

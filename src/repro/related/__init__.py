@@ -26,10 +26,12 @@ on both the simulated and the threaded runtime, so they slot into the same
 benchmarks, instrumentation and tests as the paper's own locks.
 """
 
-from repro.related.cohort import CohortTicketLockHandle, CohortTicketLockSpec
-from repro.related.hbo import HBOLockHandle, HBOLockSpec
-from repro.related.numa_rw import NumaRWLockHandle, NumaRWLockSpec
+# Import order fixes the scheme-registry (and therefore catalogue/figure)
+# order: ticket, hbo, cohort, numa-rw — the order of the paper's discussion.
 from repro.related.ticket import TicketLockHandle, TicketLockSpec
+from repro.related.hbo import HBOLockHandle, HBOLockSpec
+from repro.related.cohort import CohortTicketLockHandle, CohortTicketLockSpec
+from repro.related.numa_rw import NumaRWLockHandle, NumaRWLockSpec
 
 __all__ = [
     "CohortTicketLockHandle",

@@ -27,13 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.api.registry import ParamSpec, register_scheme
 from repro.core.layout import LayoutAllocator
 from repro.core.lock_base import LockHandle, LockSpec
 from repro.rma.ops import AtomicOp
 from repro.rma.runtime_base import ProcessContext
 from repro.topology.machine import Machine
 
-__all__ = ["CohortTicketLockSpec", "CohortTicketLockHandle"]
+__all__ = ["CohortTicketLockSpec", "CohortTicketLockHandle", "leaf_threshold_from_config"]
 
 #: Default bound on consecutive intra-node hand-offs before the global lock
 #: must be released (the cohort literature calls this the "may-pass-local"
@@ -187,3 +188,36 @@ class CohortTicketLockHandle(LockHandle):
         ctx.flush(spec.home_rank)
         ctx.accumulate(1, leader, spec.local_serving_offset, AtomicOp.SUM)
         ctx.flush(leader)
+
+
+# --------------------------------------------------------------------------- #
+# Registry entry (see repro.api).
+# --------------------------------------------------------------------------- #
+
+def leaf_threshold_from_config(config, default: int = DEFAULT_MAX_LOCAL_PASSES) -> int:
+    """May-pass-local bound from a benchmark config's leaf-level ``t_l``.
+
+    The cohort-style locks reuse the leaf-level locality threshold as their
+    may-pass-local bound so that a sweep over ``t_l`` exercises the same knob
+    everywhere (Sections 2.3 and 7).
+    """
+    t_l = getattr(config, "t_l", None)
+    if not t_l:
+        return default
+    return max(1, int(list(t_l)[-1]))
+
+
+@register_scheme(
+    "cohort",
+    category="related-mcs",
+    params=(
+        ParamSpec(
+            "max_local_passes", int, DEFAULT_MAX_LOCAL_PASSES,
+            "consecutive intra-node hand-offs before the global lock is released",
+            from_config=leaf_threshold_from_config,
+        ),
+    ),
+    help="two-level cohort lock, C-TKT-TKT instantiation (Dice, Marathe & Shavit)",
+)
+def _build_cohort(machine: Machine, max_local_passes: int = DEFAULT_MAX_LOCAL_PASSES) -> CohortTicketLockSpec:
+    return CohortTicketLockSpec(machine, max_local_passes=max_local_passes)

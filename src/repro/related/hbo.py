@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
+from repro.api.registry import ParamSpec, register_scheme
 from repro.core.constants import NULL_RANK
 from repro.core.layout import LayoutAllocator
 from repro.core.lock_base import LockHandle, LockSpec
@@ -139,3 +140,31 @@ class HBOLockHandle(LockHandle):
         value = ctx.get(spec.home_rank, spec.lock_offset)
         ctx.flush(spec.home_rank)
         return None if value == NULL_RANK else value
+
+
+# --------------------------------------------------------------------------- #
+# Registry entry (see repro.api).
+# --------------------------------------------------------------------------- #
+
+@register_scheme(
+    "hbo",
+    category="related-mcs",
+    params=(
+        ParamSpec("local_cap_us", float, DEFAULT_LOCAL_CAP_US, "backoff cap when the holder is node-local [us]"),
+        ParamSpec("remote_cap_us", float, DEFAULT_REMOTE_CAP_US, "backoff cap when the holder is remote [us]"),
+        ParamSpec("min_backoff_us", float, DEFAULT_MIN_BACKOFF_US, "initial backoff; doubles up to the cap [us]"),
+    ),
+    help="hierarchical backoff lock (Radovic & Hagersten, HPCA'03)",
+)
+def _build_hbo(
+    machine: Machine,
+    local_cap_us: float = DEFAULT_LOCAL_CAP_US,
+    remote_cap_us: float = DEFAULT_REMOTE_CAP_US,
+    min_backoff_us: float = DEFAULT_MIN_BACKOFF_US,
+) -> HBOLockSpec:
+    return HBOLockSpec(
+        machine,
+        local_cap_us=local_cap_us,
+        remote_cap_us=remote_cap_us,
+        min_backoff_us=min_backoff_us,
+    )

@@ -24,11 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Mapping
 
+from repro.api.registry import ParamSpec, register_scheme
 from repro.core.layout import LayoutAllocator
 from repro.core.lock_base import RWLockHandle, RWLockSpec
 from repro.rma.ops import AtomicOp
 from repro.rma.runtime_base import ProcessContext
-from repro.related.cohort import CohortTicketLockSpec
+from repro.related.cohort import CohortTicketLockSpec, leaf_threshold_from_config
 from repro.topology.machine import Machine
 
 __all__ = ["NumaRWLockSpec", "NumaRWLockHandle"]
@@ -165,3 +166,24 @@ class NumaRWLockHandle(RWLockHandle):
         ctx.put(0, spec.home_rank, spec.writer_present_offset)
         ctx.flush(spec.home_rank)
         self._writer_lock.release()
+
+
+# --------------------------------------------------------------------------- #
+# Registry entry (see repro.api).
+# --------------------------------------------------------------------------- #
+
+@register_scheme(
+    "numa-rw",
+    rw=True,
+    category="related-rw",
+    params=(
+        ParamSpec(
+            "max_local_passes", int, 16,
+            "cohort bound of the internal writer lock",
+            from_config=leaf_threshold_from_config,
+        ),
+    ),
+    help="NUMA-aware RW lock with per-node reader counters (Calciu et al.)",
+)
+def _build_numa_rw(machine: Machine, max_local_passes: int = 16) -> NumaRWLockSpec:
+    return NumaRWLockSpec(machine, max_local_passes=max_local_passes)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.api.registry import ParamSpec, register_scheme
 from repro.core.layout import LayoutAllocator
 from repro.core.lock_base import LockHandle, LockSpec
 from repro.rma.ops import AtomicOp
@@ -107,3 +108,19 @@ class TicketLockHandle(LockHandle):
         serving = ctx.get(spec.home_rank, spec.now_serving_offset)
         ctx.flush(spec.home_rank)
         return max(0, nxt - serving)
+
+
+# --------------------------------------------------------------------------- #
+# Registry entry (see repro.api).
+# --------------------------------------------------------------------------- #
+
+@register_scheme(
+    "ticket",
+    category="related-mcs",
+    params=(
+        ParamSpec("home_rank", int, 0, "rank hosting NEXT_TICKET and NOW_SERVING"),
+    ),
+    help="centralized FIFO ticket lock (strongest centralized baseline)",
+)
+def _build_ticket(machine, home_rank=0) -> TicketLockSpec:
+    return TicketLockSpec(num_processes=machine.num_processes, home_rank=home_rank)

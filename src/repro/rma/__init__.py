@@ -1,4 +1,12 @@
-"""RMA substrate: windows, the Listing-1 call set, latency model and runtimes."""
+"""RMA substrate: windows, the Listing-1 call set, latency model and runtimes.
+
+Every runtime backend self-registers with the :mod:`repro.api` runtime
+registry at import (``"horizon"`` — :class:`SimRuntime`, ``"baseline"`` —
+:class:`BaselineSimRuntime`, ``"thread"`` — :class:`ThreadRuntime`), so the
+benchmark harness, the CLI's ``--scheduler`` flag and ``Cluster(runtime=...)``
+all resolve backends by name; third-party backends join the same catalogue
+via ``@repro.api.register_runtime``.
+"""
 
 from repro.rma.baseline_runtime import BaselineSimRuntime
 from repro.rma.fabric import FabricContentionModel

@@ -40,8 +40,9 @@ from __future__ import annotations
 
 import threading
 from collections import Counter, defaultdict
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.api.registry import register_runtime
 from repro.rma.fabric import FabricContentionModel
 from repro.rma.latency import LatencyModel
 from repro.rma.ops import AtomicOp, RMACall
@@ -532,3 +533,24 @@ class BaselineSimRuntime(RMARuntime):
             self._maybe_switch(state)
         else:
             self._wait_for_turn(state)
+
+
+# --------------------------------------------------------------------------- #
+# Registry entry (see repro.api): the preserved seed scheduler.
+# --------------------------------------------------------------------------- #
+
+@register_runtime(
+    "baseline",
+    help="preserved seed scheduler (slower; bit-identical reference for 'horizon')",
+)
+def _make_baseline_runtime(
+    machine, *, window_words=64, seed=0, latency=None, fabric=None, tracer=None
+):
+    return BaselineSimRuntime(
+        machine,
+        window_words=window_words,
+        latency=latency,
+        fabric=fabric,
+        tracer=tracer,
+        seed=seed,
+    )

@@ -15,7 +15,7 @@ absolute magnitudes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Dict, List, Tuple
 

@@ -49,7 +49,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.rma.ops import AtomicOp, RMACall
+from repro.rma.ops import AtomicOp
 
 __all__ = [
     "Cell",

@@ -61,6 +61,7 @@ from collections import defaultdict
 from heapq import heappop, heappush
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.api.registry import register_runtime
 from repro.rma.fabric import FabricContentionModel
 from repro.rma.latency import LatencyModel, cost_table
 from repro.rma.ops import CALLS, CALL_INDEX, NUM_CALLS, AtomicOp, RMACall
@@ -832,3 +833,24 @@ class SimRuntime(RMARuntime):
         if release_time < h[0] or (release_time == h[0] and me < h[1]):
             return
         self._schedule(state)
+
+
+# --------------------------------------------------------------------------- #
+# Registry entry (see repro.api): the default scheduler.
+# --------------------------------------------------------------------------- #
+
+@register_runtime(
+    "horizon",
+    help="min-heap time-horizon scheduler (the fast default; bit-identical to 'baseline')",
+)
+def _make_horizon_runtime(
+    machine, *, window_words=64, seed=0, latency=None, fabric=None, tracer=None
+):
+    return SimRuntime(
+        machine,
+        window_words=window_words,
+        latency=latency,
+        fabric=fabric,
+        tracer=tracer,
+        seed=seed,
+    )

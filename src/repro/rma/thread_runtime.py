@@ -18,8 +18,9 @@ from __future__ import annotations
 import threading
 import time
 from collections import Counter
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
+from repro.api.registry import register_runtime
 from repro.rma.ops import AtomicOp, RMACall
 from repro.rma.runtime_base import (
     Cell,
@@ -222,3 +223,23 @@ class ThreadRuntime(RMARuntime):
             op_counts={k: int(v) for k, v in totals.items()},
             per_rank_op_counts=[dict(c.op_counts) for c in contexts],
         )
+
+
+# --------------------------------------------------------------------------- #
+# Registry entry (see repro.api): the wall-clock stress backend.
+# --------------------------------------------------------------------------- #
+
+@register_runtime(
+    "thread",
+    deterministic=False,
+    help="one OS thread per rank with genuine races (wall-clock time)",
+)
+def _make_thread_runtime(
+    machine, *, window_words=64, seed=0, latency=None, fabric=None, tracer=None
+):
+    if latency is not None or fabric is not None or tracer is not None:
+        raise ValueError(
+            "the thread runtime executes in wall-clock time and accepts no "
+            "latency, fabric or tracer models"
+        )
+    return ThreadRuntime(machine, window_words=window_words, seed=seed)

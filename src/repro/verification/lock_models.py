@@ -27,7 +27,7 @@ Provided models:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from repro.verification.interleaving import ModelChecker
 

@@ -131,3 +131,60 @@ class TestRelatedFigureNames:
         assert code == 0
         assert "Figure related-rw" in out
         assert "numa-rw" in out
+
+
+class TestSchedulerFlag:
+    def test_bench_accepts_scheduler_choices(self):
+        args = build_parser().parse_args(["bench", "--scheduler", "baseline"])
+        assert args.scheduler == "baseline"
+        args = build_parser().parse_args(["figures", "4a", "--scheduler", "baseline"])
+        assert args.scheduler == "baseline"
+
+    def test_bench_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--scheduler", "bogus"])
+
+    def test_bench_baseline_scheduler_output_is_identical(self, capsys):
+        argv = ["bench", "--scheme", "rma-rw", "--procs", "8", "--procs-per-node", "4",
+                "--iterations", "5", "--t-l", "2", "2"]
+        assert main(argv + ["--scheduler", "horizon"]) == 0
+        horizon_out = capsys.readouterr().out
+        assert main(argv + ["--scheduler", "baseline"]) == 0
+        baseline_out = capsys.readouterr().out
+        assert horizon_out == baseline_out
+
+    def test_figures_scheduler_flag_runs_and_restores_default(self, capsys):
+        code = main(["figures", "4a", "--procs", "4", "--iterations", "4",
+                     "--scheduler", "baseline"])
+        assert code == 0
+        assert "Figure 4a" in capsys.readouterr().out
+        # The process-wide default must come back to the fast scheduler for
+        # any later in-process caller (the figures command uses a context
+        # manager, not a permanent switch).
+        from repro.bench.harness import default_scheduler
+
+        assert default_scheduler() == "horizon"
+
+
+class TestGeneratedThresholdFlags:
+    def test_t_w_flag_is_generated_from_registry(self, capsys):
+        code = main([
+            "bench", "--scheme", "rma-rw", "--procs", "8", "--procs-per-node", "4",
+            "--iterations", "4", "--t-l", "2", "2", "--t-w", "3",
+        ])
+        assert code == 0
+        assert "rma-rw" in capsys.readouterr().out
+
+    def test_help_names_the_schemes_using_each_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--help"])
+        out = capsys.readouterr().out
+        assert "--t-dc" in out and "--t-r" in out and "--t-l" in out and "--t-w" in out
+        assert "schemes: rma-rw" in out
+
+    def test_figures_unknown_name_suggests_close_match(self, capsys):
+        code = main(["figures", "4x"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown figure" in err
+        assert "Did you mean" in err

@@ -84,3 +84,9 @@ def test_trace_analysis(monkeypatch, capsys):
     assert "RMA-MCS" in out
     assert "operation share by distance" in out
     assert "hottest remote targets" in out
+
+
+def test_custom_lock(monkeypatch, capsys):
+    out = run_example("custom_lock.py", monkeypatch, capsys)
+    assert "tas-backoff" in out
+    assert "mutual exclusion through the public API" in out

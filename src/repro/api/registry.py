@@ -74,6 +74,13 @@ class UnknownNameError(ValueError):
         self.known = tuple(known)
         self.suggestion = matches[0] if matches else None
 
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with the stored message
+        # only, which fails for this 3-argument signature; without this a
+        # worker raising UnknownNameError would kill the multiprocessing
+        # pool's result handler and hang the campaign executor forever.
+        return (UnknownNameError, (self.kind, self.name, list(self.known)))
+
 
 @dataclass(frozen=True)
 class ParamSpec:

@@ -1,0 +1,725 @@
+"""Campaign engine: declarative sweep grids, a parallel executor and a cache.
+
+The paper's evaluation is a large cross-product of schemes × process counts ×
+workloads; running every configuration serially in one process fights the
+"fast as the hardware allows" goal.  This module turns a sweep into three
+separable concerns:
+
+* **Campaigns** — a :class:`CampaignSpec` is a named grid over *registry*
+  entries (schemes resolved through :mod:`repro.api`, so third-party locks
+  join sweeps for free), expanded into :class:`CampaignPoint` rows.  Built-in
+  campaigns register at import time; ``repro campaign list/show/run`` surfaces
+  them on the CLI.
+* **Parallel execution** — :func:`parallel_map` fans work out over a
+  ``multiprocessing`` pool (``jobs`` defaults to ``os.cpu_count()``).  Every
+  point carries its own seed and the simulator is fully deterministic, so a
+  parallel run produces rows bit-identical to a serial one; the executor
+  preserves submission order.  :func:`execute_tasks` is the same pool applied
+  to arbitrary benchmark tasks — the figure drivers' sweeps ride on it.
+* **Content-addressed result cache** — :class:`ResultCache` keys each point on
+  a SHA-256 of its canonical configuration plus the *golden fingerprint
+  epoch* (a hash of ``tests/rma/golden/seed_scheduler.json`` and the cache
+  schema version).  Re-running a campaign recomputes only new points; a
+  re-blessed golden file or schema bump invalidates everything at once.
+
+``repro regress`` (:mod:`repro.bench.regress`) runs a campaign through this
+engine and gates its rows against the committed ``BENCH_campaign.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import multiprocessing
+import os
+import platform
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.registry import UnknownNameError, get_runtime, get_scheme, scheme_names
+from repro.bench.harness import default_scheduler, run_lock_benchmark_detailed
+from repro.bench.workloads import LockBenchConfig
+from repro.topology.builder import cached_machine
+
+__all__ = [
+    "BenchTask",
+    "CampaignPoint",
+    "CampaignReport",
+    "CampaignSpec",
+    "DETERMINISM_FIELDS",
+    "PERF_FIELDS",
+    "ResultCache",
+    "campaign_names",
+    "default_jobs",
+    "execute_tasks",
+    "get_campaign",
+    "golden_epoch",
+    "parallel_map",
+    "register_campaign",
+    "run_campaign",
+    "run_point",
+    "run_result_sha",
+    "write_campaign_json",
+]
+
+#: Bump to invalidate every cached row when the row schema changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Campaign-row fields that must be bit-identical between two runs of the
+#: same tree (and therefore between a run and the committed baseline).
+DETERMINISM_FIELDS: Tuple[str, ...] = (
+    "fingerprint",
+    "elapsed_us",
+    "throughput_mln_s",
+    "latency_mean_us",
+    "latency_p95_us",
+    "acquires",
+    "reads",
+    "writes",
+    "rma_ops",
+    "op_counts",
+)
+
+#: Host-dependent fields gated with tolerances, never bit-exactly.
+PERF_FIELDS: Tuple[str, ...] = ("wall_s", "sim_ops_per_s")
+
+#: Scheme selectors understood by :meth:`CampaignSpec.resolve_schemes`, in
+#: addition to literal registered scheme names.
+SCHEME_SELECTORS: Tuple[str, ...] = ("all", "mcs", "rw", "related-mcs", "related-rw")
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+_GOLDEN_FILE = _REPO_ROOT / "tests" / "rma" / "golden" / "seed_scheduler.json"
+
+
+# --------------------------------------------------------------------------- #
+# Fingerprinting
+# --------------------------------------------------------------------------- #
+
+def canonical_value(value: Any) -> Any:
+    """Bit-exact canonical form (floats rendered as hex) for hashing."""
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, dict):
+        return {str(k): canonical_value(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(v) for v in value]
+    return value
+
+
+def _import_provider(provider: str) -> None:
+    """Import the module that registered a scheme (no-op on failure).
+
+    Under a spawn start method a pool worker re-imports :mod:`repro` with
+    only the builtin registries; pulling in the provider module re-registers
+    third-party schemes.  Import failures fall through so the subsequent
+    registry lookup raises its helpful :class:`UnknownNameError`.
+    """
+    if provider and provider != "__main__":
+        try:
+            importlib.import_module(provider)
+        except ImportError:
+            pass
+
+
+def run_result_sha(result: Any) -> str:
+    """SHA-256 over every determinism-relevant field of a ``RunResult``.
+
+    Covers the per-rank finish times, the op counts (total and per rank), the
+    makespan and the full per-rank returns (which carry the per-iteration
+    latencies), all in the bit-exact canonical form.  Two runs of a
+    deterministic runtime match iff their digests match.
+    """
+    blob = json.dumps(
+        canonical_value(
+            {
+                "finish_times_us": list(result.finish_times_us),
+                "total_time_us": result.total_time_us,
+                "op_counts": dict(result.op_counts),
+                "per_rank_op_counts": [dict(c) for c in result.per_rank_op_counts],
+                "returns": result.returns,
+            }
+        ),
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# Points and campaigns
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One fully-resolved grid point of a campaign (primitives only, so it
+    pickles cheaply into pool workers and hashes canonically for the cache)."""
+
+    scheme: str
+    benchmark: str
+    procs: int
+    procs_per_node: int = 8
+    iterations: int = 10
+    fw: float = 0.02
+    seed: int = 1
+    scheduler: str = "horizon"
+    topology: str = "xc30"
+    params: Tuple[Tuple[str, Any], ...] = ()
+    #: Module that registered the scheme; imported in pool workers so
+    #: third-party locks survive spawn-based start methods (not part of the
+    #: cache key — it names the provider, not the configuration).
+    provider: str = ""
+
+    @property
+    def case(self) -> str:
+        """Stable row key joining a run to the committed baseline manifest.
+
+        Every configuration axis that can vary between points appears in the
+        name (non-default axes as suffixes), so two distinct points can never
+        collide on one baseline row.
+        """
+        name = (
+            f"{self.scheme}-{self.benchmark}-p{self.procs}"
+            f"-fw{self.fw:g}-s{self.seed}-i{self.iterations}"
+        )
+        if self.procs_per_node != 8:
+            name += f"-ppn{self.procs_per_node}"
+        if self.scheduler != "horizon":
+            name += f"-{self.scheduler}"
+        if self.topology != "xc30":
+            name += f"-{self.topology}"
+        if self.params:
+            name += "-" + "-".join(f"{k}={v}" for k, v in self.params)
+        return name
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical JSON-able description (the cache-key input)."""
+        return {
+            "scheme": self.scheme,
+            "benchmark": self.benchmark,
+            "procs": self.procs,
+            "procs_per_node": self.procs_per_node,
+            "iterations": self.iterations,
+            "fw": self.fw,
+            "seed": self.seed,
+            "scheduler": self.scheduler,
+            "topology": self.topology,
+            "params": {k: list(v) if isinstance(v, tuple) else v for k, v in self.params},
+        }
+
+    def config(self) -> LockBenchConfig:
+        _import_provider(self.provider)
+        machine = cached_machine(self.procs, self.procs_per_node, self.topology)
+        return LockBenchConfig(
+            machine=machine,
+            scheme=self.scheme,
+            benchmark=self.benchmark,
+            iterations=self.iterations,
+            fw=self.fw,
+            seed=self.seed,
+            **dict(self.params),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named grid over registry entries.
+
+    ``schemes`` accepts literal registered names and the selectors ``"all"``
+    (every harness-capable scheme) or a category name (``"mcs"``, ``"rw"``,
+    ``"related-mcs"``, ``"related-rw"``) — resolved against the *live* scheme
+    registry at expansion time, so a third-party ``@register_scheme`` lock
+    joins every selector-based campaign without touching this module.
+
+    The grid is schemes × benchmarks × process_counts × fw_values; writer
+    fractions beyond the first are skipped for non-RW schemes (they ignore
+    ``fw``, so the extra points would be duplicate work under new names).
+    """
+
+    name: str
+    help: str = ""
+    schemes: Tuple[str, ...] = ("all",)
+    benchmarks: Tuple[str, ...] = ("wcsb",)
+    process_counts: Tuple[int, ...] = (8, 32, 64)
+    fw_values: Tuple[float, ...] = (0.02,)
+    iterations: int = 10
+    procs_per_node: int = 8
+    seed: int = 1
+    scheduler: str = "horizon"
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def resolve_schemes(self) -> Tuple[str, ...]:
+        """Expand selectors through the scheme registry, preserving order."""
+        out: List[str] = []
+        for token in self.schemes:
+            if token == "all":
+                names = scheme_names(harness=True)
+            elif token in SCHEME_SELECTORS:
+                names = tuple(
+                    n for n in scheme_names(category=token) if get_scheme(n).harness
+                )
+            else:
+                info = get_scheme(token)  # raises UnknownNameError with hints
+                if not info.harness:
+                    raise ValueError(
+                        f"scheme {token!r} does not follow the plain lock-handle "
+                        f"protocol and cannot run in a campaign grid"
+                    )
+                names = (token,)
+            for name in names:
+                if name not in out:
+                    out.append(name)
+        return tuple(out)
+
+    def points(self) -> List[CampaignPoint]:
+        """The fully-expanded grid, in deterministic order."""
+        points: List[CampaignPoint] = []
+        for scheme in self.resolve_schemes():
+            info = get_scheme(scheme)
+            provider = getattr(info.builder, "__module__", "") or ""
+            fw_axis = self.fw_values if info.rw else self.fw_values[:1]
+            for benchmark in self.benchmarks:
+                for procs in self.process_counts:
+                    for fw in fw_axis:
+                        points.append(
+                            CampaignPoint(
+                                scheme=scheme,
+                                benchmark=benchmark,
+                                procs=procs,
+                                procs_per_node=self.procs_per_node,
+                                iterations=self.iterations,
+                                fw=fw,
+                                seed=self.seed,
+                                scheduler=self.scheduler,
+                                params=self.params,
+                                provider=provider,
+                            )
+                        )
+        return points
+
+
+_campaigns: Dict[str, CampaignSpec] = {}
+
+
+def register_campaign(spec: CampaignSpec, *, replace: bool = False) -> CampaignSpec:
+    """Register a campaign under its name (``replace=True`` to override)."""
+    if spec.name in _campaigns and not replace:
+        raise ValueError(
+            f"campaign {spec.name!r} is already registered; pass replace=True to override it"
+        )
+    _campaigns[spec.name] = spec
+    return spec
+
+
+def unregister_campaign(name: str) -> None:
+    """Remove a campaign registration (for tests tearing down custom entries)."""
+    _campaigns.pop(name, None)
+
+
+def get_campaign(name: str) -> CampaignSpec:
+    """Look up a registered campaign (raises :class:`UnknownNameError`)."""
+    try:
+        return _campaigns[name]
+    except KeyError:
+        raise UnknownNameError("campaign", name, list(_campaigns)) from None
+
+
+def campaign_names() -> Tuple[str, ...]:
+    """Registered campaign names, in registration order."""
+    return tuple(_campaigns)
+
+
+# The built-in campaigns.  ``ci-gate`` is the manifest `repro regress` gates
+# on: every harness scheme (all nine built-ins plus whatever third parties
+# registered) on WCSB across the contention axis the related RDMA-lock
+# studies show flips conclusions.
+register_campaign(
+    CampaignSpec(
+        name="ci-gate",
+        help="every harness scheme on wcsb at P in {8, 32, 64} (the regress gate)",
+        schemes=("all",),
+        benchmarks=("wcsb",),
+        process_counts=(8, 32, 64),
+        fw_values=(0.02,),
+        iterations=8,
+        procs_per_node=8,
+        seed=1,
+    )
+)
+register_campaign(
+    CampaignSpec(
+        name="rw-contention",
+        help="reader-writer schemes across the writer-fraction axis on ecsb",
+        schemes=("rw", "related-rw"),
+        benchmarks=("ecsb",),
+        process_counts=(8, 32, 64),
+        fw_values=(0.002, 0.02, 0.2),
+        iterations=10,
+        procs_per_node=8,
+        seed=2,
+    )
+)
+register_campaign(
+    CampaignSpec(
+        name="mcs-suite",
+        help="mutual-exclusion schemes on all five paper microbenchmarks",
+        schemes=("mcs", "related-mcs"),
+        benchmarks=("lb", "ecsb", "sob", "wcsb", "warb"),
+        process_counts=(8, 32, 64),
+        fw_values=(0.0,),
+        iterations=8,
+        procs_per_node=8,
+        seed=3,
+    )
+)
+
+
+# --------------------------------------------------------------------------- #
+# Parallel execution
+# --------------------------------------------------------------------------- #
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs`` is not given: ``REPRO_JOBS`` or all cores."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any], *, jobs: Optional[int] = None) -> List[Any]:
+    """``[fn(x) for x in items]`` fanned out over a process pool.
+
+    Order is preserved and ``jobs <= 1`` (or a single item) runs inline, so a
+    parallel map is observably identical to the serial loop whenever ``fn`` is
+    deterministic — which every simulator workload is, because each item
+    carries its own seed and the workers share no state.  ``fn`` and the items
+    must be picklable (the pool uses the default start method; under
+    ``spawn`` workers re-import :mod:`repro` and the lazy registries reload).
+    """
+    items = list(items)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    jobs = min(jobs, len(items))
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with multiprocessing.get_context().Pool(processes=jobs) as pool:
+        return pool.map(fn, items, chunksize=1)
+
+
+@dataclass(frozen=True)
+class BenchTask:
+    """One unit of sweep work for :func:`execute_tasks`.
+
+    ``kind="lock"`` runs the lock microbenchmark harness on ``config`` (a
+    :class:`LockBenchConfig`); ``kind="dht"`` runs the Figure-6 hashtable
+    workload on a ``DHTWorkloadConfig``.  ``latency``/``fabric`` carry the
+    ablations' model overrides; ``scheduler`` pins the runtime backend of a
+    lock task (when ``None`` the submitter's process-wide default is captured
+    at submit time, so ``using_scheduler`` contexts survive the hop into pool
+    workers).  DHT tasks own their runtime construction and reject a
+    scheduler override.
+    """
+
+    config: Any
+    kind: str = "lock"
+    latency: Any = None
+    fabric: Any = None
+    scheduler: Optional[str] = None
+    #: Module that registered the scheme (filled in by :func:`execute_tasks`);
+    #: imported in pool workers so third-party locks survive spawn.
+    provider: str = ""
+
+
+def _execute_task(task: BenchTask) -> Any:
+    _import_provider(task.provider)
+    if task.kind == "dht":
+        if task.scheduler is not None:
+            # run_dht_benchmark owns its runtime construction; silently
+            # ignoring a requested backend would measure the wrong core.
+            raise ValueError("dht tasks do not support a scheduler override")
+        from repro.dht.workload import run_dht_benchmark
+
+        return run_dht_benchmark(task.config)
+    if task.kind != "lock":
+        raise ValueError(f"unknown bench task kind {task.kind!r}")
+    from repro.bench.harness import run_lock_benchmark
+
+    return run_lock_benchmark(
+        task.config,
+        latency_model=task.latency,
+        fabric=task.fabric,
+        scheduler=task.scheduler,
+    )
+
+
+def execute_tasks(tasks: Sequence[BenchTask], *, jobs: Optional[int] = None) -> List[Any]:
+    """Run benchmark tasks (possibly in parallel), preserving order.
+
+    Results are the same objects the inline calls would return
+    (:class:`~repro.bench.harness.LockBenchResult` /
+    ``DHTBenchOutcome``), bit-identical to a serial sweep.  The submitter's
+    process-wide default scheduler and each scheme's provider module are
+    captured here, so ``using_scheduler`` contexts and third-party
+    ``@register_scheme`` locks both survive the hop into pool workers
+    regardless of the multiprocessing start method.
+    """
+    scheduler = default_scheduler()
+    pinned = []
+    for task in tasks:
+        updates: Dict[str, Any] = {}
+        if task.kind == "lock" and task.scheduler is None:
+            updates["scheduler"] = scheduler
+        if not task.provider:
+            scheme = getattr(task.config, "scheme", "")
+            try:
+                builder = get_scheme(scheme).builder if scheme else None
+            except UnknownNameError:
+                builder = None
+            if builder is not None:
+                updates["provider"] = getattr(builder, "__module__", "") or ""
+        pinned.append(replace(task, **updates) if updates else task)
+    return parallel_map(_execute_task, pinned, jobs=jobs)
+
+
+# --------------------------------------------------------------------------- #
+# Content-addressed result cache
+# --------------------------------------------------------------------------- #
+
+def golden_epoch() -> str:
+    """The cache epoch: hash of the golden fingerprints + the cache schema.
+
+    The golden file pins the observable behaviour of the deterministic
+    scheduler, so any change to it (a semantic re-bless) must invalidate every
+    cached campaign row; ``REPRO_CACHE_EPOCH`` overrides for tests.
+    """
+    env = os.environ.get("REPRO_CACHE_EPOCH")
+    if env:
+        return env
+    digest = hashlib.sha256(f"schema:{CACHE_SCHEMA_VERSION}".encode())
+    if _GOLDEN_FILE.exists():
+        digest.update(_GOLDEN_FILE.read_bytes())
+    else:
+        digest.update(b"no-golden-file")
+    return digest.hexdigest()[:16]
+
+
+class ResultCache:
+    """On-disk content-addressed store of campaign rows.
+
+    Layout: ``<root>/campaign/<epoch>/<key>.json`` with one JSON row per
+    point; ``key`` is the SHA-256 of the point's canonical description plus
+    the epoch.  The default root is ``$REPRO_CACHE_DIR`` or
+    ``<repo>/.repro-cache``.  Eviction is by epoch directory: stale epochs
+    are never read again, so ``prune()`` (or ``rm -rf``) reclaims them.
+    """
+
+    def __init__(self, root: Optional[Path] = None, *, epoch: Optional[str] = None):
+        root = Path(root or os.environ.get("REPRO_CACHE_DIR") or _REPO_ROOT / ".repro-cache")
+        self.root = root / "campaign"
+        self.epoch = epoch or golden_epoch()
+        self.dir = self.root / self.epoch
+
+    def key(self, point: CampaignPoint) -> str:
+        blob = json.dumps(canonical_value(point.describe()), sort_keys=True)
+        return hashlib.sha256(f"{self.epoch}|{blob}".encode()).hexdigest()
+
+    def path(self, point: CampaignPoint) -> Path:
+        return self.dir / f"{self.key(point)}.json"
+
+    def get(self, point: CampaignPoint) -> Optional[Dict[str, Any]]:
+        path = self.path(point)
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def put(self, point: CampaignPoint, row: Mapping[str, Any]) -> Path:
+        path = self.path(point)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        stored = {k: v for k, v in row.items() if k != "cached"}
+        # Per-process tmp name + atomic rename: concurrent campaign processes
+        # computing the same point never tear a row or trip over each other's
+        # tmp file (the last rename wins with identical content).
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(stored, sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    def prune(self) -> int:
+        """Delete every epoch directory except the current one; returns count."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for child in self.root.iterdir():
+            if child.is_dir() and child.name != self.epoch:
+                for entry in child.glob("*"):
+                    entry.unlink()
+                child.rmdir()
+                removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Number of rows stored for the current epoch."""
+        rows = len(list(self.dir.glob("*.json"))) if self.dir.exists() else 0
+        return {"rows": rows}
+
+
+# --------------------------------------------------------------------------- #
+# Campaign execution
+# --------------------------------------------------------------------------- #
+
+def run_point(point: CampaignPoint) -> Dict[str, Any]:
+    """Execute one campaign point and build its row.
+
+    Determinism fields (virtual-time metrics plus the full
+    :func:`run_result_sha` fingerprint) are bit-exact functions of the point's
+    seed; the trailing perf fields (host wall seconds, simulator ops/s) are
+    the only host-dependent entries.
+    """
+    bench, raw = run_lock_benchmark_detailed(point.config(), scheduler=point.scheduler)
+    row: Dict[str, Any] = {
+        "case": point.case,
+        "scheme": point.scheme,
+        "benchmark": point.benchmark,
+        "P": point.procs,
+        "procs_per_node": point.procs_per_node,
+        "iterations": point.iterations,
+        "fw": point.fw,
+        "seed": point.seed,
+        "scheduler": point.scheduler,
+        "params": {k: list(v) if isinstance(v, tuple) else v for k, v in point.params},
+        # determinism fields (bit-exact across hosts and job counts)
+        "fingerprint": run_result_sha(raw),
+        "elapsed_us": bench.elapsed_us,
+        "throughput_mln_s": bench.throughput_mln_per_s,
+        "latency_mean_us": bench.latency_mean_us,
+        "latency_p95_us": bench.latency_p95_us,
+        "acquires": bench.total_acquires,
+        "reads": bench.reads,
+        "writes": bench.writes,
+        "rma_ops": raw.total_ops(),
+        "op_counts": {k: int(v) for k, v in sorted(raw.op_counts.items())},
+        # perf fields (host-dependent, tolerance-gated)
+        "wall_s": round(raw.wall_time_s, 6),
+        "sim_ops_per_s": round(raw.ops_per_sec(), 1),
+    }
+    return row
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one :func:`run_campaign` invocation.
+
+    ``jobs`` is the requested worker count; ``workers`` is how many the pool
+    actually used (capped by the number of computed points — 0 for a fully
+    cached run), which is what timing provenance should cite.
+    """
+
+    name: str
+    rows: List[Dict[str, Any]]
+    jobs: int
+    wall_s: float
+    cache_hits: int
+    cache_misses: int
+    epoch: str
+    workers: int = 0
+
+    @property
+    def points(self) -> int:
+        return len(self.rows)
+
+
+def run_campaign(
+    spec: "CampaignSpec | str",
+    *,
+    jobs: Optional[int] = None,
+    cache: "ResultCache | bool | None" = None,
+    cache_dir: Optional[Path] = None,
+    refresh: bool = False,
+    scheduler: Optional[str] = None,
+) -> CampaignReport:
+    """Expand ``spec`` and execute it on the pool, consulting the cache.
+
+    ``cache=False`` disables caching entirely; ``refresh=True`` ignores
+    cached rows but still stores the fresh results (the cold-timing mode the
+    bless path uses).  ``scheduler`` overrides every point's runtime backend.
+    Each worker re-seeds deterministically from its point's ``seed`` field, so
+    ``jobs=N`` and ``jobs=1`` produce bit-identical rows.
+    """
+    if isinstance(spec, str):
+        spec = get_campaign(spec)
+    if scheduler is not None:
+        get_runtime(scheduler)  # validate early, helpful UnknownNameError
+    points = spec.points()
+    if scheduler is not None:
+        points = [replace(p, scheduler=scheduler) for p in points]
+
+    store: Optional[ResultCache]
+    if cache is False:
+        store = None
+    elif cache is None or cache is True:
+        store = ResultCache(cache_dir)
+    else:
+        store = cache
+
+    t0 = time.perf_counter()
+    rows: List[Optional[Dict[str, Any]]] = [None] * len(points)
+    todo: List[Tuple[int, CampaignPoint]] = []
+    hits = 0
+    for i, point in enumerate(points):
+        cached_row = store.get(point) if (store is not None and not refresh) else None
+        if cached_row is not None:
+            cached_row["cached"] = True
+            rows[i] = cached_row
+            hits += 1
+        else:
+            todo.append((i, point))
+
+    computed = parallel_map(run_point, [p for _, p in todo], jobs=jobs)
+    for (i, point), row in zip(todo, computed):
+        if store is not None:
+            store.put(point, row)
+        row = dict(row)
+        row["cached"] = False
+        rows[i] = row
+
+    wall = time.perf_counter() - t0
+    requested = default_jobs() if jobs is None else max(1, int(jobs))
+    return CampaignReport(
+        name=spec.name,
+        rows=[r for r in rows if r is not None],
+        jobs=requested,
+        wall_s=wall,
+        cache_hits=hits,
+        cache_misses=len(todo),
+        epoch=store.epoch if store is not None else golden_epoch(),
+        workers=min(requested, len(todo)),
+    )
+
+
+def write_campaign_json(
+    report: CampaignReport,
+    path: Path,
+    *,
+    timing: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write a campaign manifest (rows + host metadata + optional timing)."""
+    payload: Dict[str, Any] = {
+        "suite": "campaign",
+        "campaign": report.name,
+        "epoch": report.epoch,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "rows": [{k: v for k, v in row.items() if k != "cached"} for row in report.rows],
+    }
+    if timing is not None:
+        payload["timing"] = dict(timing)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

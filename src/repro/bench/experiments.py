@@ -14,6 +14,14 @@ scaled thresholds and iteration counts so the full suite finishes in minutes.
 Since the horizon-scheduler rewrite of the simulator core (PR 1, ~5x faster;
 see ``benchmarks/test_perf_runtime.py``) the default sweep extends to
 P = 128; pass ``process_counts`` or set ``REPRO_BENCH_PROCS`` to trim it.
+
+Execution: every driver builds its grid of configurations up front and hands
+them to the campaign executor (:func:`repro.bench.campaign.execute_tasks`),
+which fans the points out over a process pool — the big P=128 sweeps
+parallelize embarrassingly.  Each point carries its own seed and the
+simulator is deterministic, so the rows are bit-identical to the old serial
+loops regardless of ``jobs`` (default: all cores; set ``REPRO_JOBS=1`` or
+pass ``jobs=1`` to force the inline path).
 """
 
 from __future__ import annotations
@@ -21,15 +29,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import scheme_names
-from repro.bench.harness import run_lock_benchmark
+from repro.bench.campaign import BenchTask, execute_tasks
 from repro.bench.workloads import (
     LockBenchConfig,
     bench_scale,
     default_process_counts,
 )
-from repro.dht.workload import DHTWorkloadConfig, run_dht_benchmark
+from repro.dht.workload import DHTWorkloadConfig
 from repro.rma.latency import LatencyModel
-from repro.topology.builder import xc30_like
+from repro.topology.builder import cached_machine
 
 __all__ = [
     "figure3",
@@ -64,7 +72,26 @@ def _iterations(base: int) -> int:
 
 def _machines(process_counts: Optional[Sequence[int]], procs_per_node: int) -> List[Tuple[int, object]]:
     counts = tuple(process_counts) if process_counts else default_process_counts()
-    return [(p, xc30_like(p, procs_per_node=procs_per_node)) for p in counts]
+    return [(p, cached_machine(p, procs_per_node)) for p in counts]
+
+
+def _sweep(
+    tasks: Sequence[BenchTask],
+    metas: Sequence[Dict[str, object]],
+    jobs: Optional[int],
+) -> List[Row]:
+    """Execute the grid on the campaign pool and fold the metadata back in.
+
+    Tasks and metadata are parallel lists built in the driver's original
+    nested-loop order, so the returned rows match the old serial sweeps
+    element for element.
+    """
+    rows: List[Row] = []
+    for result, meta in zip(execute_tasks(tasks, jobs=jobs), metas):
+        row = result.as_row()
+        row.update(meta)
+        rows.append(row)
+    return rows
 
 
 def _default_tl(machine) -> Tuple[int, ...]:
@@ -91,9 +118,11 @@ def figure3(
     iterations: int = 20,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figures 3a-3e: the MCS-family comparison across all five microbenchmarks."""
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     iters = _iterations(iterations)
     for benchmark in benchmarks:
         for p, machine in _machines(process_counts, procs_per_node):
@@ -106,11 +135,11 @@ def figure3(
                     t_l=_default_tl(machine),
                     seed=seed,
                 )
-                result = run_lock_benchmark(config)
-                row = result.as_row()
-                row["figure"] = {"lb": "3a", "ecsb": "3b", "sob": "3c", "wcsb": "3d", "warb": "3e"}[benchmark]
-                rows.append(row)
-    return rows
+                tasks.append(BenchTask(config=config))
+                metas.append(
+                    {"figure": {"lb": "3a", "ecsb": "3b", "sob": "3c", "wcsb": "3d", "warb": "3e"}[benchmark]}
+                )
+    return _sweep(tasks, metas, jobs)
 
 
 # --------------------------------------------------------------------------- #
@@ -125,9 +154,11 @@ def figure4a(
     fw: float = 0.02,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 2,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figure 4a: impact of the distributed-counter stride ``T_DC`` (SOB, F_W=2%)."""
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     iters = _iterations(iterations)
     for p, machine in _machines(process_counts, procs_per_node):
         for t_dc in t_dc_values:
@@ -144,12 +175,9 @@ def figure4a(
                 t_r=32,
                 seed=seed,
             )
-            result = run_lock_benchmark(config)
-            row = result.as_row()
-            row["figure"] = "4a"
-            row["t_dc"] = t_dc
-            rows.append(row)
-    return rows
+            tasks.append(BenchTask(config=config))
+            metas.append({"figure": "4a", "t_dc": t_dc})
+    return _sweep(tasks, metas, jobs)
 
 
 def figure4b(
@@ -160,9 +188,11 @@ def figure4b(
     fw: float = 0.25,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 3,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figure 4b: impact of the product of locality thresholds (SOB, F_W=25%)."""
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     iters = _iterations(iterations)
     for p, machine in _machines(process_counts, procs_per_node):
         for product in tl_products:
@@ -178,12 +208,11 @@ def figure4b(
                 t_r=32,
                 seed=seed,
             )
-            result = run_lock_benchmark(config)
-            row = result.as_row()
-            row["figure"] = "4b"
-            row["tl_product"] = t_l1 * t_l2 if machine.n_levels >= 2 else product
-            rows.append(row)
-    return rows
+            tasks.append(BenchTask(config=config))
+            metas.append(
+                {"figure": "4b", "tl_product": t_l1 * t_l2 if machine.n_levels >= 2 else product}
+            )
+    return _sweep(tasks, metas, jobs)
 
 
 def _tl_splits(product: int = 32) -> List[Tuple[int, int]]:
@@ -200,9 +229,11 @@ def figure4c(
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 4,
     benchmark: str = "sob",
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figure 4c: throughput for different splits of a fixed T_L product (SOB, F_W=25%)."""
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     iters = _iterations(iterations)
     for p, machine in _machines(process_counts, procs_per_node):
         for t_l2, t_l1 in _tl_splits(product):
@@ -217,12 +248,11 @@ def figure4c(
                 t_r=32,
                 seed=seed,
             )
-            result = run_lock_benchmark(config)
-            row = result.as_row()
-            row["figure"] = "4c" if benchmark == "sob" else "4d"
-            row["tl_split"] = f"{t_l2}-{t_l1}"
-            rows.append(row)
-    return rows
+            tasks.append(BenchTask(config=config))
+            metas.append(
+                {"figure": "4c" if benchmark == "sob" else "4d", "tl_split": f"{t_l2}-{t_l1}"}
+            )
+    return _sweep(tasks, metas, jobs)
 
 
 def figure4d(
@@ -233,6 +263,7 @@ def figure4d(
     product: int = 32,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 5,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figure 4d: latency for different splits of a fixed T_L product (LB, F_W=25%)."""
     return figure4c(
@@ -243,6 +274,7 @@ def figure4d(
         procs_per_node=procs_per_node,
         seed=seed,
         benchmark="lb",
+        jobs=jobs,
     )
 
 
@@ -254,9 +286,11 @@ def figure4e(
     fw: float = 0.002,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 6,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figure 4e: impact of the reader threshold ``T_R`` (ECSB, F_W=0.2%)."""
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     iters = _iterations(iterations)
     for p, machine in _machines(process_counts, procs_per_node):
         for t_r in t_r_values:
@@ -270,12 +304,9 @@ def figure4e(
                 t_r=t_r,
                 seed=seed,
             )
-            result = run_lock_benchmark(config)
-            row = result.as_row()
-            row["figure"] = "4e"
-            row["t_r"] = t_r
-            rows.append(row)
-    return rows
+            tasks.append(BenchTask(config=config))
+            metas.append({"figure": "4e", "t_r": t_r})
+    return _sweep(tasks, metas, jobs)
 
 
 def figure4f(
@@ -286,9 +317,11 @@ def figure4f(
     iterations: int = 16,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figure 4f: interaction of ``T_R`` with the writer fraction (ECSB, F_W in {2%, 5%})."""
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     iters = _iterations(iterations)
     for p, machine in _machines(process_counts, procs_per_node):
         for fw in fw_values:
@@ -303,13 +336,9 @@ def figure4f(
                     t_r=t_r,
                     seed=seed,
                 )
-                result = run_lock_benchmark(config)
-                row = result.as_row()
-                row["figure"] = "4f"
-                row["t_r"] = t_r
-                row["series"] = f"{t_r}-{fw * 100:g}%"
-                rows.append(row)
-    return rows
+                tasks.append(BenchTask(config=config))
+                metas.append({"figure": "4f", "t_r": t_r, "series": f"{t_r}-{fw * 100:g}%"})
+    return _sweep(tasks, metas, jobs)
 
 
 # --------------------------------------------------------------------------- #
@@ -324,9 +353,11 @@ def figure5(
     iterations: int = 20,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 8,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figures 5a-5c: RMA-RW against the centralized foMPI-RW baseline."""
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     iters = _iterations(iterations)
     figure_names = {"lb": "5a", "ecsb": "5b", "sob": "5c"}
     for benchmark in benchmarks:
@@ -343,12 +374,14 @@ def figure5(
                         t_r=64,
                         seed=seed,
                     )
-                    result = run_lock_benchmark(config)
-                    row = result.as_row()
-                    row["figure"] = figure_names.get(benchmark, "5")
-                    row["series"] = f"{scheme} {fw * 100:g}%"
-                    rows.append(row)
-    return rows
+                    tasks.append(BenchTask(config=config))
+                    metas.append(
+                        {
+                            "figure": figure_names.get(benchmark, "5"),
+                            "series": f"{scheme} {fw * 100:g}%",
+                        }
+                    )
+    return _sweep(tasks, metas, jobs)
 
 
 # --------------------------------------------------------------------------- #
@@ -362,9 +395,11 @@ def figure6(
     ops_per_process: int = 12,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 9,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figures 6a-6d: DHT total time for foMPI-A, foMPI-RW and RMA-RW."""
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     ops = _iterations(ops_per_process)
     figure_names = {0.2: "6a", 0.05: "6b", 0.02: "6c", 0.0: "6d"}
     for fw in fw_values:
@@ -379,20 +414,21 @@ def figure6(
                     t_l=_default_tl(machine),
                     t_r=64,
                 )
-                outcome = run_dht_benchmark(config)
-                rows.append(
-                    {
-                        "figure": figure_names.get(fw, "6"),
-                        "scheme": scheme,
-                        "P": p,
-                        "fw": fw,
-                        "total_time_s": round(outcome.total_time_s, 6),
-                        "total_time_us": round(outcome.total_time_us, 1),
-                        "ops": outcome.total_ops,
-                        "inserts": outcome.inserts,
-                        "lookups": outcome.lookups,
-                    }
-                )
+                tasks.append(BenchTask(config=config, kind="dht"))
+                metas.append({"figure": figure_names.get(fw, "6"), "scheme": scheme, "P": p, "fw": fw})
+    rows: List[Row] = []
+    for outcome, meta in zip(execute_tasks(tasks, jobs=jobs), metas):
+        row: Row = dict(meta)
+        row.update(
+            {
+                "total_time_s": round(outcome.total_time_s, 6),
+                "total_time_us": round(outcome.total_time_us, 1),
+                "ops": outcome.total_ops,
+                "inserts": outcome.inserts,
+                "lookups": outcome.lookups,
+            }
+        )
+        rows.append(row)
     return rows
 
 
@@ -407,9 +443,11 @@ def ablation_counter_placement(
     fw: float = 0.02,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 11,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Single centralized counter vs one counter per node (why the DC exists)."""
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     iters = _iterations(iterations)
     for p, machine in _machines(process_counts, procs_per_node):
         placements = {
@@ -428,12 +466,9 @@ def ablation_counter_placement(
                 t_r=32,
                 seed=seed,
             )
-            result = run_lock_benchmark(config)
-            row = result.as_row()
-            row["figure"] = "ablation-dc"
-            row["series"] = label
-            rows.append(row)
-    return rows
+            tasks.append(BenchTask(config=config))
+            metas.append({"figure": "ablation-dc", "series": label})
+    return _sweep(tasks, metas, jobs)
 
 
 def ablation_flat_latency(
@@ -442,13 +477,15 @@ def ablation_flat_latency(
     iterations: int = 16,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 12,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Topology-aware RMA-MCS vs D-MCS on hierarchical and on flat fabrics.
 
     On a flat fabric (every remote access costs the same) the locality
     thresholds cannot help, so the RMA-MCS advantage should shrink.
     """
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     iters = _iterations(iterations)
     fabrics = {"hierarchical": LatencyModel.cray_xc30(), "flat": LatencyModel.flat(2.0)}
     for fabric_name, latency in fabrics.items():
@@ -462,13 +499,15 @@ def ablation_flat_latency(
                     t_l=_default_tl(machine),
                     seed=seed,
                 )
-                result = run_lock_benchmark(config, latency_model=latency)
-                row = result.as_row()
-                row["figure"] = "ablation-fabric"
-                row["series"] = f"{scheme} ({fabric_name})"
-                row["fabric"] = fabric_name
-                rows.append(row)
-    return rows
+                tasks.append(BenchTask(config=config, latency=latency))
+                metas.append(
+                    {
+                        "figure": "ablation-fabric",
+                        "series": f"{scheme} ({fabric_name})",
+                        "fabric": fabric_name,
+                    }
+                )
+    return _sweep(tasks, metas, jobs)
 
 
 def ablation_handoff_locality(
@@ -478,6 +517,7 @@ def ablation_handoff_locality(
     iterations: int = 12,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 14,
+    jobs: Optional[int] = None,  # accepted for driver-signature parity; runs serially
 ) -> List[Row]:
     """Measure the *hand-off locality* behind the locality-threshold ablation.
 
@@ -485,6 +525,10 @@ def ablation_handoff_locality(
     handle that records the sequence of grants; the rows report both the
     throughput and the fraction of consecutive grants that stayed on one node,
     making the mechanism behind the Figure-1 locality axis directly visible.
+
+    This driver stays on the serial path (it reads the grant ledger back out
+    of the runtime's windows after each run, which the generic campaign task
+    protocol does not transport across workers).
     """
     from repro.core.instrumentation import GrantLedgerSpec, InstrumentedLock, locality_report
     from repro.core.rma_mcs import RMAMCSLockSpec
@@ -539,9 +583,11 @@ def ablation_locality(
     iterations: int = 16,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 13,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """RMA-MCS locality threshold sweep: T_L=1 (fair, locality-free) to large T_L."""
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     iters = _iterations(iterations)
     for p, machine in _machines(process_counts, procs_per_node):
         for t_l2 in t_l2_values:
@@ -554,12 +600,9 @@ def ablation_locality(
                 t_l=t_l,
                 seed=seed,
             )
-            result = run_lock_benchmark(config)
-            row = result.as_row()
-            row["figure"] = "ablation-locality"
-            row["t_l2"] = t_l2
-            rows.append(row)
-    return rows
+            tasks.append(BenchTask(config=config))
+            metas.append({"figure": "ablation-locality", "t_l2": t_l2})
+    return _sweep(tasks, metas, jobs)
 
 
 # --------------------------------------------------------------------------- #
@@ -573,6 +616,7 @@ def related_mcs_comparison(
     iterations: int = 16,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 21,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Mutual-exclusion comparison including the related-work locks.
 
@@ -586,7 +630,8 @@ def related_mcs_comparison(
     """
     # Queried live (not the import-time tuples) so custom schemes registered
     # in the comparison categories show up without touching this driver.
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     iters = _iterations(iterations)
     schemes = scheme_names(category="mcs") + scheme_names(category="related-mcs")
     for benchmark in benchmarks:
@@ -600,12 +645,9 @@ def related_mcs_comparison(
                     t_l=_default_tl(machine),
                     seed=seed,
                 )
-                result = run_lock_benchmark(config)
-                row = result.as_row()
-                row["figure"] = "related-mcs"
-                row["series"] = scheme
-                rows.append(row)
-    return rows
+                tasks.append(BenchTask(config=config))
+                metas.append({"figure": "related-mcs", "series": scheme})
+    return _sweep(tasks, metas, jobs)
 
 
 def related_rw_comparison(
@@ -617,6 +659,7 @@ def related_rw_comparison(
     t_r: int = 64,
     procs_per_node: int = DEFAULT_PROCS_PER_NODE,
     seed: int = 22,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Reader-writer comparison including the NUMA-aware RW lock.
 
@@ -627,7 +670,8 @@ def related_rw_comparison(
     on every exclusive acquisition because it lacks the paper's ``T_R``/
     ``T_W`` batching.
     """
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     iters = _iterations(iterations)
     schemes = scheme_names(category="rw") + scheme_names(category="related-rw")
     for fw in fw_values:
@@ -643,12 +687,9 @@ def related_rw_comparison(
                     t_r=t_r,
                     seed=seed,
                 )
-                result = run_lock_benchmark(config)
-                row = result.as_row()
-                row["figure"] = "related-rw"
-                row["series"] = f"{scheme} {fw * 100:g}%"
-                rows.append(row)
-    return rows
+                tasks.append(BenchTask(config=config))
+                metas.append({"figure": "related-rw", "series": f"{scheme} {fw * 100:g}%"})
+    return _sweep(tasks, metas, jobs)
 
 
 def ablation_fabric_contention(
@@ -659,6 +700,7 @@ def ablation_fabric_contention(
     nodes_per_router: int = 2,
     routers_per_group: int = 2,
     seed: int = 23,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """End-point-only contention vs additional Dragonfly link contention.
 
@@ -672,7 +714,8 @@ def ablation_fabric_contention(
     """
     from repro.rma.fabric import FabricContentionModel
 
-    rows: List[Row] = []
+    tasks: List[BenchTask] = []
+    metas: List[Dict[str, object]] = []
     iters = _iterations(iterations)
     for p, machine in _machines(process_counts, procs_per_node):
         fabrics = {
@@ -693,10 +736,12 @@ def ablation_fabric_contention(
                     t_l=_default_tl(machine),
                     seed=seed,
                 )
-                result = run_lock_benchmark(config, fabric=fabric)
-                row = result.as_row()
-                row["figure"] = "ablation-fabric-links"
-                row["series"] = f"{scheme} ({fabric_name})"
-                row["fabric"] = fabric_name
-                rows.append(row)
-    return rows
+                tasks.append(BenchTask(config=config, fabric=fabric))
+                metas.append(
+                    {
+                        "figure": "ablation-fabric-links",
+                        "series": f"{scheme} ({fabric_name})",
+                        "fabric": fabric_name,
+                    }
+                )
+    return _sweep(tasks, metas, jobs)

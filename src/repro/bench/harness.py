@@ -27,6 +27,7 @@ __all__ = [
     "default_scheduler",
     "make_lock_program",
     "run_lock_benchmark",
+    "run_lock_benchmark_detailed",
     "set_default_scheduler",
     "using_scheduler",
 ]
@@ -215,7 +216,7 @@ def make_lock_program(config: LockBenchConfig, spec: LockSpec, is_rw: bool, shar
     return program
 
 
-def run_lock_benchmark(
+def run_lock_benchmark_detailed(
     config: LockBenchConfig,
     *,
     latency_model: Optional[LatencyModel] = None,
@@ -224,8 +225,14 @@ def run_lock_benchmark(
     scheduler: Optional[str] = None,
     spec: Optional[LockSpec] = None,
     is_rw: Optional[bool] = None,
-) -> LockBenchResult:
-    """Run one benchmark configuration on the simulated runtime.
+):
+    """Run one benchmark configuration; returns ``(LockBenchResult, RunResult)``.
+
+    The raw :class:`~repro.rma.runtime_base.RunResult` carries every
+    determinism-relevant field (per-rank finish times, op counts and returns),
+    which the campaign engine fingerprints for the ``repro regress`` gate;
+    most callers want the aggregated metrics only and use
+    :func:`run_lock_benchmark`.
 
     ``latency_model`` overrides the default Cray-XC30-like end-point latency
     model; ``fabric`` optionally adds Dragonfly link-level contention
@@ -271,7 +278,7 @@ def run_lock_benchmark(
     total_acquires = config.iterations * config.machine.num_processes
     throughput = total_acquires / elapsed_us if elapsed_us > 0 else 0.0
 
-    return LockBenchResult(
+    bench_result = LockBenchResult(
         scheme=config.scheme,
         benchmark=config.benchmark,
         num_processes=config.machine.num_processes,
@@ -288,3 +295,31 @@ def run_lock_benchmark(
         wall_time_s=result.wall_time_s,
         sim_ops_per_s=result.ops_per_sec(),
     )
+    return bench_result, result
+
+
+def run_lock_benchmark(
+    config: LockBenchConfig,
+    *,
+    latency_model: Optional[LatencyModel] = None,
+    fabric: Optional["FabricContentionModel"] = None,
+    seed: Optional[int] = None,
+    scheduler: Optional[str] = None,
+    spec: Optional[LockSpec] = None,
+    is_rw: Optional[bool] = None,
+) -> LockBenchResult:
+    """Run one benchmark configuration and return its aggregated metrics.
+
+    See :func:`run_lock_benchmark_detailed` for the parameters; this wrapper
+    drops the raw :class:`~repro.rma.runtime_base.RunResult`.
+    """
+    bench_result, _ = run_lock_benchmark_detailed(
+        config,
+        latency_model=latency_model,
+        fabric=fabric,
+        seed=seed,
+        scheduler=scheduler,
+        spec=spec,
+        is_rw=is_rw,
+    )
+    return bench_result

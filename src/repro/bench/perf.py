@@ -15,7 +15,6 @@ the ``python -m repro perf`` CLI subcommand.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import platform
@@ -25,9 +24,10 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import get_runtime
+from repro.bench.campaign import parallel_map, run_result_sha
 from repro.bench.harness import build_lock_spec, make_lock_program
 from repro.bench.workloads import LockBenchConfig
-from repro.topology.builder import xc30_like
+from repro.topology.builder import cached_machine
 
 __all__ = [
     "DEFAULT_CASES",
@@ -59,7 +59,9 @@ class PerfCase:
     gate: bool = False
 
     def config(self) -> LockBenchConfig:
-        machine = xc30_like(self.procs, procs_per_node=self.procs_per_node)
+        # Machine construction goes through the per-(procs, topology) memo
+        # shared with the campaign executor and the figure sweeps.
+        machine = cached_machine(self.procs, self.procs_per_node)
         return LockBenchConfig(
             machine=machine,
             scheme=self.scheme,
@@ -83,29 +85,10 @@ DEFAULT_CASES: Tuple[PerfCase, ...] = (
 )
 
 
-def _canonical(value):
-    """Bit-exact canonical form (floats rendered as hex) for hashing returns."""
-    if isinstance(value, float):
-        return value.hex()
-    if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in sorted(value.items())}
-    if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
-    return value
-
-
-def _result_key(result) -> Tuple:
-    """Comparable digest of a RunResult, covering every determinism-relevant
-    field: finish times, op counts (total and per rank) and a hash of the
-    full per-rank returns (which carry the per-iteration latencies)."""
-    returns_blob = json.dumps(_canonical(result.returns), sort_keys=True)
-    return (
-        tuple(result.finish_times_us),
-        tuple(sorted(result.op_counts.items())),
-        tuple(tuple(sorted(c.items())) for c in result.per_rank_op_counts),
-        result.total_time_us,
-        hashlib.sha256(returns_blob.encode()).hexdigest(),
-    )
+#: Comparable digest of a RunResult covering every determinism-relevant field
+#: (finish times, op counts total and per rank, makespan, per-rank returns);
+#: shared with the campaign engine so `repro regress` gates the same quantity.
+_result_key = run_result_sha
 
 
 def _best_run(runtime_name: str, case: PerfCase, reps: int) -> Tuple[float, object]:
@@ -180,27 +163,42 @@ def measure_case(
     return row
 
 
+def _measure_task(task: Tuple[PerfCase, int, int, bool]) -> Dict[str, object]:
+    """Picklable per-case worker for the campaign executor's pool."""
+    case, reps, baseline_reps, compare_baseline = task
+    return measure_case(
+        case, reps=reps, baseline_reps=baseline_reps, compare_baseline=compare_baseline
+    )
+
+
 def run_perf_suite(
     cases: Sequence[PerfCase] = DEFAULT_CASES,
     *,
     reps: Optional[int] = None,
     baseline_reps: Optional[int] = None,
     compare_baseline: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
-    """Measure every case; honours REPRO_PERF_REPS / REPRO_PERF_BASELINE_REPS."""
+    """Measure every case; honours REPRO_PERF_REPS / REPRO_PERF_BASELINE_REPS.
+
+    ``jobs`` fans the *cases* out over the campaign executor's process pool
+    (each case's repetitions stay serial inside one worker so best-of-reps is
+    still measured on a single core).  The default of 1 (override with
+    ``REPRO_PERF_JOBS``) keeps wall-clock measurements noise-free; parallel
+    runs trade some timing fidelity for wall time, which is fine for the
+    determinism cross-check but not for recording headline speedups.
+    """
     if reps is None:
         reps = int(os.environ.get("REPRO_PERF_REPS", "4"))
     if baseline_reps is None:
         baseline_reps = int(os.environ.get("REPRO_PERF_BASELINE_REPS", "2"))
-    return [
-        measure_case(
-            case,
-            reps=reps,
-            baseline_reps=baseline_reps,
-            compare_baseline=compare_baseline,
-        )
-        for case in cases
-    ]
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get("REPRO_PERF_JOBS", "1"))
+        except ValueError:
+            jobs = 1
+    tasks = [(case, reps, baseline_reps, compare_baseline) for case in cases]
+    return parallel_map(_measure_task, tasks, jobs=jobs)
 
 
 def write_bench_json(rows: Sequence[Dict[str, object]], path: Path) -> Path:

@@ -1,0 +1,429 @@
+"""The ``repro regress`` gate: campaign results vs the committed baselines.
+
+Runs a campaign (default: ``ci-gate``) through the campaign engine and
+compares its rows against the committed ``BENCH_campaign.json`` manifest, and
+sanity-checks the recorded ``BENCH_runtime.json`` perf manifest.  Two classes
+of fields, two severities:
+
+* **Determinism fields** (:data:`repro.bench.campaign.DETERMINISM_FIELDS`)
+  are bit-exact functions of each point's seed.  Any mismatch is a *hard*
+  failure (exit code :data:`EXIT_HARD` = 2): either the scheduler's observable
+  behaviour changed (re-bless deliberately, with a commit message saying why)
+  or determinism broke.
+* **Throughput fields** (simulator ops per host second) are noisy and gate
+  with relative tolerances: ``strict_tol`` applies by default, the looser
+  ``soft_tol`` applies under ``--soft`` (what CI uses — shared runners are
+  slow, but a scheduler that lost most of its speed should still fail).
+  A violation exits :data:`EXIT_FAIL` = 1.
+
+``--bless`` rewrites the baseline from a fresh (cache-refreshing) run and
+records cold/warm wall times — the cache-effectiveness numbers the acceptance
+criteria track — plus, with ``--scaling``, a ``jobs=1`` cold run so the
+manifest documents the parallel speedup measured on the blessing host.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.campaign import (
+    DETERMINISM_FIELDS,
+    CampaignReport,
+    get_campaign,
+    run_campaign,
+    write_campaign_json,
+)
+
+__all__ = [
+    "EXIT_FAIL",
+    "EXIT_HARD",
+    "EXIT_OK",
+    "Finding",
+    "RegressError",
+    "bless",
+    "check_runtime_manifest",
+    "compare_campaign_rows",
+    "exit_code",
+    "format_findings",
+    "run_regress",
+]
+
+EXIT_OK = 0
+#: Throughput outside the applicable tolerance (a soft, host-speed failure).
+EXIT_FAIL = 1
+#: Bit-exact determinism fields diverged (or the manifests are unusable).
+EXIT_HARD = 2
+
+#: Default relative slowdown tolerated before failing: strict for quiet
+#: machines, soft for shared CI runners.
+DEFAULT_STRICT_TOL = 0.25
+DEFAULT_SOFT_TOL = 0.6
+
+#: Recorded gate-case speedup floor the BENCH_runtime.json manifest must keep
+#: (mirrors the tier-1 soft gate in benchmarks/test_perf_runtime.py).
+RUNTIME_SPEEDUP_FLOOR = 2.5
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+DEFAULT_CAMPAIGN = "ci-gate"
+DEFAULT_CAMPAIGN_BASELINE = _REPO_ROOT / "BENCH_campaign.json"
+DEFAULT_RUNTIME_BASELINE = _REPO_ROOT / "BENCH_runtime.json"
+
+
+class RegressError(RuntimeError):
+    """The gate could not be evaluated (mapped to :data:`EXIT_HARD`)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison outcome; ``level`` is ``"hard"``, ``"fail"`` or ``"warn"``."""
+
+    level: str
+    case: str
+    field: str
+    message: str
+
+
+def exit_code(findings: Sequence[Finding]) -> int:
+    """Map findings to the process exit code (hard > fail > ok)."""
+    levels = {f.level for f in findings}
+    if "hard" in levels:
+        return EXIT_HARD
+    if "fail" in levels:
+        return EXIT_FAIL
+    return EXIT_OK
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """Human-readable report, worst findings first."""
+    if not findings:
+        return "regress: all checks passed"
+    order = {"hard": 0, "fail": 1, "warn": 2}
+    lines = []
+    for f in sorted(findings, key=lambda f: (order.get(f.level, 3), f.case, f.field)):
+        lines.append(f"[{f.level.upper():4s}] {f.case}: {f.field}: {f.message}")
+    return "\n".join(lines)
+
+
+def compare_campaign_rows(
+    baseline_rows: Sequence[Mapping[str, Any]],
+    current_rows: Sequence[Mapping[str, Any]],
+    *,
+    soft: bool = False,
+    strict_tol: float = DEFAULT_STRICT_TOL,
+    soft_tol: float = DEFAULT_SOFT_TOL,
+) -> List[Finding]:
+    """Compare one campaign run against the committed baseline rows.
+
+    Determinism fields must match bit-exactly (hard findings otherwise);
+    ``sim_ops_per_s`` may regress by at most ``strict_tol`` (``soft_tol``
+    when ``soft``), relative to the baseline value.  Cases the campaign no
+    longer produces are hard failures (the manifest must be re-blessed);
+    brand-new cases only warn, so adding a scheme does not break CI before
+    the baseline catches up.
+    """
+    findings: List[Finding] = []
+    current_by_case = {str(row["case"]): row for row in current_rows}
+    baseline_by_case = {str(row["case"]): row for row in baseline_rows}
+
+    for case, base in baseline_by_case.items():
+        cur = current_by_case.get(case)
+        if cur is None:
+            findings.append(
+                Finding("hard", case, "case", "baseline case missing from the campaign run; re-bless the manifest")
+            )
+            continue
+        for fname in DETERMINISM_FIELDS:
+            if fname not in base:
+                continue  # older manifest schema; gate only the recorded fields
+            if base[fname] != cur.get(fname):
+                findings.append(
+                    Finding(
+                        "hard",
+                        case,
+                        fname,
+                        f"determinism field diverged: baseline {base[fname]!r} vs current {cur.get(fname)!r}",
+                    )
+                )
+        base_tp = float(base.get("sim_ops_per_s", 0.0) or 0.0)
+        cur_tp = float(cur.get("sim_ops_per_s", 0.0) or 0.0)
+        if base_tp > 0.0 and cur_tp >= 0.0:
+            drop = 1.0 - cur_tp / base_tp
+            limit = soft_tol if soft else strict_tol
+            if drop > limit:
+                findings.append(
+                    Finding(
+                        "fail",
+                        case,
+                        "sim_ops_per_s",
+                        f"simulator throughput regressed {drop * 100:.1f}% "
+                        f"({cur_tp:.1f} vs baseline {base_tp:.1f} ops/s; allowed {limit * 100:.0f}%)",
+                    )
+                )
+            elif soft and drop > strict_tol:
+                findings.append(
+                    Finding(
+                        "warn",
+                        case,
+                        "sim_ops_per_s",
+                        f"throughput {drop * 100:.1f}% below baseline (within the soft tolerance)",
+                    )
+                )
+
+    for case in current_by_case:
+        if case not in baseline_by_case:
+            findings.append(
+                Finding("warn", case, "case", "new case not in the baseline; bless to start gating it")
+            )
+    return findings
+
+
+def check_runtime_manifest(
+    payload: Mapping[str, Any],
+    *,
+    floor: float = RUNTIME_SPEEDUP_FLOOR,
+) -> List[Finding]:
+    """Sanity-check the committed ``BENCH_runtime.json`` perf manifest.
+
+    The perf suite itself re-measures throughput in tier-1; here we only gate
+    that the *recorded* manifest still documents a healthy scheduler: a gate
+    case exists and its recorded speedup is at or above the soft floor.
+    """
+    findings: List[Finding] = []
+    cases = payload.get("cases")
+    if not isinstance(cases, list) or not cases:
+        return [Finding("hard", "BENCH_runtime.json", "cases", "manifest has no cases")]
+    gate_cases = [c for c in cases if c.get("gate")]
+    if not gate_cases:
+        return [Finding("hard", "BENCH_runtime.json", "gate", "manifest has no gate case")]
+    for case in gate_cases:
+        try:
+            speedup = float(case["speedup"])
+        except (KeyError, TypeError, ValueError):
+            findings.append(
+                Finding("hard", str(case.get("case", "?")), "speedup", "gate case has no recorded speedup")
+            )
+            continue
+        if speedup < floor:
+            findings.append(
+                Finding(
+                    "fail",
+                    str(case.get("case", "?")),
+                    "speedup",
+                    f"recorded gate speedup {speedup:.2f}x is below the {floor:.1f}x floor",
+                )
+            )
+    return findings
+
+
+def _timed_run(campaign: str, *, jobs: Optional[int], cache_dir: Optional[Path], refresh: bool, scheduler: Optional[str] = None) -> CampaignReport:
+    return run_campaign(
+        campaign,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        refresh=refresh,
+        scheduler=scheduler,
+    )
+
+
+def _measure_timing(
+    campaign: str,
+    *,
+    jobs: Optional[int],
+    cache_dir: Optional[Path],
+    scaling: bool,
+    cold_report: Optional[CampaignReport] = None,
+) -> Tuple[Dict[str, Any], CampaignReport]:
+    """The timing record shared by ``bless`` and ``regress --scaling``.
+
+    Measures a cold run (reusing ``cold_report`` when it already computed
+    every point), a fully-cached warm run, and — with ``scaling`` — a cold
+    ``jobs=1`` run for the parallel-speedup record.
+    """
+    timing: Dict[str, Any] = {"cpu_count": os.cpu_count()}
+    if cold_report is None or cold_report.cache_misses != cold_report.points:
+        cold_report = _timed_run(campaign, jobs=jobs, cache_dir=cache_dir, refresh=True)
+    timing["jobs"] = cold_report.jobs
+    timing["workers"] = cold_report.workers
+    timing["cold_wall_s"] = round(cold_report.wall_s, 3)
+    if scaling:
+        serial = _timed_run(campaign, jobs=1, cache_dir=cache_dir, refresh=True)
+        timing["jobs1_wall_s"] = round(serial.wall_s, 3)
+        if cold_report.wall_s > 0:
+            timing["parallel_speedup"] = round(serial.wall_s / cold_report.wall_s, 3)
+    warm = _timed_run(campaign, jobs=jobs, cache_dir=cache_dir, refresh=False)
+    if warm.cache_hits != warm.points:
+        raise RegressError(
+            f"warm campaign run expected {warm.points} cache hits, got "
+            f"{warm.cache_hits} — did the cache epoch change (golden re-record, "
+            f"REPRO_CACHE_EPOCH) or a concurrent process prune the cache mid-bless?"
+        )
+    timing["warm_wall_s"] = round(warm.wall_s, 3)
+    if cold_report.wall_s > 0:
+        timing["warm_over_cold"] = round(warm.wall_s / cold_report.wall_s, 4)
+    return timing, cold_report
+
+
+def bless(
+    campaign: str = DEFAULT_CAMPAIGN,
+    baseline_path: Path = DEFAULT_CAMPAIGN_BASELINE,
+    *,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Path] = None,
+    scaling: bool = False,
+    print_fn: Callable[[str], None] = print,
+) -> CampaignReport:
+    """Record a fresh baseline manifest (plus the cache/parallel timing record).
+
+    Runs the campaign cold (ignoring cached rows, repopulating the cache),
+    then warm (fully cached) to document the cache effectiveness, and — with
+    ``scaling`` — also cold at ``jobs=1`` so the manifest records the
+    parallel speedup of the blessing host.
+    """
+    timing, cold = _measure_timing(campaign, jobs=jobs, cache_dir=cache_dir, scaling=scaling)
+    write_campaign_json(cold, baseline_path, timing=timing)
+    print_fn(
+        f"blessed {baseline_path} ({cold.points} points; cold {timing['cold_wall_s']}s, "
+        f"warm {timing['warm_wall_s']}s"
+        + (f", jobs=1 {timing['jobs1_wall_s']}s" if scaling else "")
+        + ")"
+    )
+    return cold
+
+
+def run_regress(
+    *,
+    campaign: str = DEFAULT_CAMPAIGN,
+    baseline_path: Path = DEFAULT_CAMPAIGN_BASELINE,
+    runtime_baseline_path: Optional[Path] = DEFAULT_RUNTIME_BASELINE,
+    soft: bool = False,
+    jobs: Optional[int] = None,
+    fresh: bool = True,
+    strict_tol: float = DEFAULT_STRICT_TOL,
+    soft_tol: float = DEFAULT_SOFT_TOL,
+    cache_dir: Optional[Path] = None,
+    output: Optional[Path] = None,
+    do_bless: bool = False,
+    scaling: bool = False,
+    print_fn: Callable[[str], None] = print,
+) -> int:
+    """Entry point behind ``repro regress``; returns the process exit code.
+
+    The gate recomputes every point by default (``fresh=True``): the cache
+    epoch keys on the golden file, not the source tree, so serving the
+    determinism gate from cached rows would let an unblessed scheduler change
+    pass locally.  ``fresh=False`` (CLI ``--reuse-cache``) opts back into
+    cache reads for quick iterating; either way the cache is refreshed with
+    the run's rows.
+    """
+    get_campaign(campaign)  # validate early with the helpful UnknownNameError
+    if scaling and output is None and not do_bless:
+        print_fn("regress: --scaling needs --output (or --bless) to record the timing")
+        return EXIT_HARD
+    if do_bless:
+        try:
+            report = bless(
+                campaign,
+                Path(baseline_path),
+                jobs=jobs,
+                cache_dir=cache_dir,
+                scaling=scaling,
+                print_fn=print_fn,
+            )
+        except RegressError as exc:
+            print_fn(f"regress: {exc}")
+            return EXIT_HARD
+        if output is not None and Path(output) != Path(baseline_path):
+            # Verbatim copy so the secondary manifest keeps the timing
+            # record the bless just measured.
+            Path(output).write_text(Path(baseline_path).read_text())
+        return EXIT_OK
+
+    baseline_path = Path(baseline_path)
+    if not baseline_path.exists():
+        print_fn(
+            f"regress: no baseline manifest at {baseline_path}; "
+            f"run `repro regress --bless` to record one"
+        )
+        return EXIT_HARD
+    try:
+        baseline = json.loads(baseline_path.read_text())
+        baseline_rows = baseline["rows"]
+    except (ValueError, KeyError) as exc:
+        print_fn(f"regress: unreadable baseline manifest {baseline_path}: {exc}")
+        return EXIT_HARD
+    if not isinstance(baseline_rows, list) or not all(
+        isinstance(row, dict) and "case" in row for row in baseline_rows
+    ):
+        print_fn(
+            f"regress: malformed baseline manifest {baseline_path}: "
+            f"'rows' must be a list of row objects each carrying a 'case' key"
+        )
+        return EXIT_HARD
+
+    report = run_campaign(campaign, jobs=jobs, cache_dir=cache_dir, refresh=fresh)
+    print_fn(
+        f"campaign {report.name!r}: {report.points} points, jobs={report.jobs}, "
+        f"{report.cache_hits} cached / {report.cache_misses} computed, "
+        f"{report.wall_s:.2f}s (epoch {report.epoch})"
+    )
+    if output is not None:
+        if scaling:
+            # The gating run above was itself cold whenever every point was
+            # computed (fresh=True, or an empty cache as in CI); the helper
+            # reuses it and only measures the jobs=1 and warm-cache runs.
+            try:
+                timing, _ = _measure_timing(
+                    campaign, jobs=jobs, cache_dir=cache_dir, scaling=True, cold_report=report
+                )
+            except RegressError as exc:
+                print_fn(f"regress: {exc}")
+                return EXIT_HARD
+        else:
+            # Label the gating run's wall time honestly: it is only a cold
+            # time when every point was actually computed.
+            wall_key = "cold_wall_s" if report.cache_misses == report.points else "cached_wall_s"
+            timing = {
+                "cpu_count": os.cpu_count(),
+                "jobs": report.jobs,
+                wall_key: round(report.wall_s, 3),
+            }
+        write_campaign_json(report, Path(output), timing=timing)
+        print_fn(f"wrote {output}")
+
+    findings = compare_campaign_rows(
+        baseline_rows,
+        report.rows,
+        soft=soft,
+        strict_tol=strict_tol,
+        soft_tol=soft_tol,
+    )
+    if runtime_baseline_path is not None:
+        runtime_baseline_path = Path(runtime_baseline_path)
+        if not runtime_baseline_path.exists():
+            # The default manifest missing is survivable (warn); an explicitly
+            # requested path that does not exist is an error — `none` is the
+            # way to opt out.
+            level = "warn" if runtime_baseline_path == DEFAULT_RUNTIME_BASELINE else "hard"
+            findings.append(
+                Finding(level, str(runtime_baseline_path), "file", "perf manifest not found; skipping its sanity check")
+            )
+        else:
+            try:
+                runtime_payload = json.loads(runtime_baseline_path.read_text())
+            except ValueError as exc:
+                findings.append(
+                    Finding("hard", str(runtime_baseline_path), "json", f"unreadable manifest: {exc}")
+                )
+            else:
+                findings.extend(check_runtime_manifest(runtime_payload))
+
+    print_fn(format_findings(findings))
+    code = exit_code(findings)
+    if code == EXIT_OK:
+        mode = "soft" if soft else "strict"
+        print_fn(f"regress: PASS ({mode} tolerances; {report.points} campaign points gated)")
+    return code

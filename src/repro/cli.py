@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the common workflows:
+The subcommands cover the common workflows:
 
 * ``figures`` — regenerate one or more of the paper's evaluation figures and
   print them as pivoted text tables (the same drivers the benchmark suite
@@ -15,6 +15,11 @@ Five subcommands cover the common workflows:
 * ``perf`` — run the simulator wall-clock perf suite (horizon scheduler vs
   the preserved seed scheduler) and print an ops/sec table; optionally write
   ``BENCH_runtime.json``.
+* ``campaign`` — list, show or run the named sweep campaigns (parallel
+  multi-core execution with the content-addressed result cache).
+* ``regress`` — run the gate campaign and compare it against the committed
+  ``BENCH_campaign.json`` / ``BENCH_runtime.json`` baselines (the check CI
+  calls; ``--bless`` records a new baseline).
 * ``info`` — describe a simulated machine, the default thresholds and the
   Table-3 portability summary.
 """
@@ -122,6 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--output-dir", default=None, help="also save each figure's rows as CSV and JSON in this directory")
     figures.add_argument("--scheduler", choices=schedulers, default="horizon",
                          help="simulator core (bit-identical results; only wall-clock differs)")
+    figures.add_argument("--jobs", type=int, default=None,
+                         help="worker processes per sweep (default: REPRO_JOBS or all cores; "
+                              "rows are bit-identical regardless)")
 
     bench = sub.add_parser("bench", help="run one lock microbenchmark configuration")
     bench.add_argument("--scheme", choices=schemes, default="rma-rw")
@@ -153,7 +161,55 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--reps", type=int, default=None, help="repetitions per case (best wall time wins)")
     perf.add_argument("--baseline-reps", type=int, default=None, help="repetitions for the seed scheduler")
     perf.add_argument("--no-baseline", action="store_true", help="measure only the current scheduler")
+    perf.add_argument("--jobs", type=int, default=None,
+                      help="measure cases in parallel workers (default 1; parallel runs trade timing fidelity for wall time)")
     perf.add_argument("--output", default=None, help="also write the results to this JSON file (e.g. BENCH_runtime.json)")
+
+    campaign = sub.add_parser(
+        "campaign", help="run named sweep campaigns (parallel execution + result cache)"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    campaign_sub.add_parser("list", help="list the registered campaigns")
+    camp_show = campaign_sub.add_parser("show", help="print a campaign's expanded grid")
+    camp_show.add_argument("name", help="registered campaign name")
+    camp_run = campaign_sub.add_parser("run", help="execute a campaign")
+    camp_run.add_argument("name", help="registered campaign name")
+    camp_run.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default: REPRO_JOBS or all cores)")
+    camp_run.add_argument("--no-cache", action="store_true", help="compute every point, store nothing")
+    camp_run.add_argument("--refresh", action="store_true",
+                          help="ignore cached rows but refresh the cache with fresh results")
+    camp_run.add_argument("--cache-dir", default=None, help="cache root (default: <repo>/.repro-cache)")
+    camp_run.add_argument("--prune-cache", action="store_true",
+                          help="also delete cache entries from stale epochs")
+    camp_run.add_argument("--output", default=None, help="write the rows as a campaign JSON manifest")
+    camp_run.add_argument("--scheduler", choices=schedulers, default=None,
+                          help="override the campaign's runtime backend")
+
+    regress = sub.add_parser(
+        "regress", help="gate campaign results against the committed baselines (CI check)"
+    )
+    regress.add_argument("--campaign", default="ci-gate", help="campaign to gate on")
+    regress.add_argument("--baseline", default=None,
+                         help="campaign baseline manifest (default: <repo>/BENCH_campaign.json)")
+    regress.add_argument("--runtime-baseline", default=None,
+                         help="perf manifest to sanity-check (default: <repo>/BENCH_runtime.json); 'none' skips")
+    regress.add_argument("--soft", action="store_true",
+                         help="use the loose throughput tolerance (for noisy shared runners)")
+    regress.add_argument("--jobs", type=int, default=None, help="worker processes for the campaign")
+    regress.add_argument("--reuse-cache", action="store_true",
+                         help="serve cached rows instead of recomputing (the gate recomputes by default "
+                              "because the cache epoch tracks the golden file, not the source tree)")
+    regress.add_argument("--strict-tol", type=float, default=None,
+                         help="relative throughput slowdown tolerated in strict mode (default 0.25)")
+    regress.add_argument("--soft-tol", type=float, default=None,
+                         help="relative throughput slowdown tolerated with --soft (default 0.6)")
+    regress.add_argument("--cache-dir", default=None, help="cache root (default: <repo>/.repro-cache)")
+    regress.add_argument("--output", default=None, help="also write the fresh campaign manifest here")
+    regress.add_argument("--bless", action="store_true",
+                         help="record a new BENCH_campaign.json baseline instead of gating")
+    regress.add_argument("--scaling", action="store_true",
+                         help="also measure a jobs=1 cold run to record the parallel speedup")
 
     info = sub.add_parser("info", help="describe a simulated machine and the portability table")
     info.add_argument("--procs", type=int, default=64)
@@ -188,6 +244,8 @@ def _run_figures(args: argparse.Namespace) -> int:
                 kwargs["process_counts"] = tuple(args.procs)
             if args.iterations is not None and driver_name != "figure6":
                 kwargs["iterations"] = args.iterations
+            if args.jobs is not None:
+                kwargs["jobs"] = args.jobs
             rows = driver(**kwargs)
             print(format_figure(rows, title=f"Figure {name}", series=series, value=value))
             print()
@@ -347,6 +405,7 @@ def _run_perf(args: argparse.Namespace) -> int:
         reps=args.reps,
         baseline_reps=args.baseline_reps,
         compare_baseline=not args.no_baseline,
+        jobs=args.jobs,
     )
     print(format_table(rows))
     if not args.no_baseline:
@@ -360,6 +419,139 @@ def _run_perf(args: argparse.Namespace) -> int:
         path = write_bench_json(rows, Path(args.output))
         print(f"\nwrote {path}")
     return 0
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.api.registry import UnknownNameError
+    from repro.bench import campaign as campaign_mod
+
+    if args.campaign_command == "list":
+        rows = []
+        for name in campaign_mod.campaign_names():
+            spec = campaign_mod.get_campaign(name)
+            # One campaign with an unresolvable scheme must not take the
+            # whole listing down (e.g. a third-party provider that failed
+            # to import in this process).
+            try:
+                points = str(len(spec.points()))
+            except ValueError as exc:
+                points = f"error: {exc}"
+            rows.append(
+                {
+                    "campaign": name,
+                    "points": points,
+                    "schemes": ", ".join(spec.schemes),
+                    "benchmarks": ", ".join(spec.benchmarks),
+                    "P": ", ".join(str(p) for p in spec.process_counts),
+                    "help": spec.help,
+                }
+            )
+        print(format_table(rows))
+        return 0
+
+    try:
+        spec = campaign_mod.get_campaign(args.name)
+    except UnknownNameError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.campaign_command == "show":
+        try:
+            points = spec.points()
+        except ValueError as exc:
+            print(f"campaign {spec.name!r} cannot be expanded: {exc}", file=sys.stderr)
+            return 2
+        print(f"campaign {spec.name!r}: {spec.help}")
+        print(f"{len(points)} points (schemes resolved through the registry):\n")
+        rows = [
+            {
+                "case": p.case,
+                "scheme": p.scheme,
+                "benchmark": p.benchmark,
+                "P": p.procs,
+                "fw": p.fw,
+                "iterations": p.iterations,
+                "seed": p.seed,
+            }
+            for p in points
+        ]
+        print(format_table(rows))
+        return 0
+
+    # campaign run
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    try:
+        report = campaign_mod.run_campaign(
+            spec,
+            jobs=args.jobs,
+            cache=False if args.no_cache else None,
+            cache_dir=cache_dir,
+            refresh=args.refresh,
+            scheduler=args.scheduler,
+        )
+    except ValueError as exc:
+        print(f"campaign {spec.name!r} cannot run: {exc}", file=sys.stderr)
+        return 2
+    display = [
+        {
+            "case": row["case"],
+            "P": row["P"],
+            "throughput_mln_s": round(float(row["throughput_mln_s"]), 4),
+            "latency_us": round(float(row["latency_mean_us"]), 3),
+            "rma_ops": row["rma_ops"],
+            "sim_ops_per_s": row["sim_ops_per_s"],
+            "cached": "yes" if row.get("cached") else "no",
+        }
+        for row in report.rows
+    ]
+    print(format_table(display))
+    print(
+        f"\ncampaign {report.name!r}: {report.points} points, jobs={report.jobs}, "
+        f"{report.cache_hits} cached / {report.cache_misses} computed, "
+        f"{report.wall_s:.2f}s wall (cache epoch {report.epoch})"
+    )
+    if args.prune_cache and not args.no_cache:
+        removed = campaign_mod.ResultCache(cache_dir).prune()
+        print(f"pruned {removed} stale cache epoch(s)")
+    if args.output:
+        path = campaign_mod.write_campaign_json(report, Path(args.output))
+        print(f"wrote {path}")
+    return 0
+
+
+def _run_regress(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.api.registry import UnknownNameError
+    from repro.bench import regress as regress_mod
+
+    baseline = Path(args.baseline) if args.baseline else regress_mod.DEFAULT_CAMPAIGN_BASELINE
+    if args.runtime_baseline == "none":
+        runtime_baseline = None
+    elif args.runtime_baseline:
+        runtime_baseline = Path(args.runtime_baseline)
+    else:
+        runtime_baseline = regress_mod.DEFAULT_RUNTIME_BASELINE
+    try:
+        return regress_mod.run_regress(
+            campaign=args.campaign,
+            baseline_path=baseline,
+            runtime_baseline_path=runtime_baseline,
+            soft=args.soft,
+            jobs=args.jobs,
+            fresh=not args.reuse_cache,
+            strict_tol=args.strict_tol if args.strict_tol is not None else regress_mod.DEFAULT_STRICT_TOL,
+            soft_tol=args.soft_tol if args.soft_tol is not None else regress_mod.DEFAULT_SOFT_TOL,
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+            output=Path(args.output) if args.output else None,
+            do_bless=args.bless,
+            scaling=args.scaling,
+        )
+    except UnknownNameError as exc:
+        print(exc, file=sys.stderr)
+        return 2
 
 
 def _run_info(args: argparse.Namespace) -> int:
@@ -391,6 +583,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_verify(args)
     if args.command == "perf":
         return _run_perf(args)
+    if args.command == "campaign":
+        return _run_campaign(args)
+    if args.command == "regress":
+        return _run_regress(args)
     if args.command == "info":
         return _run_info(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -9,11 +9,12 @@ from Figure 2 for topology experiments.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence
 
 from repro.topology.machine import Machine
 
-__all__ = ["xc30_like", "figure2_machine", "machines_for_sweep"]
+__all__ = ["cached_machine", "xc30_like", "figure2_machine", "machines_for_sweep"]
 
 #: Processes per compute node used by the paper (one per HT resource).
 XC30_PROCS_PER_NODE = 16
@@ -38,6 +39,33 @@ def xc30_like(num_processes: int, procs_per_node: int = XC30_PROCS_PER_NODE) -> 
             f"({procs_per_node}) once it exceeds one node"
         )
     return Machine.cluster(nodes=num_processes // procs_per_node, procs_per_node=procs_per_node)
+
+
+@lru_cache(maxsize=None)
+def cached_machine(
+    num_processes: int,
+    procs_per_node: int = XC30_PROCS_PER_NODE,
+    topology: str = "xc30",
+) -> Machine:
+    """Memoized machine construction, shared by the sweeps and the perf suite.
+
+    :class:`~repro.topology.machine.Machine` is a frozen dataclass, so one
+    instance per ``(procs, procs_per_node, topology)`` can safely be shared by
+    every benchmark configuration of a sweep; the campaign executor, the
+    figure drivers and ``repro perf`` all route machine construction through
+    this memo instead of rebuilding the same hierarchy per data point.
+    """
+    if topology == "xc30":
+        return xc30_like(num_processes, procs_per_node=procs_per_node)
+    if topology == "figure2":
+        machine = figure2_machine(procs_per_node=procs_per_node)
+        if machine.num_processes != num_processes:
+            raise ValueError(
+                f"figure2 topology with procs_per_node={procs_per_node} has "
+                f"{machine.num_processes} processes, not the requested {num_processes}"
+            )
+        return machine
+    raise ValueError(f"unknown topology {topology!r}; expected 'xc30' or 'figure2'")
 
 
 def figure2_machine(procs_per_node: int = 6) -> Machine:

@@ -1,0 +1,288 @@
+"""Tests for the campaign engine: grids, parallel execution, result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.registry import (
+    UnknownNameError,
+    get_scheme,
+    register_scheme,
+    scheme_names,
+    unregister,
+)
+from repro.bench.campaign import (
+    DETERMINISM_FIELDS,
+    BenchTask,
+    CampaignPoint,
+    CampaignSpec,
+    ResultCache,
+    campaign_names,
+    execute_tasks,
+    get_campaign,
+    register_campaign,
+    run_campaign,
+    run_point,
+    unregister_campaign,
+)
+from repro.bench.harness import run_lock_benchmark
+from repro.bench.workloads import LockBenchConfig
+from repro.topology.builder import cached_machine
+
+#: Small grid used throughout: 2 schemes x 2 machine sizes, tiny iterations.
+TINY = CampaignSpec(
+    name="tiny-test",
+    schemes=("rma-mcs", "ticket"),
+    benchmarks=("ecsb",),
+    process_counts=(4, 8),
+    fw_values=(0.02,),
+    iterations=3,
+    procs_per_node=4,
+    seed=5,
+)
+
+
+def _strip_host_fields(row):
+    return {k: v for k, v in row.items() if k not in ("wall_s", "sim_ops_per_s", "cached")}
+
+
+class TestCampaignSpec:
+    def test_ci_gate_covers_every_harness_scheme(self):
+        points = get_campaign("ci-gate").points()
+        assert {p.scheme for p in points} == set(scheme_names(harness=True))
+        assert {p.procs for p in points} == {8, 32, 64}
+        assert {p.benchmark for p in points} == {"wcsb"}
+        # nine schemes x three process counts
+        assert len(points) == 3 * len(scheme_names(harness=True))
+
+    def test_selector_resolves_third_party_schemes(self):
+        """A freshly registered lock joins selector-based campaigns for free."""
+        builder = get_scheme("fompi-spin").builder
+        register_scheme("campaign-test-lock", category="custom")(builder)
+        try:
+            points = get_campaign("ci-gate").points()
+            assert "campaign-test-lock" in {p.scheme for p in points}
+        finally:
+            unregister("scheme", "campaign-test-lock")
+
+    def test_unknown_scheme_selector_raises_with_suggestion(self):
+        spec = CampaignSpec(name="bad", schemes=("rma-mc",))
+        with pytest.raises(UnknownNameError, match="rma-mcs"):
+            spec.points()
+
+    def test_literal_non_harness_scheme_rejected_early(self):
+        """striped-rw registers with harness=False; grids must reject it up
+        front instead of crashing inside a pool worker."""
+        spec = CampaignSpec(name="bad-harness", schemes=("striped-rw",))
+        with pytest.raises(ValueError, match="cannot run in a campaign grid"):
+            spec.points()
+
+    def test_non_rw_schemes_skip_extra_writer_fractions(self):
+        spec = CampaignSpec(
+            name="fw-axis",
+            schemes=("rma-mcs", "rma-rw"),
+            benchmarks=("ecsb",),
+            process_counts=(4,),
+            fw_values=(0.002, 0.2),
+            iterations=2,
+            procs_per_node=4,
+        )
+        points = spec.points()
+        assert sum(1 for p in points if p.scheme == "rma-mcs") == 1
+        assert sum(1 for p in points if p.scheme == "rma-rw") == 2
+
+    def test_case_names_are_unique(self):
+        for name in campaign_names():
+            points = get_campaign(name).points()
+            assert len({p.case for p in points}) == len(points)
+
+    def test_case_names_cover_every_config_axis(self):
+        """Distinct points must never collide on one baseline row key."""
+        from dataclasses import replace
+
+        base = CampaignPoint(scheme="rma-mcs", benchmark="ecsb", procs=8)
+        for change in (
+            {"iterations": 99},
+            {"procs_per_node": 4},
+            {"scheduler": "baseline"},
+            {"topology": "figure2"},
+            {"seed": 9},
+            {"fw": 0.5},
+        ):
+            assert replace(base, **change).case != base.case, change
+
+    def test_points_carry_their_provider_module(self):
+        points = get_campaign("ci-gate").points()
+        providers = {p.scheme: p.provider for p in points}
+        assert providers["rma-rw"] == "repro.core.rma_rw"
+        assert providers["ticket"] == "repro.related.ticket"
+
+    def test_register_and_unregister(self):
+        spec = CampaignSpec(name="throwaway", schemes=("ticket",), process_counts=(4,))
+        register_campaign(spec)
+        try:
+            assert get_campaign("throwaway") is spec
+            with pytest.raises(ValueError, match="already registered"):
+                register_campaign(CampaignSpec(name="throwaway"))
+        finally:
+            unregister_campaign("throwaway")
+        with pytest.raises(UnknownNameError):
+            get_campaign("throwaway")
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path, epoch="e1")
+        report = run_campaign(TINY, jobs=1, cache=cache)
+        assert report.cache_misses == report.points == 4
+        assert all(row["cached"] is False for row in report.rows)
+
+        again = run_campaign(TINY, jobs=1, cache=ResultCache(tmp_path, epoch="e1"))
+        assert again.cache_hits == again.points == 4
+        assert all(row["cached"] is True for row in again.rows)
+        for fresh, cached in zip(report.rows, again.rows):
+            assert _strip_host_fields(fresh) == _strip_host_fields(cached)
+            # perf fields survive the JSON round-trip too
+            assert fresh["sim_ops_per_s"] == cached["sim_ops_per_s"]
+
+    def test_epoch_change_invalidates(self, tmp_path):
+        run_campaign(TINY, jobs=1, cache=ResultCache(tmp_path, epoch="e1"))
+        other = run_campaign(TINY, jobs=1, cache=ResultCache(tmp_path, epoch="e2"))
+        assert other.cache_hits == 0
+        assert other.cache_misses == other.points
+
+    def test_key_depends_on_point_configuration(self, tmp_path):
+        from dataclasses import replace
+
+        cache = ResultCache(tmp_path, epoch="e1")
+        base = CampaignPoint(scheme="rma-mcs", benchmark="ecsb", procs=4, procs_per_node=4)
+        assert cache.key(base) != cache.key(replace(base, seed=9))
+        assert cache.key(base) != cache.key(replace(base, iterations=7))
+        assert cache.key(base) != cache.key(replace(base, params=(("t_l", (2, 2)),)))
+        assert cache.key(base) == cache.key(
+            CampaignPoint(scheme="rma-mcs", benchmark="ecsb", procs=4, procs_per_node=4)
+        )
+
+    def test_refresh_ignores_hits_but_restores_them(self, tmp_path):
+        cache = ResultCache(tmp_path, epoch="e1")
+        run_campaign(TINY, jobs=1, cache=cache)
+        refreshed = run_campaign(TINY, jobs=1, cache=cache, refresh=True)
+        assert refreshed.cache_hits == 0 and refreshed.cache_misses == refreshed.points
+        warm = run_campaign(TINY, jobs=1, cache=cache)
+        assert warm.cache_hits == warm.points
+
+    def test_prune_removes_stale_epochs(self, tmp_path):
+        run_campaign(TINY, jobs=1, cache=ResultCache(tmp_path, epoch="old"))
+        cache = ResultCache(tmp_path, epoch="new")
+        run_campaign(TINY, jobs=1, cache=cache)
+        assert cache.prune() == 1
+        assert cache.stats()["rows"] == 4
+        # the current epoch survives pruning
+        assert run_campaign(TINY, jobs=1, cache=cache).cache_hits == 4
+
+
+class TestParallelExecution:
+    def test_parallel_rows_match_serial_bit_for_bit(self):
+        serial = run_campaign(TINY, jobs=1, cache=False)
+        parallel = run_campaign(TINY, jobs=2, cache=False)
+        assert serial.points == parallel.points
+        for s_row, p_row in zip(serial.rows, parallel.rows):
+            assert _strip_host_fields(s_row) == _strip_host_fields(p_row)
+        for field in DETERMINISM_FIELDS:
+            assert [r[field] for r in serial.rows] == [r[field] for r in parallel.rows]
+
+    def test_execute_tasks_preserves_order_and_results(self):
+        machine = cached_machine(4, 4)
+        configs = [
+            LockBenchConfig(machine=machine, scheme="rma-mcs", benchmark="ecsb", iterations=3),
+            LockBenchConfig(machine=machine, scheme="ticket", benchmark="ecsb", iterations=3),
+        ]
+        expected = [run_lock_benchmark(c) for c in configs]
+        got = execute_tasks([BenchTask(config=c) for c in configs], jobs=2)
+        assert [r.scheme for r in got] == ["rma-mcs", "ticket"]
+        assert [r.elapsed_us for r in got] == [r.elapsed_us for r in expected]
+        assert [r.op_counts for r in got] == [r.op_counts for r in expected]
+
+    def test_execute_tasks_pins_scheduler_and_provider(self, monkeypatch):
+        """Workers receive the submit-time scheduler and the scheme's module
+        (what keeps using_scheduler contexts and third-party locks alive
+        under spawn-based pools)."""
+        import repro.bench.campaign as campaign_mod
+
+        machine = cached_machine(4, 4)
+        config = LockBenchConfig(machine=machine, scheme="ticket", benchmark="ecsb", iterations=2)
+        captured = []
+        original = campaign_mod._execute_task
+        monkeypatch.setattr(
+            campaign_mod, "_execute_task", lambda t: (captured.append(t), original(t))[1]
+        )
+        results = execute_tasks([BenchTask(config=config)], jobs=1)
+        assert results[0].scheme == "ticket"
+        assert captured[0].provider == "repro.related.ticket"
+        assert captured[0].scheduler == "horizon"
+
+    def test_scheduler_override_keeps_rows_identical(self):
+        horizon = run_campaign(TINY, jobs=1, cache=False)
+        baseline = run_campaign(TINY, jobs=1, cache=False, scheduler="baseline")
+        for h_row, b_row in zip(horizon.rows, baseline.rows):
+            for field in DETERMINISM_FIELDS:
+                assert h_row[field] == b_row[field]
+            assert b_row["scheduler"] == "baseline"
+
+    def test_unknown_scheduler_rejected_early(self):
+        with pytest.raises(UnknownNameError):
+            run_campaign(TINY, jobs=1, cache=False, scheduler="bogus")
+
+    def test_unknown_name_error_survives_pickling(self):
+        """A worker raising UnknownNameError must not kill the pool's result
+        handler (which unpickles the exception in the parent)."""
+        import pickle
+
+        err = UnknownNameError("scheme", "nope", ["a", "b"])
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, UnknownNameError)
+        assert (clone.kind, clone.name, clone.known) == (err.kind, err.name, err.known)
+        assert str(clone) == str(err)
+
+    def test_worker_error_propagates_instead_of_hanging(self):
+        """End-to-end: an unknown scheme raised inside a pool worker surfaces
+        in the parent as the helpful registry error."""
+        machine = cached_machine(4, 4)
+        config = LockBenchConfig(machine=machine, scheme="rma-mcs", benchmark="ecsb", iterations=2)
+        good = BenchTask(config=config)
+        bad = BenchTask(config=config, kind="bogus-kind")
+        with pytest.raises(ValueError, match="bogus-kind"):
+            execute_tasks([good, bad], jobs=2)
+
+    def test_dht_tasks_reject_scheduler_override(self):
+        from repro.dht.workload import DHTWorkloadConfig
+
+        config = DHTWorkloadConfig(machine=cached_machine(4, 4), scheme="rma-rw", ops_per_process=2, fw=0.2, seed=1)
+        with pytest.raises(ValueError, match="scheduler override"):
+            execute_tasks([BenchTask(config=config, kind="dht", scheduler="baseline")], jobs=1)
+
+    def test_report_records_effective_worker_count(self):
+        report = run_campaign(TINY, jobs=16, cache=False)
+        assert report.jobs == 16
+        assert report.workers == min(16, report.points)
+
+
+class TestRunPoint:
+    def test_row_carries_determinism_and_perf_fields(self):
+        point = CampaignPoint(
+            scheme="rma-rw", benchmark="wcsb", procs=8, procs_per_node=4, iterations=3, fw=0.2, seed=7
+        )
+        row = run_point(point)
+        for field in DETERMINISM_FIELDS:
+            assert field in row
+        assert row["case"] == "rma-rw-wcsb-p8-fw0.2-s7-i3-ppn4"
+        assert row["acquires"] == 8 * 3
+        assert len(row["fingerprint"]) == 64
+        assert row["wall_s"] >= 0.0
+
+    def test_same_point_is_bit_identical(self):
+        point = CampaignPoint(scheme="rma-mcs", benchmark="ecsb", procs=8, procs_per_node=4, iterations=3)
+        first = run_point(point)
+        second = run_point(point)
+        for field in DETERMINISM_FIELDS:
+            assert first[field] == second[field]

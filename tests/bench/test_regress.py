@@ -1,0 +1,203 @@
+"""Tests for the `repro regress` gate: comparisons, exit codes, blessing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.campaign import CampaignSpec, run_campaign
+from repro.bench.regress import (
+    EXIT_FAIL,
+    EXIT_HARD,
+    EXIT_OK,
+    bless,
+    check_runtime_manifest,
+    compare_campaign_rows,
+    exit_code,
+    format_findings,
+    run_regress,
+)
+
+TINY = CampaignSpec(
+    name="tiny-regress",
+    schemes=("rma-mcs", "rma-rw"),
+    benchmarks=("ecsb",),
+    process_counts=(4,),
+    fw_values=(0.1,),
+    iterations=3,
+    procs_per_node=4,
+    seed=11,
+)
+
+
+def _baseline_row(case="a", ops=1000.0, fingerprint="f" * 64):
+    return {
+        "case": case,
+        "fingerprint": fingerprint,
+        "elapsed_us": 10.0,
+        "throughput_mln_s": 1.5,
+        "latency_mean_us": 2.0,
+        "latency_p95_us": 3.0,
+        "acquires": 12,
+        "reads": 10,
+        "writes": 2,
+        "rma_ops": 100,
+        "op_counts": {"get": 50, "put": 50},
+        "sim_ops_per_s": ops,
+    }
+
+
+class TestCompare:
+    def test_identical_rows_pass(self):
+        rows = [_baseline_row("a"), _baseline_row("b")]
+        findings = compare_campaign_rows(rows, [dict(r) for r in rows])
+        assert findings == []
+        assert exit_code(findings) == EXIT_OK
+
+    def test_soft_fail_manifest_exits_1(self):
+        """A throughput regression beyond the applicable tolerance is exit 1."""
+        base = [_baseline_row("a", ops=1000.0)]
+        slow = [dict(_baseline_row("a"), sim_ops_per_s=100.0)]  # 90% drop
+        findings = compare_campaign_rows(base, slow, soft=True)
+        assert [f.level for f in findings] == ["fail"]
+        assert exit_code(findings) == EXIT_FAIL
+
+    def test_moderate_drop_warns_in_soft_mode_fails_in_strict(self):
+        base = [_baseline_row("a", ops=1000.0)]
+        slower = [dict(_baseline_row("a"), sim_ops_per_s=600.0)]  # 40% drop
+        strict = compare_campaign_rows(base, slower, soft=False)
+        assert exit_code(strict) == EXIT_FAIL
+        soft = compare_campaign_rows(base, slower, soft=True)
+        assert [f.level for f in soft] == ["warn"]
+        assert exit_code(soft) == EXIT_OK
+
+    def test_hard_fail_manifest_exits_2(self):
+        """Any determinism-field divergence is a hard failure."""
+        base = [_baseline_row("a")]
+        diverged = [dict(_baseline_row("a"), fingerprint="0" * 64)]
+        findings = compare_campaign_rows(base, diverged, soft=True)
+        assert any(f.level == "hard" and f.field == "fingerprint" for f in findings)
+        assert exit_code(findings) == EXIT_HARD
+
+    def test_op_count_divergence_is_hard(self):
+        base = [_baseline_row("a")]
+        diverged = [dict(_baseline_row("a"), op_counts={"get": 51, "put": 49})]
+        assert exit_code(compare_campaign_rows(base, diverged)) == EXIT_HARD
+
+    def test_missing_case_is_hard_new_case_warns(self):
+        base = [_baseline_row("a")]
+        current = [_baseline_row("b")]
+        findings = compare_campaign_rows(base, current)
+        levels = {f.case: f.level for f in findings}
+        assert levels["a"] == "hard"
+        assert levels["b"] == "warn"
+
+    def test_custom_tolerances(self):
+        base = [_baseline_row("a", ops=1000.0)]
+        slower = [dict(_baseline_row("a"), sim_ops_per_s=890.0)]  # 11% drop
+        assert exit_code(compare_campaign_rows(base, slower, strict_tol=0.10)) == EXIT_FAIL
+        assert exit_code(compare_campaign_rows(base, slower, strict_tol=0.15)) == EXIT_OK
+
+    def test_format_findings_orders_worst_first(self):
+        findings = compare_campaign_rows(
+            [_baseline_row("a"), _baseline_row("b", ops=1000.0)],
+            [dict(_baseline_row("a"), fingerprint="0" * 64), dict(_baseline_row("b"), sim_ops_per_s=10.0)],
+        )
+        text = format_findings(findings)
+        assert text.index("[HARD") < text.index("[FAIL")
+
+
+class TestRuntimeManifest:
+    def test_committed_manifest_passes(self):
+        from repro.bench.regress import DEFAULT_RUNTIME_BASELINE
+
+        payload = json.loads(DEFAULT_RUNTIME_BASELINE.read_text())
+        assert check_runtime_manifest(payload) == []
+
+    def test_low_recorded_speedup_fails(self):
+        payload = {"cases": [{"case": "g", "gate": True, "speedup": 1.2}]}
+        findings = check_runtime_manifest(payload)
+        assert [f.level for f in findings] == ["fail"]
+
+    def test_missing_gate_case_is_hard(self):
+        assert exit_code(check_runtime_manifest({"cases": [{"case": "x", "gate": False}]})) == EXIT_HARD
+        assert exit_code(check_runtime_manifest({"cases": []})) == EXIT_HARD
+
+
+class TestEndToEnd:
+    @pytest.fixture()
+    def blessed(self, tmp_path, monkeypatch):
+        """A blessed tiny-campaign baseline backed by a tmp cache dir."""
+        from repro.bench import campaign as campaign_mod
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        campaign_mod.register_campaign(TINY, replace=True)
+        baseline = tmp_path / "BENCH_campaign.json"
+        yield baseline
+        campaign_mod.unregister_campaign(TINY.name)
+
+    def test_bless_then_regress_passes_twice_bit_identically(self, blessed, tmp_path):
+        bless(TINY.name, blessed, jobs=1, print_fn=lambda *_: None)
+        payload = json.loads(blessed.read_text())
+        assert payload["campaign"] == TINY.name
+        assert payload["timing"]["warm_wall_s"] >= 0.0
+        assert len(payload["rows"]) == 2
+
+        out1 = tmp_path / "run1.json"
+        out2 = tmp_path / "run2.json"
+        # Gate determinism only: host wall-clock throughput of a millisecond
+        # 2-point campaign is far too noisy for the default tolerance under
+        # parallel test-suite load.
+        code1 = run_regress(
+            campaign=TINY.name, baseline_path=blessed, runtime_baseline_path=None,
+            jobs=1, output=out1, strict_tol=1e9, print_fn=lambda *_: None,
+        )
+        code2 = run_regress(
+            campaign=TINY.name, baseline_path=blessed, runtime_baseline_path=None,
+            jobs=1, output=out2, strict_tol=1e9, print_fn=lambda *_: None,
+        )
+        assert code1 == EXIT_OK and code2 == EXIT_OK
+        # Both runs recompute every point; determinism fields repeat bit-exactly.
+        from repro.bench.campaign import DETERMINISM_FIELDS
+
+        rows1 = json.loads(out1.read_text())["rows"]
+        rows2 = json.loads(out2.read_text())["rows"]
+        for r1, r2 in zip(rows1, rows2):
+            for field in DETERMINISM_FIELDS:
+                assert r1[field] == r2[field]
+
+    def test_regress_detects_tampered_fingerprint(self, blessed, tmp_path):
+        report = bless(TINY.name, blessed, jobs=1, print_fn=lambda *_: None)
+        payload = json.loads(blessed.read_text())
+        payload["rows"][0]["fingerprint"] = "0" * 64
+        blessed.write_text(json.dumps(payload))
+        code = run_regress(
+            campaign=TINY.name, baseline_path=blessed, runtime_baseline_path=None,
+            jobs=1, strict_tol=1e9, print_fn=lambda *_: None,
+        )
+        assert code == EXIT_HARD
+        assert report.points == 2
+
+    def test_regress_malformed_baseline_rows_is_hard(self, blessed, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"rows": ["not-a-row"]}))
+        code = run_regress(
+            campaign=TINY.name, baseline_path=bad, runtime_baseline_path=None,
+            jobs=1, print_fn=lambda *_: None,
+        )
+        assert code == EXIT_HARD
+
+    def test_regress_missing_baseline_is_hard(self, blessed):
+        code = run_regress(
+            campaign=TINY.name, baseline_path=blessed, runtime_baseline_path=None,
+            jobs=1, print_fn=lambda *_: None,
+        )
+        assert code == EXIT_HARD
+
+    def test_cached_rerun_is_much_faster_than_cold(self, blessed, tmp_path):
+        """The acceptance criterion: a fully-cached re-run well under the cold time."""
+        cold = run_campaign(TINY.name, jobs=1, refresh=True)
+        warm = run_campaign(TINY.name, jobs=1)
+        assert warm.cache_hits == warm.points
+        assert warm.wall_s < cold.wall_s

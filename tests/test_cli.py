@@ -166,6 +166,121 @@ class TestSchedulerFlag:
         assert default_scheduler() == "horizon"
 
 
+class TestCampaignCommand:
+    @pytest.fixture()
+    def tiny_campaign(self, tmp_path, monkeypatch):
+        from repro.bench.campaign import CampaignSpec, register_campaign, unregister_campaign
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        spec = CampaignSpec(
+            name="cli-tiny",
+            schemes=("rma-mcs",),
+            benchmarks=("ecsb",),
+            process_counts=(4,),
+            iterations=3,
+            procs_per_node=4,
+        )
+        register_campaign(spec, replace=True)
+        yield spec
+        unregister_campaign(spec.name)
+
+    def test_campaign_list_names_builtins(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "ci-gate" in out
+        assert "rw-contention" in out
+
+    def test_campaign_show_prints_expanded_grid(self, capsys):
+        assert main(["campaign", "show", "ci-gate"]) == 0
+        out = capsys.readouterr().out
+        assert "rma-rw-wcsb-p64" in out
+        assert "27 points" in out
+
+    def test_campaign_show_unknown_name_suggests(self, capsys):
+        assert main(["campaign", "show", "ci-gat"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown campaign" in err
+        assert "ci-gate" in err
+
+    def test_campaign_list_survives_a_broken_campaign(self, capsys):
+        """One campaign with an unresolvable scheme must not take down the
+        listing (nor `show`/`run` crash with a traceback)."""
+        from repro.bench.campaign import CampaignSpec, register_campaign, unregister_campaign
+
+        register_campaign(
+            CampaignSpec(name="broken", schemes=("no-such-lock",)), replace=True
+        )
+        try:
+            assert main(["campaign", "list"]) == 0
+            out = capsys.readouterr().out
+            assert "ci-gate" in out
+            assert "error:" in out
+            assert main(["campaign", "show", "broken"]) == 2
+            assert "cannot be expanded" in capsys.readouterr().err
+            assert main(["campaign", "run", "broken", "--jobs", "1", "--no-cache"]) == 2
+        finally:
+            unregister_campaign("broken")
+
+    def test_campaign_run_computes_then_hits_cache(self, tiny_campaign, capsys):
+        assert main(["campaign", "run", "cli-tiny", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cached / 1 computed" in out
+        assert main(["campaign", "run", "cli-tiny", "--jobs", "1"]) == 0
+        assert "1 cached / 0 computed" in capsys.readouterr().out
+
+    def test_campaign_run_writes_manifest(self, tiny_campaign, tmp_path, capsys):
+        out_file = tmp_path / "out.json"
+        assert main(["campaign", "run", "cli-tiny", "--jobs", "1", "--no-cache",
+                     "--output", str(out_file)]) == 0
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["campaign"] == "cli-tiny"
+        assert len(payload["rows"]) == 1
+        assert "fingerprint" in payload["rows"][0]
+
+
+class TestRegressCommand:
+    def test_regress_bless_then_pass(self, tmp_path, monkeypatch, capsys):
+        from repro.bench.campaign import CampaignSpec, register_campaign, unregister_campaign
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        spec = CampaignSpec(
+            name="cli-regress-tiny",
+            schemes=("ticket",),
+            benchmarks=("ecsb",),
+            process_counts=(4,),
+            iterations=3,
+            procs_per_node=4,
+        )
+        register_campaign(spec, replace=True)
+        try:
+            baseline = tmp_path / "BENCH_campaign.json"
+            assert main(["regress", "--campaign", "cli-regress-tiny", "--jobs", "1",
+                         "--baseline", str(baseline), "--bless"]) == 0
+            assert baseline.exists()
+            # --strict-tol disables the wall-clock throughput gate: a
+            # millisecond one-point campaign is too noisy for 25% under load,
+            # and this test's subject is the determinism gate + exit code.
+            assert main(["regress", "--campaign", "cli-regress-tiny", "--jobs", "1",
+                         "--baseline", str(baseline), "--runtime-baseline", "none",
+                         "--strict-tol", "1e9"]) == 0
+            out = capsys.readouterr().out
+            assert "regress: PASS" in out
+        finally:
+            unregister_campaign(spec.name)
+
+    def test_regress_unknown_campaign_errors(self, capsys):
+        assert main(["regress", "--campaign", "nope"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_regress_soft_flag_parses(self):
+        args = build_parser().parse_args(["regress", "--soft", "--jobs", "4", "--scaling"])
+        assert args.soft is True
+        assert args.jobs == 4
+        assert args.scaling is True
+
+
 class TestGeneratedThresholdFlags:
     def test_t_w_flag_is_generated_from_registry(self, capsys):
         code = main([

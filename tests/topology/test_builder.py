@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.topology.builder import XC30_PROCS_PER_NODE, figure2_machine, machines_for_sweep, xc30_like
+from repro.topology.builder import (
+    XC30_PROCS_PER_NODE,
+    cached_machine,
+    figure2_machine,
+    machines_for_sweep,
+    xc30_like,
+)
 
 
 class TestXC30Like:
@@ -51,6 +57,24 @@ class TestFigure2Machine:
     def test_custom_width(self):
         m = figure2_machine(procs_per_node=2)
         assert m.num_processes == 8
+
+
+class TestCachedMachine:
+    def test_returns_one_shared_instance_per_key(self):
+        assert cached_machine(32, 8) is cached_machine(32, 8)
+        assert cached_machine(32, 8) == xc30_like(32, procs_per_node=8)
+        assert cached_machine(32, 8) is not cached_machine(32, 16)
+
+    def test_topologies(self):
+        assert cached_machine(24, 6, "figure2") == figure2_machine(procs_per_node=6)
+        with pytest.raises(ValueError, match="unknown topology"):
+            cached_machine(8, 8, "torus")
+
+    def test_figure2_rejects_mismatched_process_count(self):
+        # 2 racks x 2 nodes x 6 ranks = 24, so requesting 12 is a config error
+        # (not a silent 24-process machine under a P=12 label).
+        with pytest.raises(ValueError, match="not the requested"):
+            cached_machine(12, 6, "figure2")
 
 
 class TestSweep:

@@ -140,6 +140,19 @@ class SchemeInfo:
     params: Tuple[ParamSpec, ...] = ()
     help: str = ""
     harness: bool = True
+    #: Optional ``bound(P) -> int``: the scheme's bounded-bypass (starvation)
+    #: guarantee — the maximum number of foreign critical-section entries a
+    #: waiter can observe after its ordering RMW (see
+    #: :mod:`repro.verification.oracles`).  FIFO queues declare ``P - 1``;
+    #: ``None`` means no declared bound (backoff locks, threshold-passing
+    #: hierarchies), so conformance reports the observed maximum only.
+    fairness_bound: Optional[Callable[[int], int]] = None
+    #: Optional ``adapter(machine) -> LockSpec`` for schemes whose native
+    #: handles do not follow the plain lock protocol (``harness=False``): the
+    #: adapter produces a harness-compatible spec (e.g. the striped per-volume
+    #: lock bound to one stripe) so the conformance sweep can still check the
+    #: scheme's safety invariants.
+    conformance_adapter: Optional[Callable[..., Any]] = None
 
     def param(self, name: str) -> ParamSpec:
         for spec in self.params:
@@ -322,9 +335,16 @@ def register_scheme(
     params: Sequence[ParamSpec] = (),
     help: str = "",
     harness: bool = True,
+    fairness_bound: Optional[Callable[[int], int]] = None,
+    conformance_adapter: Optional[Callable[..., Any]] = None,
     replace: bool = False,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
-    """Decorator: register the decorated ``builder(machine, **params)``."""
+    """Decorator: register the decorated ``builder(machine, **params)``.
+
+    ``fairness_bound`` and ``conformance_adapter`` feed the conformance layer
+    (see :class:`SchemeInfo`); both are optional and have no effect on the
+    benchmark harness.
+    """
 
     def decorator(builder: Callable[..., Any]) -> Callable[..., Any]:
         doc = (builder.__doc__ or "").strip()
@@ -337,6 +357,8 @@ def register_scheme(
                 params=tuple(params),
                 help=help or (doc.splitlines()[0] if doc else ""),
                 harness=harness,
+                fairness_bound=fairness_bound,
+                conformance_adapter=conformance_adapter,
             ),
             replace=replace,
         )

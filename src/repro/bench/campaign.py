@@ -87,8 +87,14 @@ DETERMINISM_FIELDS: Tuple[str, ...] = (
 PERF_FIELDS: Tuple[str, ...] = ("wall_s", "sim_ops_per_s")
 
 #: Scheme selectors understood by :meth:`CampaignSpec.resolve_schemes`, in
-#: addition to literal registered scheme names.
-SCHEME_SELECTORS: Tuple[str, ...] = ("all", "mcs", "rw", "related-mcs", "related-rw")
+#: addition to literal registered scheme names.  ``"conformance"`` selects
+#: every scheme the conformance layer can drive: all harness-capable schemes
+#: plus the ``harness=False`` ones that registered a ``conformance_adapter``
+#: (so third-party ``@register_scheme`` locks are conformance-checked for
+#: free the moment they register).
+SCHEME_SELECTORS: Tuple[str, ...] = (
+    "all", "mcs", "rw", "related-mcs", "related-rw", "conformance",
+)
 
 _REPO_ROOT = Path(__file__).resolve().parents[3]
 _GOLDEN_FILE = _REPO_ROOT / "tests" / "rma" / "golden" / "seed_scheduler.json"
@@ -255,6 +261,13 @@ class CampaignSpec:
         for token in self.schemes:
             if token == "all":
                 names = scheme_names(harness=True)
+            elif token == "conformance":
+                names = tuple(
+                    n
+                    for n in scheme_names()
+                    if get_scheme(n).harness
+                    or get_scheme(n).conformance_adapter is not None
+                )
             elif token in SCHEME_SELECTORS:
                 names = tuple(
                     n for n in scheme_names(category=token) if get_scheme(n).harness
@@ -371,6 +384,25 @@ register_campaign(
         iterations=8,
         procs_per_node=8,
         seed=3,
+    )
+)
+# The base grid of `repro conform` (repro.bench.conformance): every
+# conformance-capable scheme — including harness=False schemes with an
+# adapter and third-party registrations — on the three contention-shaping
+# benchmarks.  The conformance engine crosses this grid with the
+# perturbation-seed axis; running it through `repro campaign run` is also
+# valid (it then measures the unperturbed points without oracles).
+register_campaign(
+    CampaignSpec(
+        name="conformance",
+        help="safety/fairness oracle grid for `repro conform` (x perturbation seeds)",
+        schemes=("conformance",),
+        benchmarks=("ecsb", "wcsb", "warb"),
+        process_counts=(8, 32),
+        fw_values=(0.2,),
+        iterations=6,
+        procs_per_node=8,
+        seed=5,
     )
 )
 
@@ -509,16 +541,25 @@ def golden_epoch() -> str:
 class ResultCache:
     """On-disk content-addressed store of campaign rows.
 
-    Layout: ``<root>/campaign/<epoch>/<key>.json`` with one JSON row per
+    Layout: ``<root>/<namespace>/<epoch>/<key>.json`` with one JSON row per
     point; ``key`` is the SHA-256 of the point's canonical description plus
     the epoch.  The default root is ``$REPRO_CACHE_DIR`` or
-    ``<repo>/.repro-cache``.  Eviction is by epoch directory: stale epochs
-    are never read again, so ``prune()`` (or ``rm -rf``) reclaims them.
+    ``<repo>/.repro-cache``; the default namespace is ``campaign`` (the
+    conformance engine stores its verdict rows under ``conformance`` with the
+    same epoch machinery, so a golden re-bless invalidates both at once).
+    Eviction is by epoch directory: stale epochs are never read again, so
+    ``prune()`` (or ``rm -rf``) reclaims them.
     """
 
-    def __init__(self, root: Optional[Path] = None, *, epoch: Optional[str] = None):
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        *,
+        epoch: Optional[str] = None,
+        namespace: str = "campaign",
+    ):
         root = Path(root or os.environ.get("REPRO_CACHE_DIR") or _REPO_ROOT / ".repro-cache")
-        self.root = root / "campaign"
+        self.root = root / namespace
         self.epoch = epoch or golden_epoch()
         self.dir = self.root / self.epoch
 

@@ -1,0 +1,553 @@
+"""Conformance & chaos engine: perturbed schedules × live oracles × schemes.
+
+``repro bench`` proves the schemes are *fast*; this module proves they are
+*locks*.  It drives every conformance-capable scheme (the ``"conformance"``
+campaign selector: all harness schemes, ``harness=False`` schemes with a
+registered adapter, and any third-party ``@register_scheme`` lock) through
+the standard benchmark harness while
+
+* a seeded :class:`~repro.rma.perturbation.PerturbationModel` steers each run
+  through a different — but bit-reproducible — interleaving (per-op latency
+  jitter, per-rank slowdowns, transient GC-like pauses), and
+* a :class:`~repro.verification.oracles.LockOracleObserver` checks the live
+  invariants: mutual exclusion, reader/writer exclusion, handoff sanity,
+  reader coexistence and the declared bounded-bypass fairness guarantees,
+  with the runtime's structural deadlock detection and watchdog folded into
+  the verdict.
+
+Every point is executed **twice** by default and its
+:func:`~repro.bench.campaign.run_result_sha` fingerprints compared, so the
+sweep simultaneously certifies the determinism contract: same seed → same
+schedule → same verdict, on whichever scheduler ran it.
+
+The benchmark axis is deliberate: **wcsb** gives the critical section real
+width in the execution order (in-CS counter update plus computation), which
+is what makes holder overlap *observable* to the mutual-exclusion oracle —
+an empty critical section (ecsb) acquires and releases back-to-back with no
+scheduling point in between, so ecsb and warb instead stress the handoff,
+fairness and reader-coexistence oracles under maximal lock churn.
+
+Execution rides on the campaign engine: grids expand from the registered
+``conformance`` :class:`~repro.bench.campaign.CampaignSpec`, points fan out
+over :func:`~repro.bench.campaign.parallel_map`, and verdict rows land in a
+:class:`~repro.bench.campaign.ResultCache` under the ``conformance``
+namespace — keyed on the same golden-fingerprint epoch as benchmark rows, so
+a re-blessed golden file invalidates cached verdicts too.  As with the
+campaign cache, the epoch tracks the *golden file*, not the source tree:
+after editing scheme code (your own or a ``--import``-ed provider's) pass
+``refresh=True`` / ``--refresh`` to recompute verdicts — CI always starts
+from an empty runner cache, so its verdicts are always fresh.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, replace
+from functools import partial
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.registry import get_runtime, get_scheme
+from repro.bench.campaign import (
+    CampaignSpec,
+    ResultCache,
+    _import_provider,
+    default_jobs,
+    get_campaign,
+    golden_epoch,
+    parallel_map,
+    run_result_sha,
+)
+from repro.bench.harness import build_lock_spec, run_lock_benchmark_detailed
+from repro.bench.workloads import LockBenchConfig
+from repro.rma.perturbation import PerturbationModel
+from repro.rma.runtime_base import RuntimeError_, SimDeadlockError
+from repro.topology.builder import cached_machine
+from repro.verification.oracles import LockOracleObserver
+
+__all__ = [
+    "ChaosProfile",
+    "ConformancePoint",
+    "ConformanceReport",
+    "conformance_points",
+    "format_conformance_rows",
+    "run_conformance",
+    "run_conformance_point",
+    "write_conformance_json",
+]
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Perturbation magnitudes applied to every perturbed point of a sweep.
+
+    The defaults are deliberately violent relative to the base latencies
+    (~30% jitter, ranks up to 2x slower, one op in fifty stalled for tens of
+    µs) — the point is to reach interleavings the polished cost model never
+    produces, not to model a healthy fabric.
+    """
+
+    latency_jitter: float = 0.3
+    rank_slowdown: float = 1.0
+    pause_rate: float = 0.02
+    pause_us: Tuple[float, float] = (5.0, 40.0)
+
+
+@dataclass(frozen=True)
+class ConformancePoint:
+    """One conformance run: a scheme/benchmark/P cell under one chaos seed.
+
+    ``perturb_seed == 0`` is the control run: no perturbation at all (the
+    exact schedule of the committed golden fingerprints); seeds ``1..N``
+    apply the chaos profile with that seed.  Primitives only, so points
+    pickle into pool workers and hash canonically for the cache.
+    """
+
+    scheme: str
+    benchmark: str
+    procs: int
+    procs_per_node: int = 8
+    iterations: int = 6
+    fw: float = 0.2
+    seed: int = 5
+    scheduler: str = "horizon"
+    topology: str = "xc30"
+    perturb_seed: int = 0
+    latency_jitter: float = 0.0
+    rank_slowdown: float = 0.0
+    pause_rate: float = 0.0
+    pause_us: Tuple[float, float] = (5.0, 40.0)
+    #: Module that registered the scheme (imported in pool workers; not part
+    #: of the cache key).
+    provider: str = ""
+
+    @property
+    def perturbed(self) -> bool:
+        return self.perturb_seed != 0
+
+    @property
+    def case(self) -> str:
+        name = f"{self.scheme}-{self.benchmark}-p{self.procs}-fw{self.fw:g}-s{self.seed}"
+        name += f"-c{self.perturb_seed}" if self.perturbed else "-control"
+        if self.scheduler != "horizon":
+            name += f"-{self.scheduler}"
+        return name
+
+    def perturbation(self) -> Optional[PerturbationModel]:
+        """The seeded perturbation model of this point (None for the control)."""
+        if not self.perturbed:
+            return None
+        return PerturbationModel(
+            seed=self.perturb_seed,
+            latency_jitter=self.latency_jitter,
+            rank_slowdown=self.rank_slowdown,
+            pause_rate=self.pause_rate,
+            pause_us=self.pause_us,
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical JSON-able description (the cache-key input)."""
+        return {
+            "kind": "conformance",
+            "scheme": self.scheme,
+            "benchmark": self.benchmark,
+            "procs": self.procs,
+            "procs_per_node": self.procs_per_node,
+            "iterations": self.iterations,
+            "fw": self.fw,
+            "seed": self.seed,
+            "scheduler": self.scheduler,
+            "topology": self.topology,
+            "perturb_seed": self.perturb_seed,
+            "latency_jitter": self.latency_jitter,
+            "rank_slowdown": self.rank_slowdown,
+            "pause_rate": self.pause_rate,
+            "pause_us": list(self.pause_us),
+        }
+
+    def config(self) -> LockBenchConfig:
+        _import_provider(self.provider)
+        machine = cached_machine(self.procs, self.procs_per_node, self.topology)
+        return LockBenchConfig(
+            machine=machine,
+            scheme=self.scheme,
+            benchmark=self.benchmark,
+            iterations=self.iterations,
+            fw=self.fw,
+            seed=self.seed,
+        )
+
+
+def conformance_points(
+    spec: "CampaignSpec | str" = "conformance",
+    *,
+    seeds: int = 5,
+    profile: Optional[ChaosProfile] = None,
+    schemes: Optional[Sequence[str]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    process_counts: Optional[Sequence[int]] = None,
+    iterations: Optional[int] = None,
+    scheduler: Optional[str] = None,
+) -> List[ConformancePoint]:
+    """Expand a campaign grid × the perturbation-seed axis into points.
+
+    Each scheme × benchmark × P cell yields one unperturbed control point
+    (pinned to the golden schedule) plus ``seeds`` chaos points.  The keyword
+    overrides narrow or redirect the registered grid (the CLI flags map onto
+    them 1:1).
+    """
+    if seeds < 0:
+        raise ValueError("seeds must be non-negative")
+    if isinstance(spec, str):
+        spec = get_campaign(spec)
+    overrides: Dict[str, Any] = {}
+    if schemes is not None:
+        overrides["schemes"] = tuple(schemes)
+    if benchmarks is not None:
+        overrides["benchmarks"] = tuple(benchmarks)
+    if process_counts is not None:
+        overrides["process_counts"] = tuple(int(p) for p in process_counts)
+    if iterations is not None:
+        overrides["iterations"] = int(iterations)
+    if scheduler is not None:
+        get_runtime(scheduler)  # validate early, helpful UnknownNameError
+        overrides["scheduler"] = scheduler
+    if overrides:
+        spec = replace(spec, **overrides)
+    profile = profile or ChaosProfile()
+
+    points: List[ConformancePoint] = []
+    for scheme in spec.resolve_schemes():
+        info = get_scheme(scheme)
+        provider = getattr(info.builder, "__module__", "") or ""
+        # Same fw-axis rule as CampaignSpec.points: non-RW schemes ignore fw,
+        # so only the first value is meaningful for them.
+        fw_values = spec.fw_values or (0.2,)
+        fw_axis = fw_values if info.rw else fw_values[:1]
+        for benchmark in spec.benchmarks:
+            for procs in spec.process_counts:
+                for fw in fw_axis:
+                    for perturb_seed in range(0, seeds + 1):
+                        perturbed = perturb_seed != 0
+                        points.append(
+                            ConformancePoint(
+                                scheme=scheme,
+                                benchmark=benchmark,
+                                procs=int(procs),
+                                procs_per_node=spec.procs_per_node,
+                                iterations=spec.iterations,
+                                fw=fw,
+                                seed=spec.seed,
+                                scheduler=spec.scheduler,
+                                perturb_seed=perturb_seed,
+                                latency_jitter=profile.latency_jitter if perturbed else 0.0,
+                                rank_slowdown=profile.rank_slowdown if perturbed else 0.0,
+                                pause_rate=profile.pause_rate if perturbed else 0.0,
+                                pause_us=profile.pause_us,
+                                provider=provider,
+                            )
+                        )
+    return points
+
+
+# --------------------------------------------------------------------------- #
+# Point execution
+# --------------------------------------------------------------------------- #
+
+def _run_once(point: ConformancePoint) -> Tuple[Optional[str], Dict[str, Any], Dict[str, Any]]:
+    """One observed, possibly perturbed run; returns (fingerprint, oracle, bench).
+
+    A structural deadlock, a watchdog stall or a livelock abort is *data*
+    here, not a crash: it lands in the oracle summary as a violation (with no
+    fingerprint) so a hanging scheme produces a failing verdict row instead
+    of taking the whole sweep down.
+    """
+    config = point.config()
+    info = get_scheme(point.scheme)
+    bound = info.fairness_bound(point.procs) if info.fairness_bound is not None else None
+    observer = LockOracleObserver(bypass_bound=bound)
+    spec, is_rw = build_lock_spec(config)
+    try:
+        bench, raw = run_lock_benchmark_detailed(
+            config,
+            scheduler=point.scheduler,
+            spec=spec,
+            is_rw=is_rw,
+            perturbation=point.perturbation(),
+            observer=observer,
+        )
+    except SimDeadlockError as exc:
+        oracle = observer.report().summary()
+        oracle["ok"] = False
+        oracle["violations"] = list(oracle["violations"]) + [f"[deadlock] {exc}"]
+        return None, oracle, {}
+    except RuntimeError_ as exc:
+        oracle = observer.report().summary()
+        oracle["ok"] = False
+        oracle["violations"] = list(oracle["violations"]) + [f"[runtime] {exc}"]
+        return None, oracle, {}
+    except Exception as exc:  # noqa: BLE001 - a crashing scheme is a verdict
+        oracle = observer.report().summary()
+        oracle["ok"] = False
+        oracle["violations"] = list(oracle["violations"]) + [
+            f"[error] {type(exc).__name__}: {exc}"
+        ]
+        return None, oracle, {}
+    oracle = observer.report().summary()
+    metrics = {
+        "elapsed_us": bench.elapsed_us,
+        "throughput_mln_s": bench.throughput_mln_per_s,
+        "rma_ops": raw.total_ops(),
+    }
+    return run_result_sha(raw), oracle, metrics
+
+
+def run_conformance_point(point: ConformancePoint, *, recheck: bool = True) -> Dict[str, Any]:
+    """Execute one conformance point and build its verdict row.
+
+    With ``recheck`` (the default) the point runs twice and the row records
+    whether fingerprint *and* oracle verdict repeated bit-for-bit — the
+    determinism half of the conformance contract.
+    """
+    fingerprint, oracle, metrics = _run_once(point)
+    violations = list(oracle["violations"])
+    reproducible: Optional[bool] = None
+    if recheck:
+        fingerprint2, oracle2, _ = _run_once(point)
+        reproducible = fingerprint == fingerprint2 and oracle == oracle2
+        if not reproducible:
+            violations.append(
+                "[determinism] re-run with the same seed diverged "
+                f"(fingerprints {fingerprint} vs {fingerprint2})"
+            )
+    ok = bool(oracle["ok"]) and not violations
+    row: Dict[str, Any] = {
+        "case": point.case,
+        "scheme": point.scheme,
+        "benchmark": point.benchmark,
+        "P": point.procs,
+        "procs_per_node": point.procs_per_node,
+        "iterations": point.iterations,
+        "fw": point.fw,
+        "seed": point.seed,
+        "scheduler": point.scheduler,
+        "perturb_seed": point.perturb_seed,
+        "perturbed": point.perturbed,
+        "fingerprint": fingerprint,
+        "reproducible": reproducible,
+        "ok": ok,
+        "violations": violations,
+        "acquires": oracle["acquires"],
+        "write_acquires": oracle["write_acquires"],
+        "read_acquires": oracle["read_acquires"],
+        "max_concurrent_readers": oracle["max_concurrent_readers"],
+        "max_bypass": oracle["max_bypass"],
+        "bypass_bound": oracle["bypass_bound"],
+    }
+    row.update(metrics)
+    return row
+
+
+def _execute_conformance_point(point: ConformancePoint, recheck: bool) -> Dict[str, Any]:
+    """Module-level pool worker (picklable via functools.partial)."""
+    return run_conformance_point(point, recheck=recheck)
+
+
+# --------------------------------------------------------------------------- #
+# Sweep execution
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class ConformanceReport:
+    """Outcome of one :func:`run_conformance` sweep."""
+
+    name: str
+    rows: List[Dict[str, Any]]
+    jobs: int
+    wall_s: float
+    cache_hits: int
+    cache_misses: int
+    epoch: str
+    seeds: int
+
+    @property
+    def points(self) -> int:
+        return len(self.rows)
+
+    @property
+    def ok(self) -> bool:
+        return all(row["ok"] for row in self.rows)
+
+    @property
+    def failures(self) -> List[Dict[str, Any]]:
+        return [row for row in self.rows if not row["ok"]]
+
+    def scheme_verdicts(self) -> List[Dict[str, Any]]:
+        """Per-scheme aggregate rows for the CLI table."""
+        order: List[str] = []
+        by_scheme: Dict[str, List[Dict[str, Any]]] = {}
+        for row in self.rows:
+            by_scheme.setdefault(row["scheme"], []).append(row)
+            if row["scheme"] not in order:
+                order.append(row["scheme"])
+        out = []
+        for scheme in order:
+            rows = by_scheme[scheme]
+            bad = [r for r in rows if not r["ok"]]
+            rechecked = [r for r in rows if r.get("reproducible") is not None]
+            bounds = {r["bypass_bound"] for r in rows if r["bypass_bound"] is not None}
+            out.append(
+                {
+                    "scheme": scheme,
+                    "points": len(rows),
+                    "violations": sum(len(r["violations"]) for r in rows),
+                    "reproducible": (
+                        "yes" if all(r["reproducible"] for r in rechecked) else "NO"
+                    ) if rechecked else "-",
+                    "max_bypass": max(r["max_bypass"] for r in rows),
+                    # Cells at different P have different bounds (P - 1); the
+                    # aggregate shows the largest so the pair stays readable
+                    # (per-point gating used each point's own bound).
+                    "bypass_bound": max(bounds) if bounds else "-",
+                    "max_readers": max(r["max_concurrent_readers"] for r in rows),
+                    "verdict": "ok" if not bad else f"FAIL ({len(bad)} points)",
+                }
+            )
+        return out
+
+
+def run_conformance(
+    spec: "CampaignSpec | str" = "conformance",
+    *,
+    seeds: int = 5,
+    jobs: Optional[int] = None,
+    cache: "ResultCache | bool | None" = None,
+    cache_dir: Optional[Path] = None,
+    refresh: bool = False,
+    recheck: bool = True,
+    profile: Optional[ChaosProfile] = None,
+    schemes: Optional[Sequence[str]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    process_counts: Optional[Sequence[int]] = None,
+    iterations: Optional[int] = None,
+    scheduler: Optional[str] = None,
+) -> ConformanceReport:
+    """Run the conformance sweep, consulting the verdict cache.
+
+    Mirrors :func:`repro.bench.campaign.run_campaign`: points fan out over the
+    multiprocessing pool (each is self-seeded, so ``jobs=N`` equals
+    ``jobs=1`` bit-for-bit), cached verdict rows are served from the
+    ``conformance`` cache namespace, and the epoch tracks the committed
+    golden fingerprints.
+    """
+    if isinstance(spec, str):
+        spec = get_campaign(spec)
+    points = conformance_points(
+        spec,
+        seeds=seeds,
+        profile=profile,
+        schemes=schemes,
+        benchmarks=benchmarks,
+        process_counts=process_counts,
+        iterations=iterations,
+        scheduler=scheduler,
+    )
+
+    store: Optional[ResultCache]
+    if cache is False:
+        store = None
+    elif cache is None or cache is True:
+        store = ResultCache(cache_dir, namespace="conformance")
+    else:
+        store = cache
+
+    t0 = time.perf_counter()
+    rows: List[Optional[Dict[str, Any]]] = [None] * len(points)
+    todo: List[Tuple[int, ConformancePoint]] = []
+    hits = 0
+    for i, point in enumerate(points):
+        cached_row = store.get(point) if (store is not None and not refresh) else None
+        # A row recorded by a --no-recheck sweep carries no determinism
+        # certificate (reproducible is None); a rechecking sweep must not
+        # serve it, or the "executed twice" contract would silently lapse.
+        if cached_row is not None and recheck and cached_row.get("reproducible") is None:
+            cached_row = None
+        if cached_row is not None:
+            cached_row["cached"] = True
+            rows[i] = cached_row
+            hits += 1
+        else:
+            todo.append((i, point))
+
+    worker = partial(_execute_conformance_point, recheck=recheck)
+    computed = parallel_map(worker, [p for _, p in todo], jobs=jobs)
+    for (i, point), row in zip(todo, computed):
+        if store is not None:
+            store.put(point, row)
+        row = dict(row)
+        row["cached"] = False
+        rows[i] = row
+
+    wall = time.perf_counter() - t0
+    requested = default_jobs() if jobs is None else max(1, int(jobs))
+    return ConformanceReport(
+        name=spec.name,
+        rows=[r for r in rows if r is not None],
+        jobs=requested,
+        wall_s=wall,
+        cache_hits=hits,
+        cache_misses=len(todo),
+        epoch=store.epoch if store is not None else golden_epoch(),
+        seeds=seeds,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Reporting
+# --------------------------------------------------------------------------- #
+
+def format_conformance_rows(report: ConformanceReport) -> List[Dict[str, Any]]:
+    """Failure-detail rows for the CLI (empty when everything passed)."""
+    out = []
+    for row in report.failures:
+        out.append(
+            {
+                "case": row["case"],
+                "P": row["P"],
+                "perturb_seed": row["perturb_seed"],
+                "violations": "; ".join(str(v) for v in row["violations"][:3])
+                + ("; ..." if len(row["violations"]) > 3 else ""),
+            }
+        )
+    return out
+
+
+def write_conformance_json(
+    report: ConformanceReport,
+    path: Path,
+    *,
+    timing: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write the verdict rows + host metadata as a JSON artifact (CI upload)."""
+    payload: Dict[str, Any] = {
+        "suite": "conformance",
+        "campaign": report.name,
+        "epoch": report.epoch,
+        "seeds": report.seeds,
+        "ok": report.ok,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "schemes": report.scheme_verdicts(),
+        "rows": [{k: v for k, v in row.items() if k != "cached"} for row in report.rows],
+    }
+    if timing is not None:
+        payload["timing"] = dict(timing)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -11,13 +11,14 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.api.registry import get_benchmark, get_runtime, get_scheme
 from repro.bench.workloads import LockBenchConfig
 from repro.core.lock_base import LockSpec, RWLockHandle, RWLockSpec
 from repro.rma.fabric import FabricContentionModel
 from repro.rma.latency import LatencyModel
+from repro.rma.perturbation import PerturbationModel
 from repro.rma.runtime_base import ProcessContext
 from repro.util.stats import summarize
 
@@ -109,9 +110,16 @@ def build_lock_spec(config: LockBenchConfig) -> Tuple[LockSpec, bool]:
     (``getattr(config, name, default)`` unless the spec supplies a custom
     ``from_config`` extractor, as the cohort-style locks do for their
     may-pass-local bound).
+
+    A scheme outside the plain lock-handle protocol (``harness=False``) is
+    still buildable when it registered a ``conformance_adapter``: the adapter
+    supplies a harness-compatible facade (e.g. the striped per-volume lock
+    pinned to one stripe), which is how ``repro conform`` covers such schemes.
     """
     info = get_scheme(config.scheme)
     if not info.harness:
+        if info.conformance_adapter is not None:
+            return info.conformance_adapter(config.machine), info.rw
         raise ValueError(
             f"scheme {config.scheme!r} does not follow the plain lock-handle "
             f"protocol and cannot run under the lock benchmark harness"
@@ -146,6 +154,13 @@ def make_lock_program(config: LockBenchConfig, spec: LockSpec, is_rw: bool, shar
 
     def program(ctx: ProcessContext):
         lock = spec.make(ctx)
+        observer = getattr(ctx, "observer", None)
+        if observer is not None:
+            # Wrap at the acquire/release instrumentation points; the wrapper
+            # issues no RMA calls, so the RunResult stays bit-identical.
+            from repro.verification.oracles import observe_lock
+
+            lock = observe_lock(lock, ctx, observer)
         rng = ctx.rng
         rng_random = rng.random
         rng_uniform = rng.uniform
@@ -225,6 +240,8 @@ def run_lock_benchmark_detailed(
     scheduler: Optional[str] = None,
     spec: Optional[LockSpec] = None,
     is_rw: Optional[bool] = None,
+    perturbation: Optional["PerturbationModel"] = None,
+    observer: Optional[Any] = None,
 ):
     """Run one benchmark configuration; returns ``(LockBenchResult, RunResult)``.
 
@@ -242,6 +259,13 @@ def run_lock_benchmark_detailed(
     produce bit-identical results, so that switch only matters for wall-clock
     measurements).  ``spec`` lets a caller (e.g. ``Cluster.bench``) supply an
     already-built lock spec instead of rebuilding it from ``config``.
+
+    The conformance layer adds two hooks: ``perturbation`` installs a seeded
+    :class:`~repro.rma.perturbation.PerturbationModel` (each seed explores a
+    different, bit-reproducible interleaving), and ``observer`` a
+    :class:`~repro.verification.oracles.RunObserver` whose live oracles watch
+    the lock's acquire/release events.  Both are forwarded only when set, so
+    third-party runtime factories with the original signature keep working.
     """
     runtime_info = get_runtime(scheduler if scheduler is not None else _DEFAULT_SCHEDULER)
     if not runtime_info.deterministic:
@@ -256,6 +280,11 @@ def run_lock_benchmark_detailed(
     elif is_rw is None:
         is_rw = isinstance(spec, RWLockSpec)
     shared_offset = spec.window_words
+    factory_kwargs: Dict[str, Any] = {}
+    if perturbation is not None:
+        factory_kwargs["perturbation"] = perturbation
+    if observer is not None:
+        factory_kwargs["observer"] = observer
     runtime = runtime_info.factory(
         config.machine,
         window_words=spec.window_words + 2,
@@ -263,6 +292,7 @@ def run_lock_benchmark_detailed(
         fabric=fabric,
         tracer=None,
         seed=config.seed if seed is None else seed,
+        **factory_kwargs,
     )
     program = make_lock_program(config, spec, is_rw, shared_offset)
     result = runtime.run(program, window_init=spec.init_window)
@@ -307,6 +337,8 @@ def run_lock_benchmark(
     scheduler: Optional[str] = None,
     spec: Optional[LockSpec] = None,
     is_rw: Optional[bool] = None,
+    perturbation: Optional[PerturbationModel] = None,
+    observer: Optional[Any] = None,
 ) -> LockBenchResult:
     """Run one benchmark configuration and return its aggregated metrics.
 
@@ -321,5 +353,7 @@ def run_lock_benchmark(
         scheduler=scheduler,
         spec=spec,
         is_rw=is_rw,
+        perturbation=perturbation,
+        observer=observer,
     )
     return bench_result

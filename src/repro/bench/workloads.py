@@ -159,9 +159,11 @@ class LockBenchConfig:
     def __post_init__(self) -> None:
         # Validate against the live registries (not the module-import-time
         # tuples) so that schemes and benchmarks registered by third-party
-        # code work everywhere the built-ins do.
+        # code work everywhere the built-ins do.  Schemes outside the plain
+        # lock-handle protocol are accepted iff they registered a
+        # conformance adapter (build_lock_spec builds the adapter facade).
         scheme_info = get_scheme(self.scheme)
-        if not scheme_info.harness:
+        if not scheme_info.harness and scheme_info.conformance_adapter is None:
             raise ValueError(
                 f"scheme {self.scheme!r} does not follow the plain lock-handle "
                 f"protocol and cannot run under the lock benchmark harness"

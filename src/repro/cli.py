@@ -20,6 +20,9 @@ The subcommands cover the common workflows:
 * ``regress`` — run the gate campaign and compare it against the committed
   ``BENCH_campaign.json`` / ``BENCH_runtime.json`` baselines (the check CI
   calls; ``--bless`` records a new baseline).
+* ``conform`` — the conformance & chaos sweep: every registered scheme under
+  seeded schedule perturbation with the live safety/fairness oracles, each
+  point re-run to certify bit-reproducibility (exit 1 on any violation).
 * ``info`` — describe a simulated machine, the default thresholds and the
   Table-3 portability summary.
 """
@@ -211,6 +214,45 @@ def build_parser() -> argparse.ArgumentParser:
     regress.add_argument("--scaling", action="store_true",
                          help="also measure a jobs=1 cold run to record the parallel speedup")
 
+    conform = sub.add_parser(
+        "conform",
+        help="conformance & chaos sweep: perturbed schedules x live safety/fairness oracles",
+    )
+    conform.add_argument("--seeds", type=int, default=5,
+                         help="perturbation seeds per scheme/benchmark/P cell "
+                              "(plus one unperturbed control each)")
+    conform.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: REPRO_JOBS or all cores)")
+    conform.add_argument("--schemes", nargs="+", default=None,
+                         help="restrict to these schemes (default: the 'conformance' "
+                              "selector = every conformance-capable registered scheme)")
+    conform.add_argument("--benchmarks", nargs="+", default=None,
+                         help="benchmarks to drive the locks with (default: ecsb wcsb warb)")
+    conform.add_argument("--procs", type=int, nargs="+", default=None,
+                         help="process counts (default: 8 32)")
+    conform.add_argument("--iterations", type=int, default=None,
+                         help="lock acquisitions per rank per run")
+    conform.add_argument("--scheduler", choices=schedulers, default=None,
+                         help="simulator core to sweep on (default: horizon)")
+    conform.add_argument("--import", dest="imports", action="append", default=[],
+                         metavar="MODULE",
+                         help="import a third-party lock provider first (module name "
+                              "or path/to/file.py; repeatable) so its @register_scheme "
+                              "locks join the sweep")
+    conform.add_argument("--no-recheck", action="store_true",
+                         help="skip the second run per point (faster; forfeits the "
+                              "bit-reproducibility certificate)")
+    conform.add_argument("--no-cache", action="store_true",
+                         help="compute every verdict, store nothing")
+    conform.add_argument("--refresh", action="store_true",
+                         help="ignore cached verdicts but refresh the cache (use after "
+                              "editing scheme code: the cache epoch tracks the golden "
+                              "file, not the source tree)")
+    conform.add_argument("--cache-dir", default=None,
+                         help="cache root (default: <repo>/.repro-cache)")
+    conform.add_argument("--output", default=None,
+                         help="write the verdict rows as a JSON report (CI artifact)")
+
     info = sub.add_parser("info", help="describe a simulated machine and the portability table")
     info.add_argument("--procs", type=int, default=64)
     info.add_argument("--procs-per-node", type=int, default=8)
@@ -343,6 +385,7 @@ def _run_verify(args: argparse.Namespace) -> int:
         build_checker,
         mcs_fairness,
         mcs_model,
+        rma_rw_impl_model,
         rw_counter_model,
         tas_fairness,
         ticket_fairness,
@@ -354,14 +397,20 @@ def _run_verify(args: argparse.Namespace) -> int:
 
     num_writers = 1
     num_readers = max(1, procs - num_writers)
+    impl_readers = min(num_readers, 2)
+    impl_writers = 1
     for name, model in (
         (f"MCS / D-MCS ({procs} procs x {rounds})", mcs_model(procs, rounds)),
         (
             f"RW counter protocol ({num_readers} readers + {num_writers} writer)",
             rw_counter_model(num_readers=num_readers, num_writers=num_writers),
         ),
+        (
+            f"RMA-RW implementation model ({impl_readers} readers + {impl_writers} writer)",
+            rma_rw_impl_model(impl_readers, impl_writers),
+        ),
     ):
-        result = build_checker(model).check()
+        result = build_checker(model, max_states=3_000_000).check()
         rows.append(
             {
                 "model": name,
@@ -554,6 +603,79 @@ def _run_regress(args: argparse.Namespace) -> int:
         return 2
 
 
+def _load_provider(token: str) -> None:
+    """Import a third-party lock provider named on the conform CLI.
+
+    ``path/to/file.py`` is imported by file location with its directory put on
+    ``sys.path`` first (so pool workers under a spawn start method can re-import
+    it by module name); anything else is treated as a regular module path.
+    """
+    import importlib
+    from pathlib import Path
+
+    if token.endswith(".py"):
+        file = Path(token).resolve()
+        if not file.exists():
+            raise FileNotFoundError(f"provider file not found: {token}")
+        parent = str(file.parent)
+        if parent not in sys.path:
+            sys.path.insert(0, parent)
+        importlib.import_module(file.stem)
+    else:
+        importlib.import_module(token)
+
+
+def _run_conform(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.api.registry import UnknownNameError
+    from repro.bench import conformance as conformance_mod
+
+    for token in args.imports:
+        try:
+            _load_provider(token)
+        except (ImportError, FileNotFoundError) as exc:
+            print(f"cannot import provider {token!r}: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        report = conformance_mod.run_conformance(
+            seeds=args.seeds,
+            jobs=args.jobs,
+            cache=False if args.no_cache else None,
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+            refresh=args.refresh,
+            recheck=not args.no_recheck,
+            schemes=args.schemes,
+            benchmarks=args.benchmarks,
+            process_counts=args.procs,
+            iterations=args.iterations,
+            scheduler=args.scheduler,
+        )
+    except (UnknownNameError, ValueError) as exc:
+        print(f"conformance sweep cannot run: {exc}", file=sys.stderr)
+        return 2
+
+    print(format_table(report.scheme_verdicts()))
+    if not report.ok:
+        print("\nfailing points:")
+        print(format_table(conformance_mod.format_conformance_rows(report)))
+    print(
+        f"\nconformance: {report.points} points "
+        f"({report.seeds} chaos seed(s) + control per cell), jobs={report.jobs}, "
+        f"{report.cache_hits} cached / {report.cache_misses} computed, "
+        f"{report.wall_s:.2f}s wall (cache epoch {report.epoch})"
+    )
+    if args.output:
+        path = conformance_mod.write_conformance_json(report, Path(args.output))
+        print(f"wrote {path}")
+    if report.ok:
+        print("verdict: every scheme upheld every oracle on every schedule")
+        return 0
+    print(f"verdict: {len(report.failures)} point(s) FAILED", file=sys.stderr)
+    return 1
+
+
 def _run_info(args: argparse.Namespace) -> int:
     machine = xc30_like(args.procs, procs_per_node=args.procs_per_node)
     print(f"Machine: {machine.describe()}")
@@ -587,6 +709,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_campaign(args)
     if args.command == "regress":
         return _run_regress(args)
+    if args.command == "conform":
+        return _run_conform(args)
     if args.command == "info":
         return _run_info(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -128,9 +128,9 @@ class DistributedCounterHandle:
         a queued writer, in which case it keeps waiting (the writer will take
         over and reset the counter when it hands the lock back to the
         readers).  Mutual exclusion is unaffected: the recovery reset never
-        admits the reader directly (it still re-executes the arrival FAO) and
-        it only clears the WRITE flag if that flag was already observed, the
-        same way the regular reset does.
+        admits the reader directly (it still re-executes the arrival FAO) and,
+        like every reader-initiated reset, it never touches the WRITE flag
+        (see :meth:`reset_counter`).
         """
         ctx = self.ctx
         arrive_cell = (self.my_counter, self.spec.arrive_offset)
@@ -156,7 +156,7 @@ class DistributedCounterHandle:
                     self.my_counter, self.spec.arrive_offset, lambda v: v > t_r
                 )
                 return
-            self.reset_counter(self.my_counter)
+            self.reset_counter(self.my_counter, clear_write_flag=False)
             return
 
     # -- writer side ------------------------------------------------------- #
@@ -189,23 +189,63 @@ class DistributedCounterHandle:
             arrive -= WRITE_FLAG
         return arrive - depart
 
-    def reset_counter(self, rank: int) -> None:
-        """Reset one physical counter and clear its WRITE flag (Listing 6, middle)."""
+    def reset_counter(self, rank: int, *, clear_write_flag: bool = True) -> None:
+        """Fold the departures out of one physical counter (Listing 6, middle).
+
+        The seed port performed the reset as two unconditional accumulates
+        computed from a stale read, which the conformance layer's
+        implementation-derived model checker
+        (:func:`repro.verification.impl_model.rma_rw_impl_model`) and its
+        chaos sweeps proved unsafe: two resets racing each other (or a reset
+        racing a writer's mode switch) could subtract the same departures —
+        or the WRITE flag — twice, leaving ``DEPART`` negative and ``ARRIVE``
+        stranded just below :data:`~repro.core.constants.WRITE_FLAG`, which
+        breaks the flag encoding for good (readers and writers then spin on
+        ``active > 0`` forever, or a reader erases a writer's freshly-set
+        flag and both enter the critical section).  Two rules close every
+        interleaving the checker found:
+
+        * **The depart fold is CAS-claimed.**  A resetter may subtract only
+          the departures it atomically claimed by swinging ``DEPART`` from
+          its observed value to zero; a concurrent departure or a competing
+          reset makes the CAS fail and the loop re-reads.  Each departure is
+          therefore folded into ``ARRIVE`` exactly once, system-wide.
+        * **Only the writer clears the WRITE flag** (``clear_write_flag``,
+          default True for the writer paths).  Reader-initiated resets — the
+          first-to-saturate reset of Listing 9 and the stranded-counter
+          recovery — pass False, so a reader that raced a writer's
+          ``set_counters_to_write`` can no longer erase the flag out from
+          under it.  At most one writer holds the root at a time, so the
+          flag is set and cleared strictly alternately.
+
+        Between the claim and the arrive fold the counter transiently
+        *over*-counts active readers (departs already zeroed, arrivals not
+        yet reduced), which only ever delays a spinning writer/reader — the
+        safe direction.
+        """
         ctx = self.ctx
-        arr_cnt = ctx.get(rank, self.spec.arrive_offset)
-        dep_cnt = ctx.get(rank, self.spec.depart_offset)
-        ctx.flush(rank)
-        sub_arr = -dep_cnt
-        sub_dep = -dep_cnt
-        if arr_cnt >= WRITE_FLAG:
-            sub_arr -= WRITE_FLAG
-        ctx.accumulate(sub_arr, rank, self.spec.arrive_offset, AtomicOp.SUM)
-        ctx.accumulate(sub_dep, rank, self.spec.depart_offset, AtomicOp.SUM)
-        ctx.flush(rank)
+        while True:
+            arr_cnt = ctx.get(rank, self.spec.arrive_offset)
+            dep_cnt = ctx.get(rank, self.spec.depart_offset)
+            ctx.flush(rank)
+            claimed = ctx.cas(0, dep_cnt, rank, self.spec.depart_offset)
+            ctx.flush(rank)
+            if claimed != dep_cnt:
+                continue  # a departure (or another reset) raced us; re-read
+            sub_arr = -dep_cnt
+            if clear_write_flag and arr_cnt >= WRITE_FLAG:
+                sub_arr -= WRITE_FLAG
+            if sub_arr:
+                ctx.accumulate(sub_arr, rank, self.spec.arrive_offset, AtomicOp.SUM)
+                ctx.flush(rank)
+            return
 
     def reset_my_counter(self) -> None:
-        """Reset the counter associated with this rank (reader path, Listing 9)."""
-        self.reset_counter(self.my_counter)
+        """Reset the counter associated with this rank (reader path, Listing 9).
+
+        Reader resets never clear the WRITE flag — see :meth:`reset_counter`.
+        """
+        self.reset_counter(self.my_counter, clear_write_flag=False)
 
     def reset_counters(self) -> None:
         """Reset all physical counters (Listing 6, bottom): hand the lock to readers."""

@@ -121,6 +121,9 @@ class TicketLockHandle(LockHandle):
         ParamSpec("home_rank", int, 0, "rank hosting NEXT_TICKET and NOW_SERVING"),
     ),
     help="centralized FIFO ticket lock (strongest centralized baseline)",
+    # Tickets are served in draw order: after the FAO that draws a ticket, at
+    # most P - 1 earlier tickets (one per other rank) can be served first.
+    fairness_bound=lambda p: p - 1,
 )
 def _build_ticket(machine, home_rank=0) -> TicketLockSpec:
     return TicketLockSpec(num_processes=machine.num_processes, home_rank=home_rank)

@@ -11,7 +11,10 @@ horizon scheduler in :mod:`repro.rma.sim_runtime`:
   scheduler speedup against it on the same host.
 
 Do not optimize this module; its value is that it stays byte-for-byte the
-seed behaviour.
+seed behaviour.  The only post-seed additions are the perturbation and
+observer hooks shared with the horizon scheduler (guarded so they are inert
+when unset), which the conformance layer uses to cross-check perturbed
+schedules between both schedulers.
 
 This backend is the repository's substitute for the paper's Cray XC30 /
 foMPI testbed.  Every rank is a logical process with its own virtual clock
@@ -45,6 +48,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.api.registry import register_runtime
 from repro.rma.fabric import FabricContentionModel
 from repro.rma.latency import LatencyModel
+from repro.rma.perturbation import PerturbationModel, RankPerturbation
 from repro.rma.ops import AtomicOp, RMACall
 from repro.rma.runtime_base import (
     Cell,
@@ -106,6 +110,8 @@ class BaselineSimProcessContext(ProcessContext):
         self.rank = state.rank
         self.nranks = runtime.num_ranks
         self.rng = rank_rng(runtime.seed, state.rank)
+        #: The runtime's observer hook (None when no observer is installed).
+        self.observer = runtime.observer
 
     # -- properties ------------------------------------------------------- #
 
@@ -139,6 +145,8 @@ class BaselineSimProcessContext(ProcessContext):
         self._rt._apply_write(
             self._state, target, offset, lambda w: box.append(w.fetch_and_op(offset, int(operand), op))
         )
+        if self.observer is not None:
+            self.observer.on_rmw(self.rank, RMACall.FAO)
         return box[0]
 
     def cas(self, src_data: int, cmp_data: int, target: int, offset: int) -> int:
@@ -150,6 +158,8 @@ class BaselineSimProcessContext(ProcessContext):
             offset,
             lambda w: box.append(w.compare_and_swap(offset, int(cmp_data), int(src_data))),
         )
+        if self.observer is not None:
+            self.observer.on_rmw(self.rank, RMACall.CAS)
         return box[0]
 
     def flush(self, target: int) -> None:
@@ -193,6 +203,8 @@ class BaselineSimRuntime(RMARuntime):
         barrier_cost_us: float = 2.0,
         max_ops: Optional[int] = None,
         stall_timeout_s: float = 600.0,
+        perturbation: Optional[PerturbationModel] = None,
+        observer: Optional[Any] = None,
     ):
         self.machine = machine
         self.window_words = int(window_words)
@@ -203,6 +215,11 @@ class BaselineSimRuntime(RMARuntime):
         #: Optional trace sink with a ``record(rank, call, target, start_us, duration_us)``
         #: method (e.g. :class:`repro.bench.trace.TraceRecorder`).
         self.tracer = tracer
+        #: Optional seeded schedule perturbation / run observer — the same
+        #: hooks the horizon scheduler exposes, applied at the same points so
+        #: perturbed runs stay bit-identical across both schedulers.
+        self.perturbation = perturbation
+        self.observer = observer
         self.seed = int(seed)
         self.barrier_cost_us = float(barrier_cost_us)
         self.max_ops = max_ops
@@ -222,6 +239,8 @@ class BaselineSimRuntime(RMARuntime):
         self._abort = False
         self._abort_exc: Optional[BaseException] = None
         self._total_ops = 0
+        self._perturb_mult: Optional[Tuple[float, ...]] = None
+        self._perturb_states: Optional[List[RankPerturbation]] = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -262,6 +281,16 @@ class BaselineSimRuntime(RMARuntime):
         self._abort = False
         self._abort_exc = None
         self._total_ops = 0
+        perturbation = self.perturbation
+        if perturbation is not None and perturbation.rank_slowdown > 0.0:
+            self._perturb_mult = perturbation.rank_multipliers(nranks)
+        else:
+            self._perturb_mult = None
+        self._perturb_states = (
+            perturbation.rank_states(nranks) if perturbation is not None else None
+        )
+        if self.observer is not None:
+            self.observer.on_run_start(nranks)
 
         threads = []
         for rank in range(nranks):
@@ -282,6 +311,8 @@ class BaselineSimRuntime(RMARuntime):
 
         if self._abort_exc is not None:
             raise self._abort_exc
+        if self.observer is not None:
+            self.observer.on_run_end()
 
         finish_times = [s.finish_time for s in self._states]
         per_rank_counts = [dict(s.op_counts) for s in self._states]
@@ -427,6 +458,13 @@ class BaselineSimRuntime(RMARuntime):
                 f"simulation exceeded max_ops={self.max_ops}; possible livelock"
             )
         cost = self.latency.cost(call, self.machine, state.rank, target)
+        # Perturbation mirrors the horizon scheduler bit-for-bit: the per-rank
+        # slowdown is one multiply (the scaled CostTable entry over there) and
+        # jitter/pauses use the same per-rank streams in the same issue order.
+        if self._perturb_mult is not None:
+            cost = cost * self._perturb_mult[state.rank]
+        if self._perturb_states is not None:
+            cost = self._perturb_states[state.rank].perturb(cost)
         occupancy = self.latency.occupancy(call, state.rank, target)
         # Remote accesses serialize at the target: if its port is busy, the
         # operation starts only once the port frees up.  This queueing is what
@@ -544,7 +582,8 @@ class BaselineSimRuntime(RMARuntime):
     help="preserved seed scheduler (slower; bit-identical reference for 'horizon')",
 )
 def _make_baseline_runtime(
-    machine, *, window_words=64, seed=0, latency=None, fabric=None, tracer=None
+    machine, *, window_words=64, seed=0, latency=None, fabric=None, tracer=None,
+    perturbation=None, observer=None,
 ):
     return BaselineSimRuntime(
         machine,
@@ -553,4 +592,6 @@ def _make_baseline_runtime(
         fabric=fabric,
         tracer=tracer,
         seed=seed,
+        perturbation=perturbation,
+        observer=observer,
     )

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.rma.ops import CALLS, RMACall
 from repro.topology.machine import Machine
@@ -178,6 +178,32 @@ class CostTable:
             for call in CALLS
         ]
         self.node_of: Tuple[int, ...] = tuple(machine.node_of(r) for r in ranks)
+
+    def scaled_by_origin(self, multipliers: Sequence[float]) -> "CostTable":
+        """A copy with every cost scaled by its *origin* rank's multiplier.
+
+        This is how a :class:`~repro.rma.perturbation.PerturbationModel`'s
+        per-rank slowdowns enter the simulators: one table build per run,
+        zero extra work per operation.  Each scaled entry is the single
+        product ``cost * multipliers[origin]`` — the same float expression
+        the baseline scheduler computes inline — so both schedulers see
+        bit-identical perturbed costs.  Occupancy is target-side service
+        time and stays unscaled (a slow origin does not slow the target's
+        port).  An all-ones vector returns ``self`` unchanged.
+        """
+        p = self.num_ranks
+        if len(multipliers) != p:
+            raise ValueError(f"need one multiplier per rank ({p})")
+        if all(m == 1.0 for m in multipliers):
+            return self
+        scaled = CostTable.__new__(CostTable)
+        scaled.num_ranks = p
+        scaled.cost = [
+            [row[i] * multipliers[i // p] for i in range(p * p)] for row in self.cost
+        ]
+        scaled.occupancy = self.occupancy
+        scaled.node_of = self.node_of
+        return scaled
 
 
 @lru_cache(maxsize=64)

@@ -64,6 +64,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.api.registry import register_runtime
 from repro.rma.fabric import FabricContentionModel
 from repro.rma.latency import LatencyModel, cost_table
+from repro.rma.perturbation import PerturbationModel, RankPerturbation
 from repro.rma.ops import CALLS, CALL_INDEX, NUM_CALLS, AtomicOp, RMACall
 from repro.rma.runtime_base import (
     Cell,
@@ -153,6 +154,9 @@ class SimProcessContext(ProcessContext):
         self.rank = state.rank
         self.nranks = runtime.num_ranks
         self.rng = rank_rng(runtime.seed, state.rank)
+        #: The runtime's observer hook (None when no observer is installed);
+        #: handle wrappers such as verification.oracles.observe_lock use it.
+        self.observer = runtime.observer
 
     # -- properties ------------------------------------------------------- #
 
@@ -188,6 +192,8 @@ class SimProcessContext(ProcessContext):
         rt._issue(self._state, _FAO, _FAO_I, target)
         value = rt.windows[target].fetch_and_op(offset, int(operand), op)
         rt._post_write(self._state, target, offset)
+        if rt.observer is not None:
+            rt.observer.on_rmw(self.rank, _FAO)
         return value
 
     def cas(self, src_data: int, cmp_data: int, target: int, offset: int) -> int:
@@ -195,6 +201,8 @@ class SimProcessContext(ProcessContext):
         rt._issue(self._state, _CAS, _CAS_I, target)
         value = rt.windows[target].compare_and_swap(offset, int(cmp_data), int(src_data))
         rt._post_write(self._state, target, offset)
+        if rt.observer is not None:
+            rt.observer.on_rmw(self.rank, _CAS)
         return value
 
     def flush(self, target: int) -> None:
@@ -246,6 +254,8 @@ class SimRuntime(RMARuntime):
         barrier_cost_us: float = 2.0,
         max_ops: Optional[int] = None,
         stall_timeout_s: float = 600.0,
+        perturbation: Optional[PerturbationModel] = None,
+        observer: Optional[Any] = None,
     ):
         self.machine = machine
         self.window_words = int(window_words)
@@ -256,6 +266,13 @@ class SimRuntime(RMARuntime):
         #: Optional trace sink with a ``record(rank, call, target, start_us, duration_us)``
         #: method (e.g. :class:`repro.bench.trace.TraceRecorder`).
         self.tracer = tracer
+        #: Optional seeded schedule perturbation (see repro.rma.perturbation);
+        #: None (or an all-zero model) leaves the cost path byte-identical to
+        #: the golden-fingerprint behaviour.
+        self.perturbation = perturbation
+        #: Optional run observer (see repro.verification.oracles.RunObserver);
+        #: reset via on_run_start at the top of every run().
+        self.observer = observer
         self.seed = int(seed)
         self.barrier_cost_us = float(barrier_cost_us)
         self.max_ops = max_ops
@@ -286,6 +303,7 @@ class SimRuntime(RMARuntime):
         self._cost: List[List[float]] = []
         self._occ: List[List[float]] = []
         self._node_of: Tuple[int, ...] = ()
+        self._perturb: Optional[List[RankPerturbation]] = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -339,6 +357,14 @@ class SimRuntime(RMARuntime):
                 if init:
                     windows[rank].load(init)
         table = cost_table(self.latency, self.machine)
+        perturbation = self.perturbation
+        perturb_states: Optional[List[RankPerturbation]] = None
+        if perturbation is not None:
+            # Per-rank slowdowns are baked into the cost table (one build per
+            # run); jitter/pause streams are rebuilt from the seed so every
+            # run of this instance replays the same perturbed schedule.
+            table = table.scaled_by_origin(perturbation.rank_multipliers(nranks))
+            perturb_states = perturbation.rank_states(nranks)
         states = [_RankState(r) for r in range(nranks)]
 
         self.windows = windows
@@ -347,6 +373,9 @@ class SimRuntime(RMARuntime):
         self._cost = table.cost
         self._occ = table.occupancy
         self._node_of = table.node_of
+        self._perturb = perturb_states
+        if self.observer is not None:
+            self.observer.on_run_start(nranks)
         self._port_free = [0.0] * nranks
         self._link_free = self.fabric.new_state() if self.fabric is not None else {}
         self._watchers = {}
@@ -398,6 +427,8 @@ class SimRuntime(RMARuntime):
 
         if self._abort_exc is not None:
             raise self._abort_exc
+        if self.observer is not None:
+            self.observer.on_run_end()
 
         finish_times = [s.finish_time for s in states]
         totals = [0] * NUM_CALLS
@@ -640,6 +671,9 @@ class SimRuntime(RMARuntime):
         rank = state.rank
         idx = rank * nranks + target
         cost = self._cost[ci][idx]
+        perturb = self._perturb
+        if perturb is not None:
+            cost = perturb[rank].perturb(cost)
         start = state.clock
         # Remote accesses serialize at the target: if its port is busy, the
         # operation starts only once the port frees up.  This queueing is what
@@ -844,7 +878,8 @@ class SimRuntime(RMARuntime):
     help="min-heap time-horizon scheduler (the fast default; bit-identical to 'baseline')",
 )
 def _make_horizon_runtime(
-    machine, *, window_words=64, seed=0, latency=None, fabric=None, tracer=None
+    machine, *, window_words=64, seed=0, latency=None, fabric=None, tracer=None,
+    perturbation=None, observer=None,
 ):
     return SimRuntime(
         machine,
@@ -853,4 +888,6 @@ def _make_horizon_runtime(
         fabric=fabric,
         tracer=tracer,
         seed=seed,
+        perturbation=perturbation,
+        observer=observer,
     )

@@ -235,11 +235,18 @@ class ThreadRuntime(RMARuntime):
     help="one OS thread per rank with genuine races (wall-clock time)",
 )
 def _make_thread_runtime(
-    machine, *, window_words=64, seed=0, latency=None, fabric=None, tracer=None
+    machine, *, window_words=64, seed=0, latency=None, fabric=None, tracer=None,
+    perturbation=None, observer=None,
 ):
     if latency is not None or fabric is not None or tracer is not None:
         raise ValueError(
             "the thread runtime executes in wall-clock time and accepts no "
             "latency, fabric or tracer models"
+        )
+    if perturbation is not None or observer is not None:
+        raise ValueError(
+            "the thread runtime's schedules are genuinely racy: seeded "
+            "perturbation and run observers require a deterministic simulator "
+            "backend ('horizon' or 'baseline')"
         )
     return ThreadRuntime(machine, window_words=window_words, seed=seed)

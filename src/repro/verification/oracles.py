@@ -1,0 +1,350 @@
+"""Live safety/fairness oracles over real lock executions.
+
+:mod:`repro.verification.interleaving` checks *abstract* protocol models; the
+classes here check the *real* scheme implementations while they run inside a
+deterministic simulator.  The pieces:
+
+* :class:`RunObserver` — the runtime observer hook.  Both deterministic
+  simulators accept an ``observer=``; they call :meth:`~RunObserver.on_run_start`
+  when ``run()`` installs its per-run state (so observer state always resets
+  across ``run()`` re-entry) and :meth:`~RunObserver.on_run_end` when a run
+  drains cleanly.  The per-rank contexts additionally report every remote
+  atomic read-modify-write via :meth:`~RunObserver.on_rmw`.
+* :class:`ObservedLock` / :class:`ObservedRWLock` — transparent handle
+  wrappers (the :class:`~repro.core.instrumentation.InstrumentedLock` pattern)
+  that report ``wait_start``/``acquired``/``released`` events at the
+  acquire/release instrumentation points.  They issue **no RMA calls** of
+  their own, so an observed run's :class:`~repro.rma.runtime_base.RunResult`
+  is bit-identical to an unobserved one.
+* :class:`LockOracleObserver` — the live oracle set.  Events arrive in the
+  simulator's canonical execution order (exactly one rank runs at a time), so
+  the oracles check the *simulated interleaving itself*:
+
+  - **mutual exclusion** — never two writers, never a writer with a reader;
+  - **handoff sanity** — acquires and releases stay balanced per rank, no
+    re-entrant acquire, release mode matches the acquire mode (the
+    queue-discipline errors MCS-family bugs produce);
+  - **reader coexistence** — the maximum number of concurrently admitted
+    readers is recorded (an RW scheme that never lets readers share the CS
+    has lost the point of being an RW lock);
+  - **progress/starvation** — the bounded-bypass count of
+    :mod:`repro.verification.fairness`, evaluated against the real execution
+    trace: a waiter's bypass counter starts at its first remote atomic RMW
+    inside ``acquire`` (the FIFO ordering point: the ticket draw / the tail
+    swap) and counts foreign critical-section entries until it is granted
+    the lock.  Schemes that declare a bound in the registry
+    (``register_scheme(..., fairness_bound=...)``) are gated against it;
+    for all others the observed maximum is reported as data.
+
+Deadlock and livelock detection stay with the runtime (the structural
+no-runnable-rank check, the wall-clock watchdog and ``max_ops``); the
+conformance engine (:mod:`repro.bench.conformance`) turns those aborts into
+oracle verdicts alongside the violations collected here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.lock_base import LockHandle, RWLockHandle
+from repro.rma.ops import RMACall
+from repro.rma.runtime_base import ProcessContext
+
+__all__ = [
+    "LockOracleObserver",
+    "MODE_READ",
+    "MODE_WRITE",
+    "ObservedLock",
+    "ObservedRWLock",
+    "OracleReport",
+    "OracleViolation",
+    "RunObserver",
+    "observe_lock",
+]
+
+MODE_WRITE = "write"
+MODE_READ = "read"
+
+
+class RunObserver:
+    """Base observer: every hook is a no-op.
+
+    Subclasses override what they need; the runtimes only require this
+    interface.  Implementations must not issue RMA calls or touch runtime
+    state — observers watch, they never steer (that is what keeps observed
+    runs bit-identical to unobserved ones).
+    """
+
+    def on_run_start(self, nranks: int) -> None:
+        """A run is installing fresh state; reset all observer state."""
+
+    def on_run_end(self) -> None:
+        """The run drained cleanly (not called when a run aborts)."""
+
+    def on_rmw(self, rank: int, call: RMACall) -> None:
+        """``rank`` completed a remote atomic RMW (FAO/CAS)."""
+
+    def wait_start(self, rank: int, mode: str, t: float) -> None:
+        """``rank`` entered ``acquire`` and is about to compete for the lock."""
+
+    def acquired(self, rank: int, mode: str, t: float) -> None:
+        """``rank``'s ``acquire`` returned: it is inside the critical section."""
+
+    def released(self, rank: int, mode: str, t: float) -> None:
+        """``rank`` is about to run ``release`` (still inside the CS)."""
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One oracle failure, tied to the event that exposed it."""
+
+    oracle: str
+    rank: int
+    t: float
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting convenience
+        return f"[{self.oracle}] rank {self.rank} at t={self.t:.2f}us: {self.detail}"
+
+
+@dataclass
+class OracleReport:
+    """Aggregated verdict of one observed run."""
+
+    violations: List[OracleViolation] = field(default_factory=list)
+    acquires: int = 0
+    releases: int = 0
+    write_acquires: int = 0
+    read_acquires: int = 0
+    max_concurrent_readers: int = 0
+    max_bypass: int = 0
+    bypass_bound: Optional[int] = None
+    runs_observed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-able condensed form (conformance rows, CI artifacts)."""
+        return {
+            "ok": self.ok,
+            "violations": [str(v) for v in self.violations],
+            "acquires": self.acquires,
+            "write_acquires": self.write_acquires,
+            "read_acquires": self.read_acquires,
+            "max_concurrent_readers": self.max_concurrent_readers,
+            "max_bypass": self.max_bypass,
+            "bypass_bound": self.bypass_bound,
+        }
+
+
+class LockOracleObserver(RunObserver):
+    """The live oracle set described in the module docstring.
+
+    One instance observes one run at a time; :meth:`on_run_start` resets every
+    per-run structure, so a single observer can be installed on a runtime and
+    reused across ``run()`` invocations (including after a failed run).
+
+    Args:
+        bypass_bound: Maximum foreign CS entries a waiter may see between its
+            ordering RMW and its grant, or ``None`` to only record the
+            observed maximum (schemes without a FIFO guarantee).
+        max_violations: Stop recording after this many violations (a broken
+            lock under a long run would otherwise flood the report).
+    """
+
+    def __init__(self, *, bypass_bound: Optional[int] = None, max_violations: int = 32):
+        if max_violations < 1:
+            raise ValueError("max_violations must be >= 1")
+        self.bypass_bound = bypass_bound
+        self.max_violations = int(max_violations)
+        self._report = OracleReport(bypass_bound=bypass_bound)
+        self.on_run_start(0)
+
+    # ------------------------------------------------------------------ #
+    # RunObserver hooks
+    # ------------------------------------------------------------------ #
+
+    def on_run_start(self, nranks: int) -> None:
+        runs = getattr(self, "_report", None)
+        previous_runs = runs.runs_observed if runs is not None else 0
+        self._report = OracleReport(
+            bypass_bound=self.bypass_bound, runs_observed=previous_runs + 1
+        )
+        #: rank -> mode for every rank currently inside the CS.
+        self._holders: Dict[int, str] = {}
+        self._readers_in = 0
+        self._writers_in = 0
+        #: Total CS entries so far (the bypass clock of fairness.py).
+        self._entries = 0
+        #: rank -> entries counter value at its ordering point (or at
+        #: wait_start until the first RMW of the attempt is seen).
+        self._wait_baseline: Dict[int, int] = {}
+        #: ranks whose current attempt has already passed its ordering RMW.
+        self._ordered: Dict[int, bool] = {}
+
+    def on_run_end(self) -> None:
+        for rank, mode in sorted(self._holders.items()):
+            self._violate(
+                "handoff", rank, 0.0,
+                f"run finished while rank {rank} still holds the lock ({mode})",
+            )
+        for rank in sorted(self._wait_baseline):
+            self._violate(
+                "handoff", rank, 0.0,
+                f"run finished while rank {rank} is still waiting in acquire()",
+            )
+
+    def on_rmw(self, rank: int, call: RMACall) -> None:
+        # The first remote atomic RMW of a pending acquire is the protocol's
+        # ordering point (ticket draw / MCS tail swap): from here on a FIFO
+        # scheme owes the waiter its bounded-bypass guarantee, regardless of
+        # how long perturbation stalls it afterwards.
+        if rank in self._wait_baseline and not self._ordered.get(rank, False):
+            self._ordered[rank] = True
+            self._wait_baseline[rank] = self._entries
+
+    # ------------------------------------------------------------------ #
+    # Lock events (from the ObservedLock wrappers)
+    # ------------------------------------------------------------------ #
+
+    def wait_start(self, rank: int, mode: str, t: float) -> None:
+        if rank in self._holders:
+            self._violate(
+                "handoff", rank, t,
+                f"re-entrant acquire ({mode}) while already holding the lock "
+                f"({self._holders[rank]})",
+            )
+            return
+        if rank in self._wait_baseline:
+            self._violate("handoff", rank, t, "second acquire() before the first returned")
+            return
+        self._wait_baseline[rank] = self._entries
+        self._ordered[rank] = False
+
+    def acquired(self, rank: int, mode: str, t: float) -> None:
+        report = self._report
+        baseline = self._wait_baseline.pop(rank, None)
+        self._ordered.pop(rank, None)
+        if baseline is not None:
+            bypass = self._entries - baseline
+            if bypass > report.max_bypass:
+                report.max_bypass = bypass
+            if self.bypass_bound is not None and bypass > self.bypass_bound:
+                self._violate(
+                    "fairness", rank, t,
+                    f"bypassed {bypass} times while waiting (declared bound "
+                    f"{self.bypass_bound})",
+                )
+        if rank in self._holders:
+            self._violate("handoff", rank, t, "acquired the lock it already holds")
+            return
+        if mode == MODE_WRITE:
+            if self._writers_in or self._readers_in:
+                self._violate(
+                    "mutual-exclusion", rank, t,
+                    f"writer entered with {self._writers_in} writer(s) and "
+                    f"{self._readers_in} reader(s) inside",
+                )
+            self._writers_in += 1
+            report.write_acquires += 1
+        else:
+            if self._writers_in:
+                self._violate(
+                    "mutual-exclusion", rank, t,
+                    f"reader entered while {self._writers_in} writer(s) inside",
+                )
+            self._readers_in += 1
+            report.read_acquires += 1
+            if self._readers_in > report.max_concurrent_readers:
+                report.max_concurrent_readers = self._readers_in
+        self._holders[rank] = mode
+        self._entries += 1
+        report.acquires += 1
+
+    def released(self, rank: int, mode: str, t: float) -> None:
+        held = self._holders.pop(rank, None)
+        if held is None:
+            self._violate("handoff", rank, t, f"release ({mode}) without holding the lock")
+            return
+        if held != mode:
+            self._violate(
+                "handoff", rank, t, f"acquired as {held} but released as {mode}"
+            )
+        if held == MODE_WRITE:
+            self._writers_in -= 1
+        else:
+            self._readers_in -= 1
+        self._report.releases += 1
+
+    # ------------------------------------------------------------------ #
+    # Verdict
+    # ------------------------------------------------------------------ #
+
+    def report(self) -> OracleReport:
+        """The current run's verdict (valid once the run completed)."""
+        return self._report
+
+    def _violate(self, oracle: str, rank: int, t: float, detail: str) -> None:
+        if len(self._report.violations) < self.max_violations:
+            self._report.violations.append(
+                OracleViolation(oracle=oracle, rank=rank, t=float(t), detail=detail)
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Handle wrappers
+# --------------------------------------------------------------------------- #
+
+class ObservedLock(LockHandle):
+    """A mutual-exclusion lock reporting its events to a :class:`RunObserver`."""
+
+    def __init__(self, inner: LockHandle, ctx: ProcessContext, observer: RunObserver):
+        self.inner = inner
+        self.ctx = ctx
+        self.observer = observer
+
+    def acquire(self) -> None:
+        self.observer.wait_start(self.ctx.rank, MODE_WRITE, self.ctx.now())
+        self.inner.acquire()
+        self.observer.acquired(self.ctx.rank, MODE_WRITE, self.ctx.now())
+
+    def release(self) -> None:
+        self.observer.released(self.ctx.rank, MODE_WRITE, self.ctx.now())
+        self.inner.release()
+
+
+class ObservedRWLock(RWLockHandle):
+    """A reader-writer lock reporting both sides' events to an observer."""
+
+    def __init__(self, inner: RWLockHandle, ctx: ProcessContext, observer: RunObserver):
+        self.inner = inner
+        self.ctx = ctx
+        self.observer = observer
+
+    def acquire_write(self) -> None:
+        self.observer.wait_start(self.ctx.rank, MODE_WRITE, self.ctx.now())
+        self.inner.acquire_write()
+        self.observer.acquired(self.ctx.rank, MODE_WRITE, self.ctx.now())
+
+    def release_write(self) -> None:
+        self.observer.released(self.ctx.rank, MODE_WRITE, self.ctx.now())
+        self.inner.release_write()
+
+    def acquire_read(self) -> None:
+        self.observer.wait_start(self.ctx.rank, MODE_READ, self.ctx.now())
+        self.inner.acquire_read()
+        self.observer.acquired(self.ctx.rank, MODE_READ, self.ctx.now())
+
+    def release_read(self) -> None:
+        self.observer.released(self.ctx.rank, MODE_READ, self.ctx.now())
+        self.inner.release_read()
+
+
+def observe_lock(lock: LockHandle, ctx: ProcessContext, observer: RunObserver) -> LockHandle:
+    """Wrap ``lock`` so its acquire/release events reach ``observer``."""
+    if isinstance(lock, RWLockHandle):
+        return ObservedRWLock(lock, ctx, observer)
+    return ObservedLock(lock, ctx, observer)

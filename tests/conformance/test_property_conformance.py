@@ -1,0 +1,92 @@
+"""Hypothesis property tests for the conformance layer (ISSUE 4 satellite).
+
+Two contracts, sampled over the configuration space instead of hand-picked:
+
+* determinism — for *any* perturbation magnitudes and seed, re-running the
+  same configuration reproduces the run fingerprint and the oracle verdict
+  bit-for-bit;
+* robustness — *any* writer-fraction/iteration combination accepted by
+  ``LockBenchConfig`` validation runs every registered scheme to completion
+  (no crash, no oracle violation) at a small machine size.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.registry import scheme_names
+from repro.bench.campaign import run_result_sha
+from repro.bench.harness import run_lock_benchmark_detailed
+from repro.bench.workloads import LockBenchConfig
+from repro.rma.perturbation import PerturbationModel
+from repro.topology.builder import cached_machine
+from repro.verification.oracles import LockOracleObserver
+
+#: Small-but-multi-node machine reused across examples (builder memoizes it).
+PROCS, PPN = 8, 4
+
+perturbation_models = st.builds(
+    PerturbationModel,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    latency_jitter=st.floats(0.0, 0.5, allow_nan=False),
+    rank_slowdown=st.floats(0.0, 2.0, allow_nan=False),
+    pause_rate=st.floats(0.0, 0.1, allow_nan=False),
+)
+
+SLOW_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SLOW_SETTINGS
+@given(model=perturbation_models, scheme=st.sampled_from(["rma-rw", "d-mcs"]))
+def test_fingerprint_and_verdict_invariant_under_rerun(model, scheme):
+    config = LockBenchConfig(
+        machine=cached_machine(PROCS, PPN, "xc30"),
+        scheme=scheme,
+        benchmark="wcsb",
+        iterations=3,
+        fw=0.2,
+        seed=4,
+    )
+
+    def run():
+        observer = LockOracleObserver()
+        _, raw = run_lock_benchmark_detailed(
+            config, perturbation=model, observer=observer
+        )
+        return run_result_sha(raw), observer.report().summary()
+
+    first_sha, first_verdict = run()
+    second_sha, second_verdict = run()
+    assert first_sha == second_sha
+    assert first_verdict == second_verdict
+    assert first_verdict["ok"], first_verdict["violations"]
+
+
+@SLOW_SETTINGS
+@given(
+    fw=st.floats(0.0, 1.0, allow_nan=False),
+    iterations=st.integers(min_value=1, max_value=4),
+    scheme=st.sampled_from(sorted(scheme_names(harness=True))),
+)
+def test_any_valid_config_runs_every_scheme_cleanly(fw, iterations, scheme):
+    """fw/iterations round-trip through validation and crash no scheme."""
+    config = LockBenchConfig(
+        machine=cached_machine(PROCS, PPN, "xc30"),
+        scheme=scheme,
+        benchmark="wcsb",
+        iterations=iterations,
+        fw=fw,
+        seed=2,
+    )
+    assert config.fw == fw and config.iterations == iterations
+    observer = LockOracleObserver()
+    bench, _ = run_lock_benchmark_detailed(config, observer=observer)
+    assert bench.total_acquires == iterations * PROCS
+    report = observer.report()
+    assert report.ok, [str(v) for v in report.violations]
+    assert report.acquires == iterations * PROCS

@@ -1,14 +1,26 @@
-"""Tests for the striped (per-volume) reader-writer locks."""
+"""Tests for the striped (per-volume) reader-writer locks.
+
+The protocol tests are parametrized over both deterministic schedulers
+(ISSUE 4 satellite): the striped lock was previously only exercised through
+the DHT workload on the default runtime.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.dht.striped_lock import StripedRWLockSpec
+from repro.api.registry import get_runtime
+from repro.dht.striped_lock import StripeBoundRWLockSpec, StripedRWLockSpec
 from repro.dht.workload import DHTWorkloadConfig, run_dht_benchmark
 from repro.rma.ops import AtomicOp
 from repro.rma.sim_runtime import SimRuntime
 from repro.topology.machine import Machine
+
+SCHEDULERS = ("horizon", "baseline")
+
+
+def make_runtime(scheduler: str, machine, **kwargs):
+    return get_runtime(scheduler).factory(machine, **kwargs)
 
 
 class TestStripedRWLockSpec:
@@ -42,12 +54,13 @@ class TestStripedRWLockSpec:
         runtime.run(program, window_init=spec.init_window)
 
 
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
 class TestStripedRWLockProtocol:
-    def test_writers_on_one_stripe_are_exclusive(self):
+    def test_writers_on_one_stripe_are_exclusive(self, scheduler):
         machine = Machine.cluster(nodes=2, procs_per_node=2)
         spec = StripedRWLockSpec(num_processes=machine.num_processes)
         shared = spec.window_words
-        runtime = SimRuntime(machine, window_words=spec.window_words + 1, seed=1)
+        runtime = make_runtime(scheduler, machine, window_words=spec.window_words + 1, seed=1)
         iterations = 4
 
         def program(ctx):
@@ -64,11 +77,11 @@ class TestStripedRWLockProtocol:
         runtime.run(program, window_init=spec.init_window)
         assert runtime.window(0).read(shared) == machine.num_processes * iterations
 
-    def test_different_stripes_do_not_exclude_each_other(self):
+    def test_different_stripes_do_not_exclude_each_other(self, scheduler):
         machine = Machine.single_node(2)
         spec = StripedRWLockSpec(num_processes=2)
         flag = spec.window_words
-        runtime = SimRuntime(machine, window_words=spec.window_words + 1, seed=2)
+        runtime = make_runtime(scheduler, machine, window_words=spec.window_words + 1, seed=2)
 
         def program(ctx):
             lock = spec.make(ctx)
@@ -87,12 +100,12 @@ class TestStripedRWLockProtocol:
         result = runtime.run(program, window_init=spec.init_window)
         assert result.returns[1] is True
 
-    def test_readers_share_a_stripe_and_block_writers(self):
+    def test_readers_share_a_stripe_and_block_writers(self, scheduler):
         machine = Machine.single_node(3)
         spec = StripedRWLockSpec(num_processes=3)
         inside_flag = spec.window_words       # count of readers currently inside stripe 0
         done_flag = spec.window_words + 1     # count of readers that finished
-        runtime = SimRuntime(machine, window_words=spec.window_words + 2, seed=3)
+        runtime = make_runtime(scheduler, machine, window_words=spec.window_words + 2, seed=3)
 
         def program(ctx):
             lock = spec.make(ctx)
@@ -123,6 +136,67 @@ class TestStripedRWLockProtocol:
             r in (1, 2) for r in result.returns[1:]
         )
         assert result.returns[0] == 0
+
+
+class TestStripeBoundAdapter:
+    """The conformance adapter: one stripe exposed as a plain RW lock."""
+
+    def test_registry_exposes_the_adapter(self):
+        from repro.api.registry import get_scheme
+
+        info = get_scheme("striped-rw")
+        assert not info.harness
+        assert info.conformance_adapter is not None
+        machine = Machine.single_node(4)
+        spec = info.conformance_adapter(machine)
+        assert isinstance(spec, StripeBoundRWLockSpec)
+        assert spec.volume == 0
+        assert spec.window_words == 1
+
+    def test_adapter_rejects_out_of_range_volume(self):
+        inner = StripedRWLockSpec(num_processes=2)
+        with pytest.raises(ValueError):
+            StripeBoundRWLockSpec(inner=inner, volume=5)
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_adapter_is_mutually_exclusive_on_its_stripe(self, scheduler):
+        machine = Machine.cluster(nodes=2, procs_per_node=2)
+        spec = StripeBoundRWLockSpec(
+            inner=StripedRWLockSpec(num_processes=machine.num_processes)
+        )
+        shared = spec.window_words
+        runtime = make_runtime(scheduler, machine, window_words=spec.window_words + 1, seed=4)
+        iterations = 3
+
+        def program(ctx):
+            lock = spec.make(ctx)
+            ctx.barrier()
+            for _ in range(iterations):
+                with lock.writing():
+                    value = ctx.get(0, shared)
+                    ctx.flush(0)
+                    ctx.put(value + 1, 0, shared)
+                    ctx.flush(0)
+            ctx.barrier()
+
+        runtime.run(program, window_init=spec.init_window)
+        assert runtime.window(0).read(shared) == machine.num_processes * iterations
+
+    def test_adapter_runs_under_the_benchmark_harness(self):
+        """harness=False + adapter: build_lock_spec produces the facade."""
+        from repro.bench.harness import build_lock_spec, run_lock_benchmark
+        from repro.bench.workloads import LockBenchConfig
+
+        machine = Machine.cluster(nodes=2, procs_per_node=2)
+        config = LockBenchConfig(
+            machine=machine, scheme="striped-rw", benchmark="wcsb",
+            iterations=3, fw=0.3, seed=6,
+        )
+        spec, is_rw = build_lock_spec(config)
+        assert isinstance(spec, StripeBoundRWLockSpec)
+        assert is_rw
+        result = run_lock_benchmark(config)
+        assert result.total_acquires == machine.num_processes * 3
 
 
 class TestStripedSchemeInWorkload:

@@ -439,6 +439,90 @@ class TestRunLifecycle:
         result = rt.run(lambda ctx: ctx.rank * 2)
         assert result.returns == [0, 2, 4, 6]
 
+    def test_observer_reset_on_every_run_including_after_failure(self):
+        """on_run_start fires per run() so observer state never leaks across
+        re-entry — including out of a run that aborted mid-flight."""
+
+        class RecordingObserver:
+            def __init__(self):
+                self.starts = []
+                self.ends = 0
+                self.rmws = 0
+
+            def on_run_start(self, nranks):
+                self.starts.append(nranks)
+                self.rmws = 0
+
+            def on_run_end(self):
+                self.ends += 1
+
+            def on_rmw(self, rank, call):
+                self.rmws += 1
+
+        obs = RecordingObserver()
+        rt = make_runtime(observer=obs)
+
+        def failing(ctx):
+            from repro.rma.ops import AtomicOp
+
+            ctx.fao(1, 0, 0, AtomicOp.SUM)
+            ctx.flush(0)
+            if ctx.rank == 1:
+                raise ValueError("injected failure")
+            ctx.barrier()
+
+        with pytest.raises(ValueError, match="injected failure"):
+            rt.run(failing)
+        assert obs.starts == [4]
+        assert obs.ends == 0  # aborted runs never report a clean end
+        failed_rmws = obs.rmws
+        assert failed_rmws >= 1
+
+        def clean(ctx):
+            from repro.rma.ops import AtomicOp
+
+            ctx.fao(1, 0, 0, AtomicOp.SUM)
+            ctx.flush(0)
+            return ctx.rank
+
+        result = rt.run(clean)
+        assert result.returns == [0, 1, 2, 3]
+        assert obs.starts == [4, 4]  # reset ran again for the second run
+        assert obs.ends == 1
+        assert obs.rmws == 4  # counts from this run only, not the failed one
+
+    def test_lock_oracle_observer_state_resets_across_reentry(self):
+        """A run that dies while a rank holds the lock must not poison the
+        next run's oracle verdict (the PR 1 re-entry guard, for observers)."""
+        from repro.verification.oracles import LockOracleObserver, MODE_WRITE
+
+        obs = LockOracleObserver()
+        rt = make_runtime(observer=obs)
+
+        def dies_while_holding(ctx):
+            if ctx.rank == 0:
+                obs.wait_start(ctx.rank, MODE_WRITE, ctx.now())
+                obs.acquired(ctx.rank, MODE_WRITE, ctx.now())
+                raise ValueError("holder crashed")
+            ctx.barrier()
+
+        with pytest.raises(ValueError, match="holder crashed"):
+            rt.run(dies_while_holding)
+
+        def balanced(ctx):
+            obs.wait_start(ctx.rank, MODE_WRITE, ctx.now())
+            obs.acquired(ctx.rank, MODE_WRITE, ctx.now())
+            obs.released(ctx.rank, MODE_WRITE, ctx.now())
+            obs.wait_start(ctx.rank, MODE_WRITE, ctx.now())
+            obs.acquired(ctx.rank, MODE_WRITE, ctx.now())
+            obs.released(ctx.rank, MODE_WRITE, ctx.now())
+
+        rt.run(balanced)
+        report = obs.report()
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.acquires == 8
+        assert report.runs_observed == 3  # constructor + two runs
+
 
 class TestStatistics:
     def test_op_counts_accumulate(self):

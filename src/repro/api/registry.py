@@ -187,6 +187,13 @@ class BenchmarkInfo:
     release.  Third-party benchmarks may instead supply ``program_factory``,
     a drop-in replacement for :func:`repro.bench.harness.make_lock_program`
     with the same ``(config, spec, is_rw, shared_offset)`` signature.
+
+    ``spec_transform(config, spec, is_rw) -> spec`` lets a benchmark replace
+    the single lock spec the harness built with a larger structure sized for
+    its workload — the traffic scenarios use it to swap in a whole
+    :class:`~repro.traffic.table.LockTableSpec`, so the runtime's window
+    covers every table entry.  ``tags`` group benchmarks for campaign
+    selectors (e.g. ``"traffic"``, ``"traffic-rw"``).
     """
 
     name: str
@@ -194,6 +201,8 @@ class BenchmarkInfo:
     cs_kind: str = "empty"
     post_release_wait: bool = False
     program_factory: Optional[Callable[..., Any]] = None
+    spec_transform: Optional[Callable[..., Any]] = None
+    tags: Tuple[str, ...] = ()
 
     #: Critical-section bodies the harness's default program understands.
     CS_KINDS = ("empty", "single-op", "counter-compute")
@@ -311,7 +320,7 @@ _SCHEME_MODULES = (
     "repro.related.numa_rw",
     "repro.dht.striped_lock",
 )
-_BENCHMARK_MODULES = ("repro.bench.workloads",)
+_BENCHMARK_MODULES = ("repro.bench.workloads", "repro.traffic.scenarios")
 _RUNTIME_MODULES = (
     "repro.rma.sim_runtime",
     "repro.rma.baseline_runtime",
@@ -373,10 +382,16 @@ def register_benchmark(
     help: str = "",
     cs_kind: str = "empty",
     post_release_wait: bool = False,
+    spec_transform: Optional[Callable[..., Any]] = None,
+    tags: Sequence[str] = (),
     replace: bool = False,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Decorator: register a custom benchmark whose decorated function is the
-    program factory (``factory(config, spec, is_rw, shared_offset)``)."""
+    program factory (``factory(config, spec, is_rw, shared_offset)``).
+
+    ``spec_transform`` and ``tags`` are forwarded to :class:`BenchmarkInfo`;
+    the traffic scenarios (:mod:`repro.traffic.scenarios`) use both.
+    """
 
     def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
         _benchmarks.register(
@@ -386,6 +401,8 @@ def register_benchmark(
                 cs_kind=cs_kind,
                 post_release_wait=post_release_wait,
                 program_factory=factory,
+                spec_transform=spec_transform,
+                tags=tuple(tags),
             ),
             replace=replace,
         )
@@ -452,9 +469,17 @@ def scheme_names(*, category: Optional[str] = None, harness: Optional[bool] = No
     return _schemes.names(**filters)
 
 
-def benchmark_names() -> Tuple[str, ...]:
-    """Registered benchmark names, in registration order."""
-    return _benchmarks.names()
+def benchmark_names(*, tag: Optional[str] = None) -> Tuple[str, ...]:
+    """Registered benchmark names, in registration order.
+
+    ``tag`` filters to benchmarks carrying that tag (e.g. ``"traffic"`` for
+    the open-loop traffic scenarios) — the basis of the campaign engine's
+    benchmark selectors.
+    """
+    names = _benchmarks.names()
+    if tag is None:
+        return names
+    return tuple(n for n in names if tag in _benchmarks.get(n).tags)
 
 
 def runtime_names(*, deterministic: Optional[bool] = None) -> Tuple[str, ...]:

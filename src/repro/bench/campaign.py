@@ -39,12 +39,21 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.api.registry import UnknownNameError, get_runtime, get_scheme, scheme_names
+from repro.api.registry import (
+    UnknownNameError,
+    benchmark_names,
+    get_benchmark,
+    get_runtime,
+    get_scheme,
+    scheme_names,
+)
 from repro.bench.harness import default_scheduler, run_lock_benchmark_detailed
 from repro.bench.workloads import LockBenchConfig
 from repro.topology.builder import cached_machine
 
 __all__ = [
+    "BENCHMARK_SELECTORS",
+    "SCHEME_SELECTORS",
     "BenchTask",
     "CampaignPoint",
     "CampaignReport",
@@ -63,10 +72,12 @@ __all__ = [
     "run_point",
     "run_result_sha",
     "write_campaign_json",
+    "write_manifest_json",
 ]
 
 #: Bump to invalidate every cached row when the row schema changes.
-CACHE_SCHEMA_VERSION = 1
+#: 2: every row carries the traffic "percentiles"/"phases" determinism fields.
+CACHE_SCHEMA_VERSION = 2
 
 #: Campaign-row fields that must be bit-identical between two runs of the
 #: same tree (and therefore between a run and the committed baseline).
@@ -81,6 +92,11 @@ DETERMINISM_FIELDS: Tuple[str, ...] = (
     "writes",
     "rma_ops",
     "op_counts",
+    # Open-loop traffic rows only (absent keys are skipped by the gate): the
+    # tail-latency percentiles and per-phase rows are bit-exact functions of
+    # the point's seed, exactly like the fingerprint.
+    "percentiles",
+    "phases",
 )
 
 #: Host-dependent fields gated with tolerances, never bit-exactly.
@@ -95,6 +111,15 @@ PERF_FIELDS: Tuple[str, ...] = ("wall_s", "sim_ops_per_s")
 SCHEME_SELECTORS: Tuple[str, ...] = (
     "all", "mcs", "rw", "related-mcs", "related-rw", "conformance",
 )
+
+#: Benchmark selectors understood by :meth:`CampaignSpec.resolve_benchmarks`,
+#: in addition to literal registered benchmark names.  Each expands to the
+#: registered benchmarks carrying that tag (see
+#: :class:`repro.api.registry.BenchmarkInfo`): ``"traffic"`` is every
+#: open-loop traffic scenario, ``"traffic-rw"`` the subset with a meaningful
+#: read/write mix — so third-party ``register_traffic_scenario`` calls join
+#: selector-based campaigns for free, mirroring the scheme selectors.
+BENCHMARK_SELECTORS: Tuple[str, ...] = ("traffic", "traffic-rw")
 
 _REPO_ROOT = Path(__file__).resolve().parents[3]
 _GOLDEN_FILE = _REPO_ROOT / "tests" / "rma" / "golden" / "seed_scheduler.json"
@@ -274,11 +299,38 @@ class CampaignSpec:
                 )
             else:
                 info = get_scheme(token)  # raises UnknownNameError with hints
-                if not info.harness:
+                if not info.harness and info.conformance_adapter is None:
                     raise ValueError(
                         f"scheme {token!r} does not follow the plain lock-handle "
                         f"protocol and cannot run in a campaign grid"
                     )
+                # A harness=False scheme with a conformance adapter (e.g. the
+                # striped per-volume lock) is a valid grid citizen: closed-loop
+                # benchmarks drive its adapter facade, traffic scenarios its
+                # native striped table.
+                names = (token,)
+            for name in names:
+                if name not in out:
+                    out.append(name)
+        return tuple(out)
+
+    def resolve_benchmarks(self) -> Tuple[str, ...]:
+        """Expand benchmark selectors through the registry, preserving order.
+
+        Literal names are validated against the live benchmark registry;
+        selector tokens (:data:`BENCHMARK_SELECTORS`) expand to every
+        registered benchmark carrying the tag.
+        """
+        out: List[str] = []
+        for token in self.benchmarks:
+            if token in BENCHMARK_SELECTORS:
+                names = benchmark_names(tag=token)
+                if not names:
+                    raise ValueError(
+                        f"benchmark selector {token!r} matched no registered benchmarks"
+                    )
+            else:
+                get_benchmark(token)  # raises UnknownNameError with hints
                 names = (token,)
             for name in names:
                 if name not in out:
@@ -288,11 +340,12 @@ class CampaignSpec:
     def points(self) -> List[CampaignPoint]:
         """The fully-expanded grid, in deterministic order."""
         points: List[CampaignPoint] = []
+        benchmarks = self.resolve_benchmarks()
         for scheme in self.resolve_schemes():
             info = get_scheme(scheme)
             provider = getattr(info.builder, "__module__", "") or ""
             fw_axis = self.fw_values if info.rw else self.fw_values[:1]
-            for benchmark in self.benchmarks:
+            for benchmark in benchmarks:
                 for procs in self.process_counts:
                     for fw in fw_axis:
                         points.append(
@@ -384,6 +437,27 @@ register_campaign(
         iterations=8,
         procs_per_node=8,
         seed=3,
+    )
+)
+# The base grid of `repro traffic` (repro.traffic.engine): the open-loop
+# scenario sweep across the structurally distinct schemes — centralized
+# (fompi-spin/fompi-rw), queue-based (d-mcs), topology-aware (rma-mcs,
+# rma-rw) and fine-grained striped (striped-rw, driven as a native lock
+# table).  The "traffic" benchmark selector resolves against the live
+# registry, so third-party register_traffic_scenario calls join the suite
+# automatically; `repro traffic` runs this grid on both schedulers and
+# blesses BENCH_traffic.json from it through the campaign cache.
+register_campaign(
+    CampaignSpec(
+        name="traffic-suite",
+        help="open-loop traffic scenarios (Zipf/uniform/burst/phased) across schemes",
+        schemes=("fompi-spin", "d-mcs", "rma-mcs", "fompi-rw", "rma-rw", "striped-rw"),
+        benchmarks=("traffic",),
+        process_counts=(64,),
+        fw_values=(0.1,),
+        iterations=12,
+        procs_per_node=8,
+        seed=11,
     )
 )
 # The base grid of `repro conform` (repro.bench.conformance): every
@@ -647,6 +721,11 @@ def run_point(point: CampaignPoint) -> Dict[str, Any]:
         "wall_s": round(raw.wall_time_s, 6),
         "sim_ops_per_s": round(raw.ops_per_sec(), 1),
     }
+    # Traffic points fill these with the tail-latency summary and per-phase
+    # rows (determinism fields, see DETERMINISM_FIELDS); closed-loop points
+    # carry them empty so every row has a uniform shape.
+    row["percentiles"] = {k: float(v) for k, v in sorted(bench.percentiles.items())}
+    row["phases"] = [dict(phase) for phase in bench.phases]
     return row
 
 
@@ -741,6 +820,43 @@ def run_campaign(
     )
 
 
+def write_manifest_json(
+    rows: Sequence[Mapping[str, Any]],
+    path: Path,
+    *,
+    suite: str,
+    campaign: str,
+    epoch: str,
+    timing: Optional[Mapping[str, Any]] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write a row manifest (rows + host metadata + optional timing).
+
+    The single serialization point for every committed baseline shape
+    (``BENCH_campaign.json``, ``BENCH_traffic.json``): suite-specific keys go
+    through ``extra``, the transient ``cached`` marker is stripped from every
+    row, and the host block records where the manifest was measured.
+    """
+    payload: Dict[str, Any] = {
+        "suite": suite,
+        "campaign": campaign,
+        "epoch": epoch,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "rows": [{k: v for k, v in row.items() if k != "cached"} for row in rows],
+    }
+    if extra:
+        payload.update(extra)
+    if timing is not None:
+        payload["timing"] = dict(timing)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def write_campaign_json(
     report: CampaignReport,
     path: Path,
@@ -748,19 +864,7 @@ def write_campaign_json(
     timing: Optional[Mapping[str, Any]] = None,
 ) -> Path:
     """Write a campaign manifest (rows + host metadata + optional timing)."""
-    payload: Dict[str, Any] = {
-        "suite": "campaign",
-        "campaign": report.name,
-        "epoch": report.epoch,
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-        },
-        "rows": [{k: v for k, v in row.items() if k != "cached"} for row in report.rows],
-    }
-    if timing is not None:
-        payload["timing"] = dict(timing)
-    path = Path(path)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
+    return write_manifest_json(
+        report.rows, path, suite="campaign", campaign=report.name,
+        epoch=report.epoch, timing=timing,
+    )

@@ -61,7 +61,7 @@ from repro.bench.campaign import (
     parallel_map,
     run_result_sha,
 )
-from repro.bench.harness import build_lock_spec, run_lock_benchmark_detailed
+from repro.bench.harness import run_lock_benchmark_detailed
 from repro.bench.workloads import LockBenchConfig
 from repro.rma.perturbation import PerturbationModel
 from repro.rma.runtime_base import RuntimeError_, SimDeadlockError
@@ -227,7 +227,11 @@ def conformance_points(
         # so only the first value is meaningful for them.
         fw_values = spec.fw_values or (0.2,)
         fw_axis = fw_values if info.rw else fw_values[:1]
-        for benchmark in spec.benchmarks:
+        # Benchmark selectors ("traffic", "traffic-rw") expand here too, so
+        # `repro conform --benchmarks traffic` runs the oracle sweep against
+        # the open-loop scenarios (the observer attaches to the table's
+        # hottest entry — see repro.traffic.scenarios).
+        for benchmark in spec.resolve_benchmarks():
             for procs in spec.process_counts:
                 for fw in fw_axis:
                     for perturb_seed in range(0, seeds + 1):
@@ -269,13 +273,14 @@ def _run_once(point: ConformancePoint) -> Tuple[Optional[str], Dict[str, Any], D
     info = get_scheme(point.scheme)
     bound = info.fairness_bound(point.procs) if info.fairness_bound is not None else None
     observer = LockOracleObserver(bypass_bound=bound)
-    spec, is_rw = build_lock_spec(config)
     try:
+        # Spec construction stays with the harness so the benchmark's
+        # spec_transform applies: a traffic point must verify the real lock
+        # *table* (striped-rw its native striped table), not a collapsed
+        # single-lock stand-in — and a crashing builder is a verdict too.
         bench, raw = run_lock_benchmark_detailed(
             config,
             scheduler=point.scheduler,
-            spec=spec,
-            is_rw=is_rw,
             perturbation=point.perturbation(),
             observer=observer,
         )

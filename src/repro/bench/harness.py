@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.api.registry import get_benchmark, get_runtime, get_scheme
 from repro.bench.workloads import LockBenchConfig
@@ -85,10 +85,16 @@ class LockBenchResult:
     #: throughput (RMA ops per host second); tracked by the perf suite.
     wall_time_s: float = 0.0
     sim_ops_per_s: float = 0.0
+    #: Open-loop traffic accounting (populated by the traffic scenarios of
+    #: :mod:`repro.traffic` only): deterministic tail-latency percentiles
+    #: (``e2e_p99_us``, ``acquire_p999_us``, ...) and one row per load phase
+    #: with its request count, throughput and end-to-end percentiles.
+    percentiles: Dict[str, float] = field(default_factory=dict)
+    phases: List[Dict[str, object]] = field(default_factory=list)
 
     def as_row(self) -> Dict[str, object]:
         """Flatten to a row dictionary for reports and figure tables."""
-        return {
+        row: Dict[str, object] = {
             "scheme": self.scheme,
             "benchmark": self.benchmark,
             "P": self.num_processes,
@@ -99,6 +105,11 @@ class LockBenchResult:
             "elapsed_us": round(self.elapsed_us, 1),
             "acquires": self.total_acquires,
         }
+        if self.percentiles:
+            for key in ("e2e_p50_us", "e2e_p99_us", "e2e_p999_us", "acquire_p99_us"):
+                if key in self.percentiles:
+                    row[key] = round(self.percentiles[key], 3)
+        return row
 
 
 def build_lock_spec(config: LockBenchConfig) -> Tuple[LockSpec, bool]:
@@ -277,6 +288,12 @@ def run_lock_benchmark_detailed(
         )
     if spec is None:
         spec, is_rw = build_lock_spec(config)
+        transform = get_benchmark(config.benchmark).spec_transform
+        if transform is not None:
+            # The benchmark owns the shared structure it drives (the traffic
+            # scenarios swap in a whole lock table here); the runtime window
+            # below is sized from the transformed spec.
+            spec = transform(config, spec, is_rw)
     elif is_rw is None:
         is_rw = isinstance(spec, RWLockSpec)
     shared_offset = spec.window_words
@@ -308,6 +325,19 @@ def run_lock_benchmark_detailed(
     total_acquires = config.iterations * config.machine.num_processes
     throughput = total_acquires / elapsed_us if elapsed_us > 0 else 0.0
 
+    percentiles: Dict[str, float] = {}
+    phases: List[Dict[str, Any]] = []
+    if result.returns and isinstance(result.returns[0], dict) and "acquire_latencies" in result.returns[0]:
+        # An open-loop traffic run: fold the per-request samples into the
+        # deterministic tail-latency summary (imported lazily — the traffic
+        # package sits above the harness in the layering).
+        from repro.traffic.accounting import aggregate_traffic
+
+        traffic = aggregate_traffic(result.returns)
+        percentiles = traffic.percentile_fields()
+        percentiles["offered_per_s"] = traffic.offered_per_s
+        phases = traffic.phases
+
     bench_result = LockBenchResult(
         scheme=config.scheme,
         benchmark=config.benchmark,
@@ -324,6 +354,8 @@ def run_lock_benchmark_detailed(
         op_counts=dict(result.op_counts),
         wall_time_s=result.wall_time_s,
         sim_ops_per_s=result.ops_per_sec(),
+        percentiles=percentiles,
+        phases=phases,
     )
     return bench_result, result
 

@@ -2,8 +2,9 @@
 
 Runs a campaign (default: ``ci-gate``) through the campaign engine and
 compares its rows against the committed ``BENCH_campaign.json`` manifest, and
-sanity-checks the recorded ``BENCH_runtime.json`` perf manifest.  Two classes
-of fields, two severities:
+sanity-checks the recorded ``BENCH_runtime.json`` perf manifest plus the
+``BENCH_traffic.json`` open-loop traffic baseline (see
+:func:`check_traffic_manifest`).  Two classes of fields, two severities:
 
 * **Determinism fields** (:data:`repro.bench.campaign.DETERMINISM_FIELDS`)
   are bit-exact functions of each point's seed.  Any mismatch is a *hard*
@@ -46,6 +47,7 @@ __all__ = [
     "RegressError",
     "bless",
     "check_runtime_manifest",
+    "check_traffic_manifest",
     "compare_campaign_rows",
     "exit_code",
     "format_findings",
@@ -71,6 +73,11 @@ _REPO_ROOT = Path(__file__).resolve().parents[3]
 DEFAULT_CAMPAIGN = "ci-gate"
 DEFAULT_CAMPAIGN_BASELINE = _REPO_ROOT / "BENCH_campaign.json"
 DEFAULT_RUNTIME_BASELINE = _REPO_ROOT / "BENCH_runtime.json"
+DEFAULT_TRAFFIC_BASELINE = _REPO_ROOT / "BENCH_traffic.json"
+
+#: Structural floor of the committed traffic baseline: the acceptance grid
+#: covers at least this many distinct schemes on both deterministic schedulers.
+TRAFFIC_MIN_SCHEMES = 3
 
 
 class RegressError(RuntimeError):
@@ -219,6 +226,59 @@ def check_runtime_manifest(
     return findings
 
 
+def check_traffic_manifest(payload: Mapping[str, Any]) -> List[Finding]:
+    """Sanity-check the committed ``BENCH_traffic.json`` traffic manifest.
+
+    The manifest is blessed by ``repro traffic --bless`` (the rows themselves
+    are re-derivable through the campaign cache); here the gate only checks
+    that the *recorded* baseline still documents a healthy sweep: rows exist,
+    every row carries a determinism fingerprint and the open-loop percentile
+    block, at least :data:`TRAFFIC_MIN_SCHEMES` schemes are covered, and both
+    deterministic schedulers contributed rows.
+    """
+    name = "BENCH_traffic.json"
+    rows = payload.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return [Finding("hard", name, "rows", "manifest has no traffic rows")]
+    findings: List[Finding] = []
+    schemes = set()
+    schedulers = set()
+    for row in rows:
+        if not isinstance(row, dict) or "case" not in row:
+            return [Finding("hard", name, "rows", "malformed row without a 'case' key")]
+        case = str(row["case"])
+        schemes.add(str(row.get("scheme", "")))
+        schedulers.add(str(row.get("scheduler", "horizon")))
+        if not row.get("fingerprint"):
+            findings.append(Finding("hard", case, "fingerprint", "traffic row has no determinism fingerprint"))
+        percentiles = row.get("percentiles")
+        if not isinstance(percentiles, dict) or "e2e_p99_us" not in percentiles:
+            findings.append(
+                Finding("hard", case, "percentiles", "traffic row has no tail-latency percentile block")
+            )
+    if len(schemes - {""}) < TRAFFIC_MIN_SCHEMES:
+        findings.append(
+            Finding(
+                "fail",
+                name,
+                "schemes",
+                f"baseline covers {len(schemes - {''})} scheme(s); "
+                f"the traffic gate expects at least {TRAFFIC_MIN_SCHEMES}",
+            )
+        )
+    if not {"horizon", "baseline"} <= schedulers:
+        findings.append(
+            Finding(
+                "fail",
+                name,
+                "schedulers",
+                f"baseline covers scheduler(s) {sorted(schedulers)}; the determinism "
+                f"certificate needs rows from both 'horizon' and 'baseline'",
+            )
+        )
+    return findings
+
+
 def _timed_run(campaign: str, *, jobs: Optional[int], cache_dir: Optional[Path], refresh: bool, scheduler: Optional[str] = None) -> CampaignReport:
     return run_campaign(
         campaign,
@@ -299,6 +359,7 @@ def run_regress(
     campaign: str = DEFAULT_CAMPAIGN,
     baseline_path: Path = DEFAULT_CAMPAIGN_BASELINE,
     runtime_baseline_path: Optional[Path] = DEFAULT_RUNTIME_BASELINE,
+    traffic_baseline_path: Optional[Path] = DEFAULT_TRAFFIC_BASELINE,
     soft: bool = False,
     jobs: Optional[int] = None,
     fresh: bool = True,
@@ -420,6 +481,29 @@ def run_regress(
                 )
             else:
                 findings.extend(check_runtime_manifest(runtime_payload))
+    if traffic_baseline_path is not None:
+        traffic_baseline_path = Path(traffic_baseline_path)
+        if not traffic_baseline_path.exists():
+            # Same policy as the perf manifest: the default file missing is
+            # survivable (warn); an explicit path must exist — 'none' opts out.
+            level = "warn" if traffic_baseline_path == DEFAULT_TRAFFIC_BASELINE else "hard"
+            findings.append(
+                Finding(
+                    level,
+                    str(traffic_baseline_path),
+                    "file",
+                    "traffic manifest not found; run `repro traffic --bless` to record one",
+                )
+            )
+        else:
+            try:
+                traffic_payload = json.loads(traffic_baseline_path.read_text())
+            except ValueError as exc:
+                findings.append(
+                    Finding("hard", str(traffic_baseline_path), "json", f"unreadable manifest: {exc}")
+                )
+            else:
+                findings.extend(check_traffic_manifest(traffic_payload))
 
     print_fn(format_findings(findings))
     code = exit_code(findings)

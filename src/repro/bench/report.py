@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Sequence
 
-__all__ = ["format_table", "pivot_rows", "format_figure", "summarize_speedup"]
+__all__ = [
+    "format_table",
+    "pivot_rows",
+    "format_figure",
+    "summarize_speedup",
+    "traffic_percentile_rows",
+]
 
 
 def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
@@ -78,6 +84,38 @@ def format_figure(
     columns = list(pivoted[0].keys()) if pivoted else [x]
     body = format_table(pivoted, columns)
     return f"== {title} ==  (y = {value})\n{body}"
+
+
+def traffic_percentile_rows(results: Sequence[object]) -> List[Dict[str, object]]:
+    """Flatten traffic ``LockBenchResult``s into a tail-latency table.
+
+    One row per result with the scheme, the offered load and the end-to-end /
+    acquire percentiles — the table the traffic example and quick comparisons
+    print.  Results without percentile data (closed-loop benchmarks) yield
+    rows with the throughput fields only.
+    """
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        row: Dict[str, object] = {
+            "scheme": getattr(result, "scheme", "?"),
+            "benchmark": getattr(result, "benchmark", "?"),
+            "P": getattr(result, "num_processes", 0),
+        }
+        percentiles = getattr(result, "percentiles", None) or {}
+        for key in (
+            "offered_per_s",
+            "e2e_p50_us",
+            "e2e_p90_us",
+            "e2e_p99_us",
+            "e2e_p999_us",
+            "acquire_p99_us",
+            "mean_hold_us",
+        ):
+            if key in percentiles:
+                row[key] = round(float(percentiles[key]), 2)
+        row["phases"] = len(getattr(result, "phases", None) or ())
+        rows.append(row)
+    return rows
 
 
 def summarize_speedup(

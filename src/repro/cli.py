@@ -23,6 +23,9 @@ The subcommands cover the common workflows:
 * ``conform`` — the conformance & chaos sweep: every registered scheme under
   seeded schedule perturbation with the live safety/fairness oracles, each
   point re-run to certify bit-reproducibility (exit 1 on any violation).
+* ``traffic`` — the open-loop traffic sweep: scheme x scenario service
+  simulation over a multi-lock table (Zipf popularity, phased load) with
+  tail-latency percentile reports; ``--bless`` records ``BENCH_traffic.json``.
 * ``info`` — describe a simulated machine, the default thresholds and the
   Table-3 portability summary.
 """
@@ -197,6 +200,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="campaign baseline manifest (default: <repo>/BENCH_campaign.json)")
     regress.add_argument("--runtime-baseline", default=None,
                          help="perf manifest to sanity-check (default: <repo>/BENCH_runtime.json); 'none' skips")
+    regress.add_argument("--traffic-baseline", default=None,
+                         help="traffic manifest to sanity-check (default: <repo>/BENCH_traffic.json); 'none' skips")
     regress.add_argument("--soft", action="store_true",
                          help="use the loose throughput tolerance (for noisy shared runners)")
     regress.add_argument("--jobs", type=int, default=None, help="worker processes for the campaign")
@@ -252,6 +257,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cache root (default: <repo>/.repro-cache)")
     conform.add_argument("--output", default=None,
                          help="write the verdict rows as a JSON report (CI artifact)")
+
+    traffic = sub.add_parser(
+        "traffic",
+        help="open-loop traffic sweep: scheme x scenario with tail-latency percentiles",
+    )
+    traffic.add_argument("--schemes", nargs="+", default=None,
+                         help="lock schemes to sweep (default: the traffic-suite grid; "
+                              "selectors like 'all'/'mcs'/'rw' work too)")
+    traffic.add_argument("--scenarios", nargs="+", default=None,
+                         help="traffic scenarios (benchmark names or the 'traffic'/"
+                              "'traffic-rw' selectors; default: every registered scenario)")
+    traffic.add_argument("--procs", type=int, nargs="+", default=None,
+                         help="process counts (default: the campaign's, P=64)")
+    traffic.add_argument("--iterations", type=int, default=None,
+                         help="requests per rank (default: the campaign's)")
+    traffic.add_argument("--scheduler", choices=list(schedulers) + ["both"], default=None,
+                         help="simulator core(s) to sweep; 'both' certifies that horizon "
+                              "and baseline produce bit-identical traffic rows "
+                              "(default: both, or horizon only under --smoke)")
+    traffic.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: REPRO_JOBS or all cores)")
+    traffic.add_argument("--smoke", action="store_true",
+                         help="small CI grid: 3 schemes x 2 scenarios at P=16, horizon only")
+    traffic.add_argument("--no-cache", action="store_true",
+                         help="compute every point, store nothing")
+    traffic.add_argument("--refresh", action="store_true",
+                         help="ignore cached rows but refresh the cache with fresh results")
+    traffic.add_argument("--cache-dir", default=None,
+                         help="cache root (default: <repo>/.repro-cache)")
+    traffic.add_argument("--output", default=None,
+                         help="write the percentile rows as a traffic JSON report (CI artifact)")
+    traffic.add_argument("--bless", action="store_true",
+                         help="record a new BENCH_traffic.json baseline through the campaign cache")
+    traffic.add_argument("--baseline", default=None,
+                         help="baseline manifest path for --bless (default: <repo>/BENCH_traffic.json)")
 
     info = sub.add_parser("info", help="describe a simulated machine and the portability table")
     info.add_argument("--procs", type=int, default=64)
@@ -583,11 +623,18 @@ def _run_regress(args: argparse.Namespace) -> int:
         runtime_baseline = Path(args.runtime_baseline)
     else:
         runtime_baseline = regress_mod.DEFAULT_RUNTIME_BASELINE
+    if args.traffic_baseline == "none":
+        traffic_baseline = None
+    elif args.traffic_baseline:
+        traffic_baseline = Path(args.traffic_baseline)
+    else:
+        traffic_baseline = regress_mod.DEFAULT_TRAFFIC_BASELINE
     try:
         return regress_mod.run_regress(
             campaign=args.campaign,
             baseline_path=baseline,
             runtime_baseline_path=runtime_baseline,
+            traffic_baseline_path=traffic_baseline,
             soft=args.soft,
             jobs=args.jobs,
             fresh=not args.reuse_cache,
@@ -676,6 +723,75 @@ def _run_conform(args: argparse.Namespace) -> int:
     return 1
 
 
+def _run_traffic(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.api.registry import UnknownNameError
+    from repro.traffic import engine as traffic_engine
+
+    if args.scheduler is None:
+        # Default: certify both deterministic cores, except in the smoke grid
+        # (CI wall clock); an explicit --scheduler always wins, --smoke or not.
+        schedulers = ("horizon",) if args.smoke else ("horizon", "baseline")
+    elif args.scheduler == "both":
+        schedulers = ("horizon", "baseline")
+    else:
+        schedulers = (args.scheduler,)
+    try:
+        spec = traffic_engine.traffic_spec(
+            schemes=args.schemes,
+            scenarios=args.scenarios,
+            process_counts=args.procs,
+            iterations=args.iterations,
+            smoke=args.smoke,
+        )
+        cache_dir = Path(args.cache_dir) if args.cache_dir else None
+        if args.bless:
+            baseline = (
+                Path(args.baseline) if args.baseline else traffic_engine.DEFAULT_TRAFFIC_BASELINE
+            )
+            report = traffic_engine.bless_traffic(
+                baseline,
+                spec=spec,
+                schedulers=schedulers,
+                jobs=args.jobs,
+                cache_dir=cache_dir,
+            )
+            print(format_table(traffic_engine.traffic_display_rows(report.rows)))
+            print(
+                f"\nblessed {baseline} ({report.points} rows across "
+                f"scheduler(s) {', '.join(report.schedulers)})"
+            )
+            if args.output and Path(args.output) != baseline:
+                # Verbatim copy so the secondary report keeps the timing
+                # record the bless just measured (mirrors regress --bless).
+                Path(args.output).write_text(baseline.read_text())
+                print(f"wrote {args.output}")
+            return 0
+        report = traffic_engine.run_traffic(
+            spec,
+            schedulers=schedulers,
+            jobs=args.jobs,
+            cache=False if args.no_cache else None,
+            cache_dir=cache_dir,
+            refresh=args.refresh,
+        )
+    except (UnknownNameError, ValueError, RuntimeError) as exc:
+        print(f"traffic sweep cannot run: {exc}", file=sys.stderr)
+        return 2
+    print(format_table(traffic_engine.traffic_display_rows(report.rows)))
+    print(
+        f"\ntraffic {report.name!r}: {report.points} rows on "
+        f"scheduler(s) {', '.join(report.schedulers)}, jobs={report.jobs}, "
+        f"{report.cache_hits} cached / {report.cache_misses} computed, "
+        f"{report.wall_s:.2f}s wall (cache epoch {report.epoch})"
+    )
+    if args.output:
+        path = traffic_engine.write_traffic_json(report, Path(args.output))
+        print(f"wrote {path}")
+    return 0
+
+
 def _run_info(args: argparse.Namespace) -> int:
     machine = xc30_like(args.procs, procs_per_node=args.procs_per_node)
     print(f"Machine: {machine.describe()}")
@@ -711,6 +827,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_regress(args)
     if args.command == "conform":
         return _run_conform(args)
+    if args.command == "traffic":
+        return _run_traffic(args)
     if args.command == "info":
         return _run_info(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -27,7 +27,12 @@ from repro.core.lock_base import RWLockHandle, RWLockSpec
 from repro.rma.ops import AtomicOp
 from repro.rma.runtime_base import ProcessContext
 
-__all__ = ["StripeBoundRWLockSpec", "StripedRWLockSpec", "StripedRWLockHandle"]
+__all__ = [
+    "StripeBoundRWLockHandle",
+    "StripeBoundRWLockSpec",
+    "StripedRWLockHandle",
+    "StripedRWLockSpec",
+]
 
 #: Writer bit of each per-volume lock word (far above any reader count).
 _WRITER_BIT = 1 << 40
@@ -189,12 +194,17 @@ class StripeBoundRWLockSpec(RWLockSpec):
     def init_window(self, rank: int) -> Mapping[int, int]:
         return self.inner.init_window(rank)
 
-    def make(self, ctx: ProcessContext) -> "_StripeBoundRWLockHandle":
-        return _StripeBoundRWLockHandle(self.inner.make(ctx), self.volume)
+    def make(self, ctx: ProcessContext) -> "StripeBoundRWLockHandle":
+        return StripeBoundRWLockHandle(self.inner.make(ctx), self.volume)
 
 
-class _StripeBoundRWLockHandle(RWLockHandle):
-    """Plain RW-handle facade over one stripe of a striped handle."""
+class StripeBoundRWLockHandle(RWLockHandle):
+    """Plain RW-handle facade over one stripe of a striped handle.
+
+    Shared by the conformance adapter below and the traffic engine's striped
+    lock table (:mod:`repro.traffic.table`), which binds one of these per
+    accessed table entry.
+    """
 
     def __init__(self, inner: StripedRWLockHandle, volume: int):
         self.inner = inner

@@ -41,7 +41,7 @@ def xc30_like(num_processes: int, procs_per_node: int = XC30_PROCS_PER_NODE) -> 
     return Machine.cluster(nodes=num_processes // procs_per_node, procs_per_node=procs_per_node)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=128)
 def cached_machine(
     num_processes: int,
     procs_per_node: int = XC30_PROCS_PER_NODE,
@@ -54,6 +54,12 @@ def cached_machine(
     every benchmark configuration of a sweep; the campaign executor, the
     figure drivers and ``repro perf`` all route machine construction through
     this memo instead of rebuilding the same hierarchy per data point.
+
+    The memo is LRU-bounded: a long-lived process sweeping many distinct
+    topologies (the traffic engine's scheme x scenario x P grids, notebook
+    sessions) must not grow machine objects without limit.  128 entries cover
+    every sweep in the repository many times over while keeping the perf
+    benefit — a bounded miss only re-runs a cheap constructor.
     """
     if topology == "xc30":
         return xc30_like(num_processes, procs_per_node=procs_per_node)

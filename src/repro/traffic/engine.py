@@ -1,0 +1,242 @@
+"""The ``repro traffic`` sweep: scheme x scenario campaigns with percentiles.
+
+This is a thin orchestration layer over the campaign engine: traffic points
+*are* campaign points (the scenarios are registered benchmarks), so the
+content-addressed :class:`~repro.bench.campaign.ResultCache`, the parallel
+executor and the determinism fingerprints all apply unchanged.  What this
+module adds:
+
+* **Scheduler cross-product** — :func:`run_traffic` runs the grid on one or
+  both deterministic schedulers and concatenates the rows; the acceptance
+  contract is that the two produce bit-identical fingerprints and percentile
+  rows for every point.
+* **Percentile report tables** — :func:`traffic_display_rows` flattens the
+  nested percentile/phase fields into the table the CLI prints.
+* **The committed baseline** — :func:`bless_traffic` records
+  ``BENCH_traffic.json`` through the campaign cache (cold run repopulating
+  it, warm run certifying it serves every row), mirroring
+  ``repro regress --bless``; :func:`repro.bench.regress.check_traffic_manifest`
+  sanity-checks the committed file on every gate run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.registry import get_runtime
+from repro.bench.campaign import (
+    CampaignSpec,
+    get_campaign,
+    golden_epoch,
+    run_campaign,
+    write_manifest_json,
+)
+
+__all__ = [
+    "DEFAULT_TRAFFIC_BASELINE",
+    "SMOKE_SCHEMES",
+    "TrafficReport",
+    "bless_traffic",
+    "run_traffic",
+    "traffic_display_rows",
+    "traffic_spec",
+    "write_traffic_json",
+]
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: The committed traffic baseline manifest (see :func:`bless_traffic`).
+DEFAULT_TRAFFIC_BASELINE = _REPO_ROOT / "BENCH_traffic.json"
+
+#: Grid used by ``repro traffic --smoke`` (the CI job): three structurally
+#: distinct schemes on two scenarios at a small P, horizon scheduler only.
+SMOKE_SCHEMES: Tuple[str, ...] = ("fompi-spin", "rma-mcs", "rma-rw")
+SMOKE_SCENARIOS: Tuple[str, ...] = ("traffic-zipf", "traffic-phased")
+SMOKE_PROCS: Tuple[int, ...] = (16,)
+SMOKE_ITERATIONS = 6
+
+
+def traffic_spec(
+    *,
+    schemes: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    process_counts: Optional[Sequence[int]] = None,
+    iterations: Optional[int] = None,
+    smoke: bool = False,
+) -> CampaignSpec:
+    """The sweep grid: the registered ``traffic-suite`` campaign, narrowed.
+
+    ``scenarios`` accepts literal benchmark names and the ``traffic`` /
+    ``traffic-rw`` selectors; ``smoke`` swaps in the small CI grid before the
+    explicit overrides apply.
+    """
+    spec = get_campaign("traffic-suite")
+    if smoke:
+        spec = replace(
+            spec,
+            schemes=SMOKE_SCHEMES,
+            benchmarks=SMOKE_SCENARIOS,
+            process_counts=SMOKE_PROCS,
+            iterations=SMOKE_ITERATIONS,
+        )
+    overrides: Dict[str, Any] = {}
+    if schemes is not None:
+        overrides["schemes"] = tuple(schemes)
+    if scenarios is not None:
+        overrides["benchmarks"] = tuple(scenarios)
+    if process_counts is not None:
+        overrides["process_counts"] = tuple(int(p) for p in process_counts)
+    if iterations is not None:
+        overrides["iterations"] = int(iterations)
+    return replace(spec, **overrides) if overrides else spec
+
+
+@dataclass
+class TrafficReport:
+    """Outcome of one :func:`run_traffic` sweep (possibly multi-scheduler)."""
+
+    name: str
+    rows: List[Dict[str, Any]]
+    schedulers: Tuple[str, ...]
+    jobs: int
+    wall_s: float
+    cache_hits: int
+    cache_misses: int
+    epoch: str
+
+    @property
+    def points(self) -> int:
+        return len(self.rows)
+
+
+def run_traffic(
+    spec: Optional[CampaignSpec] = None,
+    *,
+    schedulers: Sequence[str] = ("horizon", "baseline"),
+    jobs: Optional[int] = None,
+    cache: Any = None,
+    cache_dir: Optional[Path] = None,
+    refresh: bool = False,
+) -> TrafficReport:
+    """Run the traffic grid on every requested scheduler, concatenating rows.
+
+    Rows keep their per-scheduler case names (the baseline scheduler's cases
+    carry a ``-baseline`` suffix), so a merged manifest gates both cores'
+    fingerprints at once.
+    """
+    if spec is None:
+        spec = traffic_spec()
+    schedulers = tuple(schedulers)
+    if not schedulers:
+        raise ValueError("at least one scheduler is required")
+    for name in schedulers:
+        get_runtime(name)  # validate early, helpful UnknownNameError
+    t0 = time.perf_counter()
+    rows: List[Dict[str, Any]] = []
+    hits = 0
+    misses = 0
+    requested_jobs = 0
+    epoch = golden_epoch()
+    for scheduler in schedulers:
+        report = run_campaign(
+            spec,
+            jobs=jobs,
+            cache=cache,
+            cache_dir=cache_dir,
+            refresh=refresh,
+            scheduler=scheduler,
+        )
+        rows.extend(report.rows)
+        hits += report.cache_hits
+        misses += report.cache_misses
+        requested_jobs = report.jobs
+        epoch = report.epoch
+    return TrafficReport(
+        name=spec.name,
+        rows=rows,
+        schedulers=schedulers,
+        jobs=requested_jobs,
+        wall_s=time.perf_counter() - t0,
+        cache_hits=hits,
+        cache_misses=misses,
+        epoch=epoch,
+    )
+
+
+def traffic_display_rows(rows: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Flatten traffic campaign rows into the percentile table the CLI prints."""
+    out: List[Dict[str, Any]] = []
+    for row in rows:
+        pct = row.get("percentiles") or {}
+        out.append(
+            {
+                "case": row["case"],
+                "P": row["P"],
+                "sched": row.get("scheduler", "horizon"),
+                "e2e_p50_us": round(float(pct.get("e2e_p50_us", 0.0)), 2),
+                "e2e_p99_us": round(float(pct.get("e2e_p99_us", 0.0)), 2),
+                "e2e_p999_us": round(float(pct.get("e2e_p999_us", 0.0)), 2),
+                "acq_p99_us": round(float(pct.get("acquire_p99_us", 0.0)), 2),
+                "offered_per_s": round(float(pct.get("offered_per_s", 0.0)), 0),
+                "phases": len(row.get("phases") or ()),
+                "cached": "yes" if row.get("cached") else "no",
+            }
+        )
+    return out
+
+
+def write_traffic_json(
+    report: TrafficReport,
+    path: Path,
+    *,
+    timing: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write a traffic manifest (rows + host metadata + optional timing)."""
+    return write_manifest_json(
+        report.rows, path, suite="traffic", campaign=report.name,
+        epoch=report.epoch, timing=timing,
+        extra={"schedulers": list(report.schedulers)},
+    )
+
+
+def bless_traffic(
+    baseline_path: Path = DEFAULT_TRAFFIC_BASELINE,
+    *,
+    spec: Optional[CampaignSpec] = None,
+    schedulers: Sequence[str] = ("horizon", "baseline"),
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Path] = None,
+) -> TrafficReport:
+    """Record ``BENCH_traffic.json`` through the campaign cache.
+
+    Runs the grid cold (refreshing the cache with every row), then warm; the
+    warm run must serve every point from the cache — the same certificate
+    ``repro regress --bless`` records — and its hit count lands in the
+    manifest's timing block.
+    """
+    cold = run_traffic(
+        spec, schedulers=schedulers, jobs=jobs, cache_dir=cache_dir, refresh=True
+    )
+    warm = run_traffic(
+        spec, schedulers=schedulers, jobs=jobs, cache_dir=cache_dir, refresh=False
+    )
+    if warm.cache_hits != warm.points:
+        raise RuntimeError(
+            f"warm traffic run expected {warm.points} cache hits, got "
+            f"{warm.cache_hits} — did the cache epoch change mid-bless?"
+        )
+    timing = {
+        "cpu_count": os.cpu_count(),
+        "jobs": cold.jobs,
+        "cold_wall_s": round(cold.wall_s, 3),
+        "warm_wall_s": round(warm.wall_s, 3),
+        "warm_cache_hits": warm.cache_hits,
+    }
+    if cold.wall_s > 0:
+        timing["warm_over_cold"] = round(warm.wall_s / cold.wall_s, 4)
+    write_traffic_json(cold, baseline_path, timing=timing)
+    return cold

@@ -1,0 +1,368 @@
+"""Seeded open-loop traffic generators: arrivals, key popularity, phases.
+
+The benchmark harness drives every lock in a *closed loop*: each rank issues
+its next acquire the moment the previous one completes, so the only operating
+point ever measured is saturation.  Real lock services (RDMA lock managers,
+key-value stores, graph stores) see *open-loop* traffic instead — requests
+arrive on their own schedule, queueing delay is part of the latency a client
+observes, and the arrival process itself has structure: skewed (Zipf) key
+popularity, diurnal/bursty rate changes, shifting read/write mixes.  This
+module generates those request schedules deterministically:
+
+* **Arrival processes** — ``poisson`` (exponential inter-arrival gaps),
+  ``uniform`` (gaps uniform in ``[0.5, 1.5] x`` the mean) and ``burst``
+  (geometric-length back-to-back bursts separated by long idle gaps).
+* **Key popularity** — ``zipf`` (lock ``k`` drawn with probability
+  ``(k+1)^-s / H_{N,s}``; lock 0 is the hottest) or ``uniform`` over the
+  ``num_locks``-entry lock table.
+* **Phases** — a :class:`Phase` schedule shifts the arrival rate, the Zipf
+  exponent, the writer fraction and the critical-section scale at fixed
+  virtual-time boundaries, modelling load ramps and hot-set migrations
+  mid-run.
+
+Determinism contract: a schedule is a pure function of ``(scenario, seed,
+rank)``.  Draws come from a dedicated Philox counter lane
+(:func:`traffic_rng`) — disjoint from both the workload streams of
+:func:`repro.util.rng.rank_rng` (lane 0) and the chaos streams of
+:mod:`repro.rma.perturbation` — and the whole schedule is materialized
+*before* the simulated run starts, so it is bit-identical across the horizon
+and baseline schedulers, across ``--jobs`` settings and across repeat runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "KEY_DISTRIBUTIONS",
+    "Phase",
+    "RequestSchedule",
+    "TrafficScenario",
+    "generate_schedule",
+    "traffic_rng",
+    "zipf_cdf",
+    "zipf_head_frequencies",
+]
+
+#: Arrival processes understood by :func:`generate_schedule`.
+ARRIVAL_KINDS = ("poisson", "uniform", "burst")
+
+#: Key-popularity distributions over the lock table.
+KEY_DISTRIBUTIONS = ("zipf", "uniform")
+
+#: Philox counter lane reserved for traffic schedules.  ``rank_rng`` uses
+#: lane 0 and the perturbation model uses 0x7C5EED, so a schedule sharing the
+#: workload's seed still draws from a provably disjoint stream.
+_TRAFFIC_LANE = 0x7AF1C0
+
+#: Gap shape of the burst arrival process, relative to the mean gap: requests
+#: inside a burst are near back-to-back, bursts are separated by idle gaps of
+#: ``burst_size`` mean gaps.
+_BURST_INNER_GAP = 0.05
+
+
+def traffic_rng(seed: int, rank: int) -> np.random.Generator:
+    """Independent schedule generator for ``(seed, rank)``.
+
+    Stable across runs and disjoint from the per-rank workload streams of
+    :func:`repro.util.rng.rank_rng` even when both use the same seed.
+    """
+    if rank < 0:
+        raise ValueError(f"rank must be non-negative, got {rank}")
+    return np.random.Generator(
+        np.random.Philox(key=seed, counter=[_TRAFFIC_LANE, 0, 0, rank])
+    )
+
+
+def zipf_cdf(num_locks: int, exponent: float) -> np.ndarray:
+    """Cumulative Zipf probabilities over lock indices ``0..num_locks-1``.
+
+    Lock ``k`` has weight ``(k + 1) ** -exponent``; index 0 is the hottest
+    key, which keeps the analytic head frequencies directly comparable to the
+    sampler (no scattering — lock *placement* is the table's concern).
+    """
+    if num_locks < 1:
+        raise ValueError("num_locks must be >= 1")
+    if exponent < 0:
+        raise ValueError("zipf exponent must be non-negative")
+    ranks = np.arange(1, num_locks + 1, dtype=np.float64)
+    weights = ranks ** (-float(exponent))
+    cdf = np.cumsum(weights / weights.sum())
+    cdf[-1] = 1.0
+    return cdf
+
+
+def zipf_head_frequencies(num_locks: int, exponent: float, count: int = 3) -> np.ndarray:
+    """Analytic access frequencies of the ``count`` hottest locks.
+
+    The generator property tests compare the empirical head of the sampler
+    against these closed-form values.
+    """
+    ranks = np.arange(1, num_locks + 1, dtype=np.float64)
+    weights = ranks ** (-float(exponent))
+    return (weights / weights.sum())[: max(1, count)]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One segment of a phased load schedule.
+
+    Args:
+        duration_us: Virtual-time length of the phase; ``None`` marks the
+            final, open-ended phase (only valid in last position).
+        rate_scale: Multiplier on the scenario's base arrival rate (2.0 means
+            gaps half as long — a load spike).
+        zipf_exponent: Overrides the scenario's key-popularity skew for this
+            phase (``None`` keeps the scenario default; ignored for uniform
+            keys).
+        fw: Overrides the writer fraction for this phase (``None`` keeps the
+            effective scenario/config value).
+        cs_scale: Multiplier on the drawn critical-section times.
+        name: Label surfaced in per-phase report rows.
+    """
+
+    duration_us: Optional[float] = None
+    rate_scale: float = 1.0
+    zipf_exponent: Optional[float] = None
+    fw: Optional[float] = None
+    cs_scale: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration_us is not None and self.duration_us <= 0:
+            raise ValueError("phase duration_us must be positive (or None for the final phase)")
+        if self.rate_scale <= 0:
+            raise ValueError("phase rate_scale must be positive")
+        if self.cs_scale < 0:
+            raise ValueError("phase cs_scale must be non-negative")
+        if self.fw is not None and not 0.0 <= self.fw <= 1.0:
+            raise ValueError("phase fw must be within [0, 1]")
+        if self.zipf_exponent is not None and self.zipf_exponent < 0:
+            raise ValueError("phase zipf_exponent must be non-negative")
+
+
+@dataclass(frozen=True)
+class TrafficScenario:
+    """One named open-loop traffic shape over an ``num_locks``-entry table.
+
+    A scenario is registered as a *benchmark* (see
+    :mod:`repro.traffic.scenarios`), so ``LockBenchConfig`` supplies the lock
+    scheme, the machine, the seed and the per-rank request count
+    (``iterations``); the scenario fixes everything about the traffic itself.
+
+    Args:
+        name: Benchmark-registry name (``traffic-*`` by convention).
+        help: One-line description for catalogues.
+        num_locks: Size of the lock table keys are drawn over.
+        arrival: One of :data:`ARRIVAL_KINDS`.
+        mean_gap_us: Mean inter-arrival gap per rank at ``rate_scale`` 1.
+        key_dist: One of :data:`KEY_DISTRIBUTIONS`.
+        zipf_exponent: Skew of the ``zipf`` key distribution.
+        fw: Writer fraction; ``None`` defers to the benchmark config's ``fw``
+            (so campaign ``fw`` axes apply), a value pins the scenario's mix.
+        cs_us: ``(low, high)`` bounds of the uniform critical-section time.
+        think_us: ``(low, high)`` bounds of the uniform post-completion think
+            time (0 keeps the loop purely open-loop; a positive value models
+            clients that pace themselves after a response).
+        burst_size: Mean burst length of the ``burst`` arrival process.
+        phases: Optional :class:`Phase` schedule; empty means one steady
+            phase for the whole run.
+    """
+
+    name: str
+    help: str = ""
+    num_locks: int = 1024
+    arrival: str = "poisson"
+    mean_gap_us: float = 8.0
+    key_dist: str = "zipf"
+    zipf_exponent: float = 1.0
+    fw: Optional[float] = None
+    cs_us: Tuple[float, float] = (0.4, 1.2)
+    think_us: Tuple[float, float] = (0.0, 0.0)
+    burst_size: int = 8
+    phases: Tuple[Phase, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_locks < 1:
+            raise ValueError("num_locks must be >= 1")
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ValueError(f"unknown arrival {self.arrival!r}; expected one of {ARRIVAL_KINDS}")
+        if self.key_dist not in KEY_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown key_dist {self.key_dist!r}; expected one of {KEY_DISTRIBUTIONS}"
+            )
+        if self.mean_gap_us <= 0:
+            raise ValueError("mean_gap_us must be positive")
+        if self.zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be non-negative")
+        if self.fw is not None and not 0.0 <= self.fw <= 1.0:
+            raise ValueError("fw must be within [0, 1] (or None)")
+        lo, hi = self.cs_us
+        if lo < 0 or hi < lo:
+            raise ValueError("cs_us must be a non-negative (low, high) pair")
+        lo, hi = self.think_us
+        if lo < 0 or hi < lo:
+            raise ValueError("think_us must be a non-negative (low, high) pair")
+        if self.burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        for i, phase in enumerate(self.phases):
+            if phase.duration_us is None and i != len(self.phases) - 1:
+                raise ValueError("only the final phase may have duration_us=None")
+
+    @property
+    def rw(self) -> bool:
+        """True when the scenario pins a meaningful read/write mix itself."""
+        return self.fw is not None and 0.0 < self.fw < 1.0
+
+    def effective_phases(self) -> Tuple[Phase, ...]:
+        """The phase schedule, with an implicit single phase when empty."""
+        if self.phases:
+            return self.phases
+        return (Phase(duration_us=None, name="steady"),)
+
+
+@dataclass(frozen=True)
+class RequestSchedule:
+    """The materialized per-rank request stream of one scenario run.
+
+    All arrays have one entry per request.  ``arrival_us`` is relative to the
+    rank's open time (the post-barrier ``now()``), strictly increasing.
+    """
+
+    arrival_us: np.ndarray
+    lock_index: np.ndarray
+    is_write: np.ndarray
+    cs_us: np.ndarray
+    think_us: np.ndarray
+    phase: np.ndarray
+
+    num_locks: int = 0
+    num_phases: int = 1
+
+    def __len__(self) -> int:
+        return int(self.arrival_us.shape[0])
+
+
+def _phase_at(boundaries: np.ndarray, t: float) -> int:
+    """Index of the phase containing virtual time ``t`` (clamped to the last)."""
+    # boundaries[i] is the *end* time of phase i; the final phase's boundary
+    # is +inf, so searchsorted always lands on a valid index.
+    return int(np.searchsorted(boundaries, t, side="right"))
+
+
+def generate_schedule(
+    scenario: TrafficScenario,
+    seed: int,
+    rank: int,
+    requests: int,
+    fw_default: float = 0.0,
+) -> RequestSchedule:
+    """Materialize rank ``rank``'s request stream for ``scenario``.
+
+    ``fw_default`` is the writer fraction used when neither the scenario nor
+    the current phase pins one (the benchmark config's ``fw`` — how campaign
+    writer-fraction axes reach traffic scenarios).
+
+    Exactly five draws are consumed per request in a fixed order (gap, key,
+    role, CS time, think time) regardless of which values a phase overrides,
+    so schedules for the same ``(scenario, seed, rank)`` are always
+    bit-identical — the determinism half of the traffic engine's contract.
+    """
+    if requests < 0:
+        raise ValueError("requests must be non-negative")
+    rng = traffic_rng(seed, rank)
+    phases = scenario.effective_phases()
+    ends = []
+    t_end = 0.0
+    for phase in phases:
+        t_end = np.inf if phase.duration_us is None else t_end + float(phase.duration_us)
+        ends.append(t_end)
+    if ends:
+        ends[-1] = np.inf  # the schedule never outlives the phase plan
+    boundaries = np.asarray(ends, dtype=np.float64)
+
+    # Per-exponent CDF cache: phases may override the skew, and rebuilding a
+    # num_locks-entry cumsum per request would dominate generation time.
+    cdfs: Dict[float, np.ndarray] = {}
+
+    def cdf_for(exponent: float) -> np.ndarray:
+        cached = cdfs.get(exponent)
+        if cached is None:
+            cached = cdfs[exponent] = zipf_cdf(scenario.num_locks, exponent)
+        return cached
+
+    uniform_keys = scenario.key_dist == "uniform"
+    base_gap = float(scenario.mean_gap_us)
+    cs_lo, cs_hi = (float(v) for v in scenario.cs_us)
+    think_lo, think_hi = (float(v) for v in scenario.think_us)
+    burst = int(scenario.burst_size)
+    in_burst_p = 1.0 - 1.0 / burst
+    arrival_kind = scenario.arrival
+    scenario_fw = scenario.fw
+
+    arrivals = np.empty(requests, dtype=np.float64)
+    lock_index = np.empty(requests, dtype=np.int64)
+    is_write = np.empty(requests, dtype=np.bool_)
+    cs_times = np.empty(requests, dtype=np.float64)
+    think_times = np.empty(requests, dtype=np.float64)
+    phase_ids = np.empty(requests, dtype=np.int64)
+
+    t = 0.0
+    rng_random = rng.random
+    rng_exponential = rng.exponential
+    for i in range(requests):
+        phase_idx = _phase_at(boundaries, t)
+        phase = phases[phase_idx]
+        mean_gap = base_gap / phase.rate_scale
+        if arrival_kind == "poisson":
+            gap = float(rng_exponential(mean_gap))
+        elif arrival_kind == "uniform":
+            gap = float(mean_gap * (0.5 + rng_random()))
+        else:  # burst
+            if rng_random() < in_burst_p:
+                gap = mean_gap * _BURST_INNER_GAP
+            else:
+                gap = mean_gap * burst
+        t += gap
+        arrival_phase = _phase_at(boundaries, t)
+        arrivals[i] = t
+        phase_ids[i] = arrival_phase
+
+        arrival_phase_spec = phases[arrival_phase]
+        u_key = rng_random()
+        if uniform_keys:
+            lock_index[i] = min(int(u_key * scenario.num_locks), scenario.num_locks - 1)
+        else:
+            exponent = (
+                arrival_phase_spec.zipf_exponent
+                if arrival_phase_spec.zipf_exponent is not None
+                else scenario.zipf_exponent
+            )
+            lock_index[i] = int(np.searchsorted(cdf_for(exponent), u_key, side="left"))
+
+        u_role = rng_random()
+        if arrival_phase_spec.fw is not None:
+            fw = arrival_phase_spec.fw
+        elif scenario_fw is not None:
+            fw = scenario_fw
+        else:
+            fw = fw_default
+        is_write[i] = u_role < fw
+
+        cs_times[i] = (cs_lo + (cs_hi - cs_lo) * rng_random()) * arrival_phase_spec.cs_scale
+        think_times[i] = think_lo + (think_hi - think_lo) * rng_random()
+
+    return RequestSchedule(
+        arrival_us=arrivals,
+        lock_index=lock_index,
+        is_write=is_write,
+        cs_us=cs_times,
+        think_us=think_times,
+        phase=phase_ids,
+        num_locks=scenario.num_locks,
+        num_phases=len(phases),
+    )

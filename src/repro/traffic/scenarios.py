@@ -1,0 +1,254 @@
+"""Traffic scenarios: open-loop service simulations as registered benchmarks.
+
+A :class:`~repro.traffic.generators.TrafficScenario` registered through
+:func:`register_traffic_scenario` becomes an ordinary benchmark-registry
+entry, which is the whole integration story in one decorator call:
+
+* ``LockBenchConfig(scheme=..., benchmark="traffic-zipf")`` validates and
+  runs through :func:`repro.bench.harness.run_lock_benchmark` unchanged —
+  ``iterations`` is the per-rank request count, ``fw`` the writer fraction
+  (when the scenario doesn't pin one), ``seed`` feeds the schedule
+  generators.
+* The registered ``spec_transform`` swaps the single lock the harness built
+  for a full :class:`~repro.traffic.table.LockTableSpec` sized to the
+  scenario's ``num_locks``, so the runtime's windows cover the whole table.
+* The registered ``program_factory`` replaces the closed benchmark loop with
+  the open-loop client: each rank materializes its deterministic request
+  schedule *before* the run, then serves requests at their arrival times —
+  waiting out idle gaps with ``ctx.compute`` and carrying queueing backlog
+  into the end-to-end latency when the service falls behind.
+* The ``tags`` (``"traffic"``, ``"traffic-rw"``) feed the campaign engine's
+  benchmark selectors, so campaigns such as ``traffic-suite`` sweep every
+  registered scenario — including third-party ones — for free.
+* Chaos and conformance ride along: a seeded
+  :class:`~repro.rma.perturbation.PerturbationModel` perturbs traffic points
+  exactly like closed-loop points, and when a run observer is installed the
+  program attaches the live safety/fairness oracles to the table's hottest
+  entry (index 0 — the Zipf head), whose per-lock invariants they check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.api.registry import register_benchmark
+from repro.core.lock_base import RWLockHandle
+from repro.rma.runtime_base import ProcessContext
+from repro.traffic.generators import Phase, TrafficScenario, generate_schedule
+from repro.traffic.table import as_lock_table, build_lock_table
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "register_traffic_scenario",
+    "scenario_tags",
+]
+
+
+def scenario_tags(scenario: TrafficScenario) -> tuple:
+    """Registry tags of a scenario: all are ``traffic``; mixed read/write
+    scenarios additionally join the ``traffic-rw`` selector."""
+    tags = ["traffic"]
+    if scenario.rw or any(p.fw is not None and 0.0 < p.fw < 1.0 for p in scenario.phases):
+        tags.append("traffic-rw")
+    return tuple(tags)
+
+
+def _make_traffic_program(scenario: TrafficScenario, config: Any, spec: Any, is_rw: bool):
+    """Build the open-loop rank program for one scenario/config pair."""
+    table = as_lock_table(spec, is_rw)
+    draw_role = is_rw and config.is_rw_scheme
+    fw_default = float(config.fw)
+    requests = int(config.iterations)
+    num_locks = table.num_locks
+    seed = int(config.seed)
+
+    def program(ctx: ProcessContext):
+        handle = table.make(ctx)
+        observer = getattr(ctx, "observer", None)
+        if observer is not None:
+            # The oracles' invariants are per lock; watch the hottest entry.
+            handle.observe(observer, index=0)
+        schedule = generate_schedule(scenario, seed, ctx.rank, requests, fw_default)
+        arrivals = schedule.arrival_us
+        lock_ids = schedule.lock_index
+        roles = schedule.is_write
+        cs_times = schedule.cs_us
+        think_times = schedule.think_us
+        phase_ids = schedule.phase
+
+        now = ctx.now
+        compute = ctx.compute
+        table_lock = handle.lock
+        ctx.barrier()
+        t_open = now()
+        e2e: List[float] = []
+        acquire_lat: List[float] = []
+        hold_us: List[float] = []
+        out_arrivals: List[float] = []
+        out_phases: List[int] = []
+        write_flags: List[int] = []
+        reads = 0
+        writes = 0
+        prev_end = t_open
+        for i in range(requests):
+            arrival = t_open + float(arrivals[i])
+            ready = arrival
+            think = float(think_times[i])
+            if think > 0.0:
+                # A paced client: never issues before the arrival, nor before
+                # its think time after the previous response has elapsed.
+                ready = max(ready, prev_end + think)
+            t_now = now()
+            if ready > t_now:
+                compute(ready - t_now)
+            as_writer = True
+            if draw_role:
+                as_writer = bool(roles[i])
+            index = int(lock_ids[i]) % num_locks
+            lock = table_lock(index)
+            t0 = now()
+            if is_rw and not as_writer:
+                rw_lock: RWLockHandle = lock  # type: ignore[assignment]
+                rw_lock.acquire_read()
+            else:
+                lock.acquire()
+            t1 = now()
+            cs = float(cs_times[i])
+            if cs > 0.0:
+                compute(cs)
+            if is_rw and not as_writer:
+                rw_lock.release_read()
+            else:
+                lock.release()
+            t2 = now()
+            acquire_lat.append(float(t1 - t0))
+            hold_us.append(float(t2 - t1))
+            e2e.append(float(t2 - arrival))
+            out_arrivals.append(float(arrival))
+            out_phases.append(int(phase_ids[i]))
+            write_flags.append(1 if as_writer else 0)
+            if as_writer:
+                writes += 1
+            else:
+                reads += 1
+            prev_end = t2
+        end = now()
+        ctx.barrier()
+        return {
+            "start": t_open,
+            "end": end,
+            # "latencies" is the end-to-end series so the harness's generic
+            # mean/p95 summary measures what a client of the service sees.
+            "latencies": e2e,
+            "acquire_latencies": acquire_lat,
+            "hold_us": hold_us,
+            "arrivals": out_arrivals,
+            "phases": out_phases,
+            "write_flags": write_flags,
+            "reads": reads,
+            "writes": writes,
+        }
+
+    return program
+
+
+def register_traffic_scenario(scenario: TrafficScenario, *, replace: bool = False) -> TrafficScenario:
+    """Register ``scenario`` as a benchmark; returns the scenario unchanged.
+
+    After this, every consumer of the benchmark registry can drive it: the
+    harness, ``Cluster.bench``, campaign grids (via the ``traffic`` selector),
+    the conformance sweep and the ``repro traffic`` CLI.
+    """
+
+    def _spec_transform(config: Any, spec: Any, is_rw: bool, _scenario=scenario) -> Any:
+        from repro.api.registry import get_scheme
+
+        info = get_scheme(config.scheme)
+        params = info.params_from_config(config) if info.harness else None
+        table, _ = build_lock_table(
+            config.machine, config.scheme, _scenario.num_locks, params=params
+        )
+        return table
+
+    @register_benchmark(
+        scenario.name,
+        help=scenario.help or f"open-loop traffic: {scenario.arrival} arrivals, "
+        f"{scenario.key_dist} keys over {scenario.num_locks} locks",
+        spec_transform=_spec_transform,
+        tags=scenario_tags(scenario),
+        replace=replace,
+    )
+    def _factory(config, spec, is_rw, shared_offset, _scenario=scenario):
+        return _make_traffic_program(_scenario, config, spec, is_rw)
+
+    return scenario
+
+
+# --------------------------------------------------------------------------- #
+# Built-in scenario catalogue.  Third parties add more with one call:
+#     register_traffic_scenario(TrafficScenario(name="traffic-mine", ...))
+# --------------------------------------------------------------------------- #
+
+BUILTIN_SCENARIOS = tuple(
+    register_traffic_scenario(scenario)
+    for scenario in (
+        TrafficScenario(
+            name="traffic-zipf",
+            help="Zipf(1.0) popularity over a 1024-lock table, Poisson arrivals",
+            num_locks=1024,
+            arrival="poisson",
+            mean_gap_us=8.0,
+            key_dist="zipf",
+            zipf_exponent=1.0,
+        ),
+        TrafficScenario(
+            name="traffic-uniform",
+            help="uniform popularity over a 1024-lock table, Poisson arrivals",
+            num_locks=1024,
+            arrival="poisson",
+            mean_gap_us=8.0,
+            key_dist="uniform",
+        ),
+        TrafficScenario(
+            name="traffic-burst",
+            help="bursty arrivals (mean burst 8) against Zipf(0.9) keys",
+            num_locks=1024,
+            arrival="burst",
+            mean_gap_us=10.0,
+            burst_size=8,
+            key_dist="zipf",
+            zipf_exponent=0.9,
+        ),
+        TrafficScenario(
+            name="traffic-readheavy",
+            help="95% reads on the Zipf(1.0) head (social-graph style service)",
+            num_locks=1024,
+            arrival="poisson",
+            mean_gap_us=6.0,
+            key_dist="zipf",
+            zipf_exponent=1.0,
+            fw=0.05,
+        ),
+        TrafficScenario(
+            name="traffic-phased",
+            help="warm-up -> 4x load spike with hotter keys and more writes -> cooldown",
+            num_locks=1024,
+            arrival="poisson",
+            mean_gap_us=8.0,
+            key_dist="zipf",
+            zipf_exponent=0.8,
+            fw=0.05,
+            phases=(
+                Phase(duration_us=120.0, rate_scale=1.0, name="warm"),
+                Phase(
+                    duration_us=160.0,
+                    rate_scale=4.0,
+                    zipf_exponent=1.3,
+                    fw=0.3,
+                    name="spike",
+                ),
+                Phase(duration_us=None, rate_scale=0.75, name="cooldown"),
+            ),
+        ),
+    )
+)

@@ -1,0 +1,237 @@
+"""The lock-table service layer: many lock instances behind one spec.
+
+A lock service does not guard one critical section — it guards a *table* of
+them (one per key, vertex, bucket, ...).  :func:`build_lock_table` turns any
+registered ``@register_scheme`` lock into such a table:
+
+* **Replicated tables** (:class:`LockTableSpec`) — for every harness-capable
+  scheme the builder's spec is instantiated once per table entry, each copy
+  re-based at its own window offset (every built-in spec is a frozen
+  dataclass with a ``base_offset`` field, so ``dataclasses.replace`` re-runs
+  the layout allocator).  Specs with a ``home_rank``/``tail_rank`` field get
+  their home rotated round-robin across ranks, so the table's hot spots are
+  distributed the way a real lock service would shard them.
+* **Striped tables** (:class:`StripedLockTableSpec`) — the DHT's per-volume
+  striped lock (``striped-rw``) already *is* a lock table with one stripe per
+  rank; the adapter folds the ``num_locks`` key space onto the ``P`` stripes
+  (``key % P``) and binds a plain RW facade per accessed entry, reusing
+  :class:`~repro.dht.striped_lock.StripeBoundRWLockHandle`.
+
+Both table specs follow the ordinary :class:`~repro.core.lock_base.LockSpec`
+surface (``window_words``/``init_window``/``make``), so the benchmark
+harness, the runtimes and ``Cluster.session`` treat a whole table exactly
+like a single lock.  Handles are created lazily per accessed entry — under
+Zipf skew most of a 1024-entry table is never touched by a given rank.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.api.registry import get_scheme
+from repro.core.lock_base import LockHandle, LockSpec
+from repro.dht.striped_lock import StripeBoundRWLockHandle, StripedRWLockSpec
+from repro.rma.runtime_base import ProcessContext
+
+__all__ = [
+    "LockTableHandle",
+    "LockTableSpec",
+    "StripedLockTableSpec",
+    "as_lock_table",
+    "build_lock_table",
+]
+
+
+class LockTableHandle:
+    """Per-process view of a lock table: one lazily-built handle per entry.
+
+    ``lock(index)`` returns the plain :class:`LockHandle` /
+    :class:`~repro.core.lock_base.RWLockHandle` guarding table entry
+    ``index``.  ``observe(observer, index)`` wraps that entry's handle with
+    the live-oracle observer (:func:`repro.verification.oracles.observe_lock`)
+    — per entry, because the oracles' invariants (mutual exclusion, bounded
+    bypass) hold per lock, not across the whole table.
+    """
+
+    def __init__(self, table: "LockTableSpec | StripedLockTableSpec", ctx: ProcessContext):
+        self.table = table
+        self.ctx = ctx
+        self._handles: Dict[int, LockHandle] = {}
+
+    def lock(self, index: int) -> LockHandle:
+        """The handle guarding table entry ``index`` (built on first use)."""
+        handle = self._handles.get(index)
+        if handle is None:
+            handle = self._handles[index] = self.table._make_entry(self.ctx, index)
+        return handle
+
+    def observe(self, observer: Any, index: int = 0) -> None:
+        """Attach the run observer to entry ``index`` (the oracle target).
+
+        The wrapper issues no RMA calls, so observed runs keep bit-identical
+        fingerprints; index 0 is the natural target under Zipf popularity
+        (the hottest, most contended entry).
+        """
+        from repro.verification.oracles import observe_lock
+
+        self._handles[index] = observe_lock(self.lock(index), self.ctx, observer)
+
+
+@dataclass(frozen=True)
+class LockTableSpec(LockSpec):
+    """``num_locks`` independent instances of one scheme, stacked in the window."""
+
+    specs: Tuple[LockSpec, ...]
+    rw: bool = False
+    scheme: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ValueError("a lock table needs at least one entry")
+
+    @property
+    def num_locks(self) -> int:
+        return len(self.specs)
+
+    @property
+    def window_words(self) -> int:
+        # Entries are stacked at increasing base offsets; the last spec's
+        # window_words covers the whole table.
+        return max(spec.window_words for spec in self.specs)
+
+    def init_window(self, rank: int) -> Mapping[int, int]:
+        return LockSpec.merge_inits(*(spec.init_window(rank) for spec in self.specs))
+
+    def make(self, ctx: ProcessContext) -> LockTableHandle:
+        return LockTableHandle(self, ctx)
+
+    def _make_entry(self, ctx: ProcessContext, index: int) -> LockHandle:
+        if not 0 <= index < len(self.specs):
+            raise ValueError(f"lock index {index} out of range 0..{len(self.specs) - 1}")
+        return self.specs[index].make(ctx)
+
+
+@dataclass(frozen=True)
+class StripedLockTableSpec(LockSpec):
+    """A ``num_locks`` key space folded onto the striped per-volume RW lock.
+
+    Entry ``k`` maps to stripe ``k % P`` — the DHT's striping machinery
+    reused as a table: distinct keys on the same stripe share a lock word,
+    exactly like hash-striped lock managers do.
+    """
+
+    inner: StripedRWLockSpec
+    num_locks: int
+    rw: bool = True
+    scheme: str = "striped-rw"
+
+    def __post_init__(self) -> None:
+        if self.num_locks < 1:
+            raise ValueError("num_locks must be >= 1")
+
+    @property
+    def window_words(self) -> int:
+        return self.inner.window_words
+
+    def init_window(self, rank: int) -> Mapping[int, int]:
+        return self.inner.init_window(rank)
+
+    def make(self, ctx: ProcessContext) -> "_StripedTableHandle":
+        return _StripedTableHandle(self, ctx)
+
+    def _make_entry(self, ctx: ProcessContext, index: int) -> LockHandle:
+        # Entries share one striped handle per process, so they are built by
+        # the table handle itself (see _StripedTableHandle.lock).
+        raise NotImplementedError("striped table entries are built by their handle")
+
+
+class _StripedTableHandle(LockTableHandle):
+    """Table handle whose entries are stripe-bound facades of one striped handle."""
+
+    def __init__(self, table: StripedLockTableSpec, ctx: ProcessContext):
+        super().__init__(table, ctx)
+        self._striped = table.inner.make(ctx)
+
+    def lock(self, index: int) -> LockHandle:
+        handle = self._handles.get(index)
+        if handle is None:
+            table: StripedLockTableSpec = self.table  # type: ignore[assignment]
+            if not 0 <= index < table.num_locks:
+                raise ValueError(f"lock index {index} out of range 0..{table.num_locks - 1}")
+            volume = index % self.ctx.nranks
+            handle = self._handles[index] = StripeBoundRWLockHandle(self._striped, volume)
+        return handle
+
+
+def build_lock_table(
+    machine: Any,
+    scheme: str,
+    num_locks: int,
+    *,
+    params: Optional[Mapping[str, Any]] = None,
+) -> Tuple[LockSpec, bool]:
+    """Build a ``num_locks``-entry lock table of ``scheme``; returns ``(spec, is_rw)``.
+
+    Harness-capable schemes are replicated (:class:`LockTableSpec`); the
+    striped per-volume lock becomes a :class:`StripedLockTableSpec`.  A
+    third-party scheme joins tables automatically as long as its spec is a
+    frozen dataclass with a ``base_offset`` field — the same layout
+    convention every built-in lock follows.
+    """
+    if num_locks < 1:
+        raise ValueError("num_locks must be >= 1")
+    info = get_scheme(scheme)
+    if not info.harness:
+        base = info.build(machine)
+        if isinstance(base, StripedRWLockSpec):
+            return StripedLockTableSpec(inner=base, num_locks=num_locks), True
+        raise ValueError(
+            f"scheme {scheme!r} neither follows the plain lock-handle protocol "
+            f"nor provides striped-table support; it cannot form a lock table"
+        )
+    base = info.build(machine, **dict(params or {}))
+    if num_locks == 1:
+        return LockTableSpec(specs=(base,), rw=info.rw, scheme=scheme), info.rw
+    if not dataclasses.is_dataclass(base):
+        raise ValueError(
+            f"scheme {scheme!r} builds a non-dataclass spec; a lock table needs "
+            f"re-basable specs (a frozen dataclass with a base_offset field)"
+        )
+    field_names = {f.name for f in dataclasses.fields(base) if f.init}
+    if "base_offset" not in field_names:
+        raise ValueError(
+            f"scheme {scheme!r} has no base_offset field; its window layout "
+            f"cannot be re-based into a lock table"
+        )
+    if getattr(base, "base_offset", 0) != 0:
+        raise ValueError("lock tables require the base spec to start at base_offset 0")
+    stride = base.window_words
+    nranks = machine.num_processes
+    specs = [base]
+    for index in range(1, num_locks):
+        overrides: Dict[str, Any] = {"base_offset": index * stride}
+        # Rotate centralized homes across ranks so the table is sharded the
+        # way a real lock service would place it (distributed schemes such as
+        # rma-rw have no home field and are inherently spread already).
+        if "home_rank" in field_names:
+            overrides["home_rank"] = index % nranks
+        if "tail_rank" in field_names:
+            overrides["tail_rank"] = index % nranks
+        specs.append(dataclasses.replace(base, **overrides))
+    return LockTableSpec(specs=tuple(specs), rw=info.rw, scheme=scheme), info.rw
+
+
+def as_lock_table(spec: LockSpec, is_rw: bool) -> "LockTableSpec | StripedLockTableSpec":
+    """Coerce ``spec`` to a table (a single lock becomes a 1-entry table).
+
+    Lets the traffic rank program drive whatever spec the harness hands it:
+    the scenario's ``spec_transform`` normally supplies a real table, but a
+    caller routing a plain lock through a traffic benchmark (e.g.
+    ``Cluster.bench(lock, "traffic-zipf")``) simply gets every key mapped to
+    that one lock.
+    """
+    if isinstance(spec, (LockTableSpec, StripedLockTableSpec)):
+        return spec
+    return LockTableSpec(specs=(spec,), rw=is_rw, scheme=type(spec).__name__)

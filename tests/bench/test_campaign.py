@@ -71,11 +71,28 @@ class TestCampaignSpec:
             spec.points()
 
     def test_literal_non_harness_scheme_rejected_early(self):
-        """striped-rw registers with harness=False; grids must reject it up
-        front instead of crashing inside a pool worker."""
-        spec = CampaignSpec(name="bad-harness", schemes=("striped-rw",))
-        with pytest.raises(ValueError, match="cannot run in a campaign grid"):
-            spec.points()
+        """A harness=False scheme without a conformance adapter must be
+        rejected up front instead of crashing inside a pool worker.
+
+        striped-rw (harness=False *with* an adapter) is a valid grid citizen
+        since the traffic engine drives its native striped table; a scheme
+        with neither capability still fails at expansion time.
+        """
+        from repro.api.registry import register_scheme, unregister
+
+        striped = CampaignSpec(name="striped-ok", schemes=("striped-rw",))
+        assert [p.scheme for p in striped.points()]
+
+        @register_scheme("no-adapter-lock", harness=False)
+        def _build(machine):  # pragma: no cover - expansion fails before building
+            raise AssertionError
+
+        try:
+            bad = CampaignSpec(name="bad-harness", schemes=("no-adapter-lock",))
+            with pytest.raises(ValueError, match="cannot run in a campaign grid"):
+                bad.points()
+        finally:
+            unregister("scheme", "no-adapter-lock")
 
     def test_non_rw_schemes_skip_extra_writer_fractions(self):
         spec = CampaignSpec(

@@ -281,6 +281,68 @@ class TestRegressCommand:
         assert args.scaling is True
 
 
+class TestTrafficCommand:
+    TINY_ARGS = [
+        "traffic", "--schemes", "fompi-spin", "--scenarios", "traffic-zipf",
+        "--procs", "8", "--iterations", "3", "--jobs", "1",
+    ]
+
+    def test_traffic_defaults(self):
+        args = build_parser().parse_args(["traffic"])
+        assert args.command == "traffic"
+        # None = "both, or horizon-only under --smoke"; an explicit
+        # --scheduler always wins over the smoke default.
+        assert args.scheduler is None
+        assert args.smoke is False
+
+    def test_traffic_runs_both_schedulers_and_prints_percentiles(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(self.TINY_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "e2e_p99_us" in out
+        assert "scheduler(s) horizon, baseline" in out
+        assert "2 rows" in out
+
+    def test_traffic_writes_report_and_hits_cache(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        report = tmp_path / "TRAFFIC_report.json"
+        assert main(self.TINY_ARGS + ["--scheduler", "horizon", "--output", str(report)]) == 0
+        assert "0 cached / 1 computed" in capsys.readouterr().out
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["suite"] == "traffic"
+        assert payload["rows"][0]["percentiles"]["e2e_p99_us"] > 0
+        assert main(self.TINY_ARGS + ["--scheduler", "horizon"]) == 0
+        assert "1 cached / 0 computed" in capsys.readouterr().out
+
+    def test_traffic_bless_writes_baseline(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        baseline = tmp_path / "BENCH_traffic.json"
+        args = [
+            "traffic", "--schemes", "fompi-spin", "rma-mcs", "rma-rw",
+            "--scenarios", "traffic-zipf", "--procs", "8", "--iterations", "3",
+            "--jobs", "1", "--bless", "--baseline", str(baseline),
+        ]
+        assert main(args) == 0
+        assert "blessed" in capsys.readouterr().out
+        import json
+
+        from repro.bench.regress import check_traffic_manifest
+
+        payload = json.loads(baseline.read_text())
+        assert check_traffic_manifest(payload) == []
+
+    def test_traffic_unknown_scheme_errors(self, capsys):
+        assert main(["traffic", "--schemes", "no-such-lock", "--jobs", "1"]) == 2
+        assert "cannot run" in capsys.readouterr().err
+
+    def test_traffic_smoke_flag_parses(self):
+        args = build_parser().parse_args(["traffic", "--smoke", "--jobs", "4"])
+        assert args.smoke is True
+        assert args.jobs == 4
+
+
 class TestGeneratedThresholdFlags:
     def test_t_w_flag_is_generated_from_registry(self, capsys):
         code = main([

@@ -90,3 +90,11 @@ def test_custom_lock(monkeypatch, capsys):
     out = run_example("custom_lock.py", monkeypatch, capsys)
     assert "tas-backoff" in out
     assert "mutual exclusion through the public API" in out
+
+
+def test_traffic_demo(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_EXAMPLE_LOCKS", "64")
+    out = run_example("traffic_demo.py", monkeypatch, capsys)
+    assert "demo-tas" in out
+    assert "e2e_p99_us" in out
+    assert "Lowest p99 end-to-end latency" in out

@@ -70,6 +70,18 @@ class TestCachedMachine:
         with pytest.raises(ValueError, match="unknown topology"):
             cached_machine(8, 8, "torus")
 
+    def test_memo_is_lru_bounded(self):
+        # Long multi-topology traffic sweeps must not grow the machine memo
+        # without limit; the cache is a bounded LRU, and eviction only costs
+        # a re-construction (identity may change, equality never does).
+        info = cached_machine.cache_parameters()
+        assert info["maxsize"] == 128
+        before = cached_machine(32, 8)
+        for nodes in range(1, 140):
+            cached_machine(nodes * 4, 4)
+        assert cached_machine.cache_info().currsize <= 128
+        assert cached_machine(32, 8) == before
+
     def test_figure2_rejects_mismatched_process_count(self):
         # 2 racks x 2 nodes x 6 ranks = 24, so requesting 12 is a config error
         # (not a silent 24-process machine under a P=12 label).

@@ -1,0 +1,121 @@
+"""Tests for the tail-latency accounting layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.accounting import (
+    LatencyReservoir,
+    aggregate_traffic,
+    nearest_rank_percentiles,
+)
+
+
+class TestNearestRank:
+    def test_known_values(self):
+        samples = list(range(1, 101))  # 1..100
+        pct = nearest_rank_percentiles(samples)
+        assert pct["p50"] == 50
+        assert pct["p90"] == 90
+        assert pct["p99"] == 99
+        assert pct["p999"] == 100
+
+    def test_empty_is_zero(self):
+        assert nearest_rank_percentiles([]) == {"p50": 0.0, "p90": 0.0, "p99": 0.0, "p999": 0.0}
+
+    def test_single_sample(self):
+        pct = nearest_rank_percentiles([7.5])
+        assert all(v == 7.5 for v in pct.values())
+
+
+class TestReservoir:
+    def test_order_independence(self):
+        values = list(np.random.default_rng(1).random(5000))
+        a = LatencyReservoir()
+        a.add_many(values)
+        b = LatencyReservoir()
+        b.add_many(list(reversed(values)))
+        assert a.percentiles() == b.percentiles()
+
+    def test_decimation_bounds_memory_and_keeps_the_tail(self):
+        reservoir = LatencyReservoir(cap=256)
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            reservoir.add_many(rng.exponential(1.0, size=500))
+        reservoir.add_many([1e6])  # the extreme outlier must survive
+        reservoir.add_many(rng.exponential(1.0, size=2000))
+        assert reservoir.kept <= 2 * reservoir.cap + 2
+        assert reservoir.count == 10 * 500 + 1 + 2000
+        assert reservoir.percentiles()["p999"] > 1.0
+
+    def test_decimated_quantiles_stay_accurate(self):
+        rng = np.random.default_rng(3)
+        values = rng.exponential(10.0, size=200_000)
+        bounded = LatencyReservoir(cap=4096)
+        bounded.add_many(values)
+        exact = nearest_rank_percentiles(values)
+        approx = bounded.percentiles()
+        for label in ("p50", "p90", "p99"):
+            assert approx[label] == pytest.approx(exact[label], rel=0.05)
+
+    def test_tiny_cap_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(cap=4)
+
+
+class TestAggregate:
+    def _returns(self):
+        # Two ranks, three requests each, two phases.
+        return [
+            {
+                "arrivals": [0.0, 10.0, 20.0],
+                "latencies": [5.0, 6.0, 7.0],
+                "acquire_latencies": [1.0, 2.0, 3.0],
+                "hold_us": [1.0, 1.0, 1.0],
+                "phases": [0, 0, 1],
+                "write_flags": [1, 0, 1],
+                "reads": 1,
+                "writes": 2,
+            },
+            {
+                "arrivals": [1.0, 11.0, 21.0],
+                "latencies": [4.0, 8.0, 9.0],
+                "acquire_latencies": [2.0, 2.0, 2.0],
+                "hold_us": [2.0, 2.0, 2.0],
+                "phases": [0, 1, 1],
+                "write_flags": [0, 0, 0],
+                "reads": 3,
+                "writes": 0,
+            },
+        ]
+
+    def test_summary_counts_and_span(self):
+        summary = aggregate_traffic(self._returns())
+        assert summary.requests == 6
+        assert summary.reads == 4
+        assert summary.writes == 2
+        assert summary.open_span_us == 30.0  # arrival 0 .. completion 21+9
+        assert summary.mean_hold_us == 1.5
+
+    def test_phase_rows(self):
+        summary = aggregate_traffic(self._returns())
+        assert [row["phase"] for row in summary.phases] == [0, 1]
+        assert [row["requests"] for row in summary.phases] == [3, 3]
+        assert summary.phases[0]["writes"] == 1
+        assert summary.phases[1]["writes"] == 1
+
+    def test_percentile_fields_are_flat_floats(self):
+        import json
+
+        summary = aggregate_traffic(self._returns())
+        fields = summary.percentile_fields()
+        assert set(fields) >= {"e2e_p50_us", "e2e_p999_us", "acquire_p99_us", "mean_hold_us"}
+        json.dumps(fields)  # plain JSON-able floats
+        json.dumps(summary.phases)
+
+    def test_empty_returns(self):
+        summary = aggregate_traffic([])
+        assert summary.requests == 0
+        assert summary.offered_per_s == 0.0
+        assert summary.phases == []

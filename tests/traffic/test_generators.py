@@ -1,0 +1,165 @@
+"""Property tests for the traffic generators.
+
+The satellite contract of the traffic engine: schedules are bit-reproducible
+per seed, phases apply at their boundaries, and the Zipf sampler's head
+matches its analytic frequencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.generators import (
+    Phase,
+    TrafficScenario,
+    generate_schedule,
+    traffic_rng,
+    zipf_cdf,
+    zipf_head_frequencies,
+)
+
+
+def _schedules_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.arrival_us, b.arrival_us)
+        and np.array_equal(a.lock_index, b.lock_index)
+        and np.array_equal(a.is_write, b.is_write)
+        and np.array_equal(a.cs_us, b.cs_us)
+        and np.array_equal(a.think_us, b.think_us)
+        and np.array_equal(a.phase, b.phase)
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("arrival", ["poisson", "uniform", "burst"])
+    def test_same_seed_same_schedule_bit_for_bit(self, arrival):
+        scenario = TrafficScenario(name="t", arrival=arrival, num_locks=64)
+        first = generate_schedule(scenario, seed=7, rank=3, requests=200, fw_default=0.2)
+        second = generate_schedule(scenario, seed=7, rank=3, requests=200, fw_default=0.2)
+        assert _schedules_equal(first, second)
+
+    def test_different_seeds_and_ranks_differ(self):
+        scenario = TrafficScenario(name="t", num_locks=64)
+        base = generate_schedule(scenario, seed=7, rank=0, requests=100)
+        other_seed = generate_schedule(scenario, seed=8, rank=0, requests=100)
+        other_rank = generate_schedule(scenario, seed=7, rank=1, requests=100)
+        assert not np.array_equal(base.arrival_us, other_seed.arrival_us)
+        assert not np.array_equal(base.arrival_us, other_rank.arrival_us)
+
+    def test_traffic_stream_disjoint_from_workload_stream(self):
+        from repro.util.rng import rank_rng
+
+        workload = rank_rng(5, 0).random(64)
+        traffic = traffic_rng(5, 0).random(64)
+        assert not np.array_equal(workload, traffic)
+
+    def test_prefix_stability(self):
+        # A longer schedule extends a shorter one: the per-request draw
+        # count is fixed, so request i never depends on the horizon.
+        scenario = TrafficScenario(name="t", num_locks=32)
+        short = generate_schedule(scenario, seed=3, rank=2, requests=50)
+        long = generate_schedule(scenario, seed=3, rank=2, requests=120)
+        assert np.array_equal(short.arrival_us, long.arrival_us[:50])
+        assert np.array_equal(short.lock_index, long.lock_index[:50])
+
+
+class TestArrivals:
+    @pytest.mark.parametrize("arrival", ["poisson", "uniform", "burst"])
+    def test_arrivals_positive_and_monotonic(self, arrival):
+        scenario = TrafficScenario(name="t", arrival=arrival, num_locks=16)
+        schedule = generate_schedule(scenario, seed=1, rank=0, requests=300)
+        arrivals = schedule.arrival_us
+        assert np.all(arrivals > 0)
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_mean_gap_tracks_configuration(self):
+        fast = TrafficScenario(name="t", mean_gap_us=2.0, num_locks=16)
+        slow = TrafficScenario(name="t", mean_gap_us=20.0, num_locks=16)
+        n = 4000
+        fast_span = generate_schedule(fast, 1, 0, n).arrival_us[-1]
+        slow_span = generate_schedule(slow, 1, 0, n).arrival_us[-1]
+        assert slow_span / fast_span == pytest.approx(10.0, rel=0.15)
+
+
+class TestZipf:
+    def test_cdf_shape(self):
+        cdf = zipf_cdf(1024, 1.0)
+        assert cdf.shape == (1024,)
+        assert cdf[-1] == 1.0
+        assert np.all(np.diff(cdf) > 0)
+
+    def test_sampler_matches_analytic_head_frequencies(self):
+        scenario = TrafficScenario(name="t", num_locks=1024, zipf_exponent=1.0)
+        n = 60_000
+        schedule = generate_schedule(scenario, seed=9, rank=0, requests=n)
+        counts = np.bincount(schedule.lock_index, minlength=1024)
+        empirical = counts / n
+        analytic = zipf_head_frequencies(1024, 1.0, count=3)
+        for i in range(3):
+            assert empirical[i] == pytest.approx(analytic[i], rel=0.1)
+
+    def test_uniform_keys_cover_the_table(self):
+        scenario = TrafficScenario(name="t", num_locks=64, key_dist="uniform")
+        schedule = generate_schedule(scenario, seed=2, rank=0, requests=6000)
+        counts = np.bincount(schedule.lock_index, minlength=64)
+        assert np.all(counts > 0)
+        assert counts.max() / counts.min() < 3.0
+
+
+class TestPhases:
+    def _phased(self) -> TrafficScenario:
+        return TrafficScenario(
+            name="t",
+            num_locks=64,
+            mean_gap_us=4.0,
+            zipf_exponent=0.5,
+            fw=0.0,
+            phases=(
+                Phase(duration_us=200.0, rate_scale=1.0, name="warm"),
+                Phase(duration_us=200.0, rate_scale=4.0, fw=1.0, zipf_exponent=2.5, name="spike"),
+                Phase(duration_us=None, rate_scale=1.0, name="cool"),
+            ),
+        )
+
+    def test_phase_ids_monotonic_and_complete(self):
+        schedule = generate_schedule(self._phased(), seed=4, rank=0, requests=600)
+        assert np.all(np.diff(schedule.phase) >= 0)
+        assert set(np.unique(schedule.phase)) == {0, 1, 2}
+
+    def test_spike_phase_is_denser_and_write_heavy(self):
+        schedule = generate_schedule(self._phased(), seed=4, rank=0, requests=600)
+        warm = schedule.phase == 0
+        spike = schedule.phase == 1
+        assert spike.sum() > 2 * warm.sum()  # 4x rate over equal durations
+        assert not schedule.is_write[warm].any()  # fw=0 outside the spike
+        assert schedule.is_write[spike].all()  # fw=1 inside it
+        # The spike's hotter skew concentrates keys on the head.
+        assert schedule.lock_index[spike].mean() < schedule.lock_index[warm].mean()
+
+    def test_non_final_open_phase_rejected(self):
+        with pytest.raises(ValueError, match="final phase"):
+            TrafficScenario(
+                name="t",
+                phases=(Phase(duration_us=None), Phase(duration_us=10.0)),
+            )
+
+
+class TestValidation:
+    def test_bad_arrival_kind(self):
+        with pytest.raises(ValueError, match="unknown arrival"):
+            TrafficScenario(name="t", arrival="diurnal")
+
+    def test_bad_key_dist(self):
+        with pytest.raises(ValueError, match="unknown key_dist"):
+            TrafficScenario(name="t", key_dist="pareto")
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            TrafficScenario(name="t", cs_us=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            TrafficScenario(name="t", mean_gap_us=0.0)
+        with pytest.raises(ValueError):
+            TrafficScenario(name="t", num_locks=0)
+        with pytest.raises(ValueError):
+            generate_schedule(TrafficScenario(name="t"), seed=1, rank=-1, requests=1)

@@ -1,0 +1,145 @@
+"""Tests for scenario registration and its harness/campaign integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.registry import benchmark_names, get_benchmark, unregister
+from repro.bench.campaign import BENCHMARK_SELECTORS, CampaignSpec
+from repro.bench.harness import run_lock_benchmark, run_lock_benchmark_detailed
+from repro.bench.workloads import BENCHMARKS, LockBenchConfig
+from repro.topology.builder import xc30_like
+from repro.traffic import TrafficScenario, register_traffic_scenario
+from repro.traffic.scenarios import BUILTIN_SCENARIOS, scenario_tags
+
+
+@pytest.fixture
+def machine():
+    return xc30_like(8, procs_per_node=4)
+
+
+class TestRegistration:
+    def test_builtin_scenarios_are_registered_benchmarks(self):
+        names = benchmark_names(tag="traffic")
+        assert {"traffic-zipf", "traffic-uniform", "traffic-burst",
+                "traffic-readheavy", "traffic-phased"} <= set(names)
+        # The paper's closed-loop benchmarks never carry the traffic tag.
+        assert not set(BENCHMARKS) & set(names)
+
+    def test_rw_scenarios_carry_the_rw_tag(self):
+        rw = set(benchmark_names(tag="traffic-rw"))
+        assert "traffic-readheavy" in rw
+        assert "traffic-phased" in rw
+        assert "traffic-zipf" not in rw
+
+    def test_scenario_tags_rules(self):
+        assert scenario_tags(TrafficScenario(name="x")) == ("traffic",)
+        assert scenario_tags(TrafficScenario(name="x", fw=0.3)) == ("traffic", "traffic-rw")
+
+    def test_benchmark_info_carries_spec_transform(self):
+        info = get_benchmark("traffic-zipf")
+        assert info.program_factory is not None
+        assert info.spec_transform is not None
+
+    def test_third_party_scenario_joins_selectors(self, machine):
+        scenario = TrafficScenario(name="traffic-test-3p", num_locks=8, fw=0.5)
+        register_traffic_scenario(scenario)
+        try:
+            assert "traffic-test-3p" in benchmark_names(tag="traffic")
+            spec = CampaignSpec(name="t3p", benchmarks=("traffic-rw",), schemes=("rma-rw",))
+            assert "traffic-test-3p" in spec.resolve_benchmarks()
+            # And it runs through the ordinary harness config path.
+            config = LockBenchConfig(
+                machine=machine, scheme="fompi-rw", benchmark="traffic-test-3p", iterations=4
+            )
+            result = run_lock_benchmark(config)
+            assert result.percentiles
+        finally:
+            unregister("benchmark", "traffic-test-3p")
+
+
+class TestSelectors:
+    def test_selector_tokens_are_reserved(self):
+        assert BENCHMARK_SELECTORS == ("traffic", "traffic-rw")
+
+    def test_resolve_benchmarks_expands_and_dedupes(self):
+        spec = CampaignSpec(
+            name="t", schemes=("rma-rw",), benchmarks=("wcsb", "traffic", "traffic-zipf")
+        )
+        resolved = spec.resolve_benchmarks()
+        assert resolved[0] == "wcsb"
+        assert resolved.count("traffic-zipf") == 1
+        assert set(benchmark_names(tag="traffic")) <= set(resolved)
+
+    def test_unknown_benchmark_still_errors_helpfully(self):
+        from repro.api.registry import UnknownNameError
+
+        spec = CampaignSpec(name="t", schemes=("rma-rw",), benchmarks=("traffic-zpif",))
+        with pytest.raises(UnknownNameError, match="traffic-zipf"):
+            spec.resolve_benchmarks()
+
+    def test_points_expand_scenarios(self):
+        spec = CampaignSpec(
+            name="t",
+            schemes=("fompi-spin",),
+            benchmarks=("traffic",),
+            process_counts=(8,),
+            iterations=2,
+        )
+        benchmarks = {p.benchmark for p in spec.points()}
+        assert benchmarks == set(benchmark_names(tag="traffic"))
+
+
+class TestHarnessIntegration:
+    def test_traffic_result_carries_percentiles_and_phases(self, machine):
+        config = LockBenchConfig(
+            machine=machine, scheme="rma-mcs", benchmark="traffic-phased", iterations=8, seed=2
+        )
+        result, raw = run_lock_benchmark_detailed(config)
+        assert result.percentiles["e2e_p99_us"] >= result.percentiles["e2e_p50_us"] > 0
+        assert result.percentiles["acquire_p999_us"] >= result.percentiles["acquire_p50_us"]
+        assert len(result.phases) >= 2  # the spike phase is reached at P=8
+        assert result.total_acquires == 8 * machine.num_processes
+        row = result.as_row()
+        assert "e2e_p99_us" in row and "e2e_p999_us" in row
+
+    def test_closed_loop_results_have_no_percentiles(self, machine):
+        config = LockBenchConfig(machine=machine, scheme="rma-mcs", benchmark="wcsb", iterations=4)
+        result = run_lock_benchmark(config)
+        assert result.percentiles == {}
+        assert result.phases == []
+        assert "e2e_p99_us" not in result.as_row()
+
+    def test_config_fw_reaches_unpinned_scenarios(self, machine):
+        reads_light = run_lock_benchmark(
+            LockBenchConfig(machine=machine, scheme="fompi-rw", benchmark="traffic-zipf",
+                            iterations=10, fw=0.0, seed=3)
+        )
+        reads_heavy = run_lock_benchmark(
+            LockBenchConfig(machine=machine, scheme="fompi-rw", benchmark="traffic-zipf",
+                            iterations=10, fw=1.0, seed=3)
+        )
+        assert reads_light.writes == 0 and reads_light.reads > 0
+        assert reads_heavy.reads == 0 and reads_heavy.writes > 0
+
+    def test_pinned_scenario_fw_overrides_config(self, machine):
+        result = run_lock_benchmark(
+            LockBenchConfig(machine=machine, scheme="fompi-rw", benchmark="traffic-readheavy",
+                            iterations=12, fw=1.0, seed=3)
+        )
+        assert result.reads > result.writes  # the scenario's 5% writes win
+
+    def test_mcs_scheme_treats_every_request_as_exclusive(self, machine):
+        result = run_lock_benchmark(
+            LockBenchConfig(machine=machine, scheme="fompi-spin", benchmark="traffic-readheavy",
+                            iterations=6, seed=3)
+        )
+        assert result.reads == 0
+        assert result.writes == 6 * machine.num_processes
+
+    def test_striped_rw_runs_traffic_natively(self, machine):
+        config = LockBenchConfig(
+            machine=machine, scheme="striped-rw", benchmark="traffic-zipf", iterations=6, fw=0.2
+        )
+        result = run_lock_benchmark(config)
+        assert result.percentiles["e2e_p50_us"] > 0

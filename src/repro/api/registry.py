@@ -324,6 +324,7 @@ _BENCHMARK_MODULES = ("repro.bench.workloads", "repro.traffic.scenarios")
 _RUNTIME_MODULES = (
     "repro.rma.sim_runtime",
     "repro.rma.baseline_runtime",
+    "repro.rma.vector_runtime",
     "repro.rma.thread_runtime",
 )
 

@@ -12,9 +12,10 @@ The subcommands cover the common workflows:
   hottest targets, per-rank activity).
 * ``verify`` — run the model checker and the bounded-bypass fairness analysis
   on the reduced protocol models (the paper's Section 4.4, without SPIN).
-* ``perf`` — run the simulator wall-clock perf suite (horizon scheduler vs
-  the preserved seed scheduler) and print an ops/sec table; optionally write
-  ``BENCH_runtime.json``.
+* ``perf`` — run the simulator wall-clock perf suite (``--scheduler`` picks
+  any deterministic runtime; default horizon vs the preserved seed scheduler)
+  and print an ops/sec table; optionally write ``BENCH_runtime.json`` and,
+  with ``--profile``, a cProfile hot-path report per case.
 * ``campaign`` — list, show or run the named sweep campaigns (parallel
   multi-core execution with the content-addressed result cache).
 * ``regress`` — run the gate campaign and compare it against the committed
@@ -162,13 +163,21 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--rounds", type=int, default=1, help="acquisitions per process")
 
     perf = sub.add_parser(
-        "perf", help="measure simulator ops/sec (horizon scheduler vs seed scheduler)"
+        "perf", help="measure simulator ops/sec (any deterministic scheduler vs a reference)"
     )
+    perf.add_argument("--scheduler", choices=schedulers, default="horizon",
+                      help="runtime backend to measure (default: horizon)")
+    perf.add_argument("--reference", choices=schedulers, default=None,
+                      help="reference backend for the determinism cross-check and the "
+                           "speedup column (default: baseline, or horizon when measuring vector)")
     perf.add_argument("--reps", type=int, default=None, help="repetitions per case (best wall time wins)")
-    perf.add_argument("--baseline-reps", type=int, default=None, help="repetitions for the seed scheduler")
-    perf.add_argument("--no-baseline", action="store_true", help="measure only the current scheduler")
+    perf.add_argument("--baseline-reps", type=int, default=None, help="repetitions for the reference scheduler")
+    perf.add_argument("--no-baseline", action="store_true", help="measure only the selected scheduler")
     perf.add_argument("--jobs", type=int, default=None,
                       help="measure cases in parallel workers (default 1; parallel runs trade timing fidelity for wall time)")
+    perf.add_argument("--profile", action="store_true",
+                      help="also cProfile one run per case and write a pstats hot-path "
+                           "report next to the bench JSON")
     perf.add_argument("--output", default=None, help="also write the results to this JSON file (e.g. BENCH_runtime.json)")
 
     campaign = sub.add_parser(
@@ -487,10 +496,25 @@ def _run_verify(args: argparse.Namespace) -> int:
 def _run_perf(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.bench.perf import DEFAULT_CASES, run_perf_suite, write_bench_json
+    from repro.bench.perf import (
+        DEFAULT_CASES,
+        profile_case,
+        run_perf_suite,
+        write_bench_json,
+    )
 
+    runtime_name = args.scheduler
+    reference = args.reference
+    if reference is None:
+        # Measuring the batched scheduler is interesting relative to the fast
+        # horizon core, not the preserved seed scheduler it trivially beats.
+        reference = "horizon" if runtime_name == "vector" else "baseline"
+    if reference == runtime_name:
+        print(f"note: measuring {runtime_name!r} against itself; speedup will be ~1.0x")
     rows = run_perf_suite(
         DEFAULT_CASES,
+        runtime_name=runtime_name,
+        reference=reference,
         reps=args.reps,
         baseline_reps=args.baseline_reps,
         compare_baseline=not args.no_baseline,
@@ -501,12 +525,17 @@ def _run_perf(args: argparse.Namespace) -> int:
         gate = [row for row in rows if row["gate"]]
         for row in gate:
             print(
-                f"\ngate case {row['case']}: {row['speedup']}x over the seed scheduler "
-                f"({row['new_ops_per_s']} vs {row['baseline_ops_per_s']} ops/s)"
+                f"\ngate case {row['case']}: {row['speedup']}x {runtime_name} over "
+                f"{reference} ({row['new_ops_per_s']} vs {row['baseline_ops_per_s']} ops/s)"
             )
     if args.output:
         path = write_bench_json(rows, Path(args.output))
         print(f"\nwrote {path}")
+    if args.profile:
+        out_dir = Path(args.output).parent if args.output else Path.cwd()
+        for case in DEFAULT_CASES:
+            report = profile_case(case, runtime_name=runtime_name, out_dir=out_dir)
+            print(f"profile: {report}")
     return 0
 
 

@@ -1,0 +1,47 @@
+"""The README scheduler-selection matrix is generated, not hand-written.
+
+``tools/scheduler_matrix.py`` renders one row per ``@register_runtime``
+backend from the live registry (name, determinism flag, help string).  This
+test fails whenever the committed README drifts from what the registry says
+— e.g. a new runtime was registered without re-running the tool.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+from repro.api.registry import runtime_names
+
+TOOLS_DIR = Path(__file__).resolve().parents[2] / "tools"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "scheduler_matrix", TOOLS_DIR / "scheduler_matrix.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules.setdefault("scheduler_matrix", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_readme_matrix_matches_registry():
+    tool = _load_tool()
+    current = tool.README.read_text()
+    assert tool.BEGIN in current and tool.END in current
+    assert tool.render_readme(current) == current, (
+        "README scheduler matrix is stale; run "
+        "`PYTHONPATH=src python tools/scheduler_matrix.py`"
+    )
+
+
+def test_matrix_covers_every_registered_runtime():
+    tool = _load_tool()
+    table = tool.matrix_markdown()
+    for name in runtime_names():
+        assert f"| `{name}` |" in table
+    # Non-deterministic backends are present but flagged.
+    assert "| `thread` | no |" in table

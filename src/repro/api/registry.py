@@ -222,12 +222,15 @@ class RuntimeInfo:
     returns an :class:`~repro.rma.runtime_base.RMARuntime`.  ``deterministic``
     distinguishes the virtual-time simulators (whose results are bit-exactly
     reproducible) from wall-clock backends such as the thread runtime.
+    ``fault_injection`` marks backends whose factory accepts a ``fault_plan``
+    keyword (see :mod:`repro.fault`) and honors seeded rank crashes.
     """
 
     name: str
     factory: Callable[..., Any]
     help: str = ""
     deterministic: bool = True
+    fault_injection: bool = False
 
 
 class _Registry:
@@ -319,8 +322,14 @@ _SCHEME_MODULES = (
     "repro.related.cohort",
     "repro.related.numa_rw",
     "repro.dht.striped_lock",
+    "repro.fault.lease_lock",
+    "repro.fault.repair_mcs",
 )
-_BENCHMARK_MODULES = ("repro.bench.workloads", "repro.traffic.scenarios")
+_BENCHMARK_MODULES = (
+    "repro.bench.workloads",
+    "repro.traffic.scenarios",
+    "repro.fault.traffic",
+)
 _RUNTIME_MODULES = (
     "repro.rma.sim_runtime",
     "repro.rma.baseline_runtime",
@@ -423,17 +432,26 @@ def register_runtime(
     *,
     help: str = "",
     deterministic: bool = True,
+    fault_injection: bool = False,
     replace: bool = False,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Decorator: register the decorated runtime factory.
 
     The factory is called as ``factory(machine, *, window_words, seed,
     latency, fabric, tracer)`` and must return an RMA runtime instance.
+    Factories registered with ``fault_injection=True`` additionally accept a
+    ``fault_plan`` keyword (see :mod:`repro.fault`).
     """
 
     def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
         _runtimes.register(
-            RuntimeInfo(name=name, factory=factory, help=help, deterministic=deterministic),
+            RuntimeInfo(
+                name=name,
+                factory=factory,
+                help=help,
+                deterministic=deterministic,
+                fault_injection=fault_injection,
+            ),
             replace=replace,
         )
         return factory

@@ -77,7 +77,9 @@ __all__ = [
 
 #: Bump to invalidate every cached row when the row schema changes.
 #: 2: every row carries the traffic "percentiles"/"phases" determinism fields.
-CACHE_SCHEMA_VERSION = 2
+#: 3: every row carries the "recovery" determinism field (fault/recovery
+#:    accounting; empty on unfaulted campaign runs).
+CACHE_SCHEMA_VERSION = 3
 
 #: Campaign-row fields that must be bit-identical between two runs of the
 #: same tree (and therefore between a run and the committed baseline).
@@ -97,6 +99,12 @@ DETERMINISM_FIELDS: Tuple[str, ...] = (
     # the point's seed, exactly like the fingerprint.
     "percentiles",
     "phases",
+    # Fault/recovery accounting (repro.bench.faults): crash counts, recovery
+    # latencies and takeover/fence tallies are deterministic functions of the
+    # point's seed and fault plan.  Campaign points run unfaulted, so the
+    # field is empty there — but it is still a determinism field: a campaign
+    # row growing unexpected recovery content must fail the regress gate.
+    "recovery",
 )
 
 #: Host-dependent fields gated with tolerances, never bit-exactly.
@@ -726,6 +734,11 @@ def run_point(point: CampaignPoint) -> Dict[str, Any]:
     # carry them empty so every row has a uniform shape.
     row["percentiles"] = {k: float(v) for k, v in sorted(bench.percentiles.items())}
     row["phases"] = [dict(phase) for phase in bench.phases]
+    # Fault/recovery accounting (a determinism field since schema 3).
+    # Campaign points always run unfaulted, so this stays empty here; the
+    # fault sweep (repro.bench.faults) fills the equivalent fields in its own
+    # verdict rows under the "faults" cache namespace.
+    row["recovery"] = {}
     return row
 
 

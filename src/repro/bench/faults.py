@@ -1,0 +1,668 @@
+"""Fault sweep engine: seeded rank crashes × recovery oracles × schemes.
+
+``repro conform`` proves the schemes are locks; this module asks what they
+are when ranks *die*.  Every conformance-capable scheme runs the standard
+harness benchmark while a seeded :class:`~repro.fault.FaultPlan` kills one
+rank mid-run — a lock **holder**, a **waiter**, or a holder/waiter that later
+**restarts** — and a :class:`~repro.verification.oracles.\
+RecoveryOracleObserver` checks the recovery-safety oracles: no double grant
+before a crashed holder's lease expired, stale releases fenced, base mutual
+exclusion and handoff sanity for the survivors.
+
+Kill placement is scheme-aware without being scheme-specific: an unfaulted
+**probe run** (same config, same seed) records the real hold and wait
+intervals through a :class:`~repro.fault.TimelineObserver`; the crash seed
+then draws a victim interval from the probe timeline via the dedicated fault
+Philox lane (:func:`repro.fault.fault_rng`) and schedules the kill inside it.
+Because the fault path stays cold until the kill fires, the faulted run is
+bit-identical to the probe run up to that very instant — the kill genuinely
+lands in the middle of a hold (or a parked wait), whatever the scheme.
+
+Verdicts distinguish what the registry *declares*
+(:func:`repro.fault.declare_recovery`) from what happened:
+
+* ``recovered`` — the scheme declares the scenario, the run completed, every
+  oracle held;
+* ``tolerated`` — an undeclared scenario happened to complete safely (a dead
+  TAS waiter just stops spinning);
+* ``expected-unavailable`` — an undeclared scenario ended in a detected
+  deadlock / lock timeout / fault-horizon abort: honest unavailability, not
+  a false pass;
+* ``unavailable`` / ``violation`` — a *declared* scenario deadlocked or an
+  oracle fired: these fail the sweep;
+* ``no-crash-window`` — the probe timeline offered no interval to kill in
+  (e.g. no rank ever waits at P=1);
+* ``mutant-caught`` / ``mutant-escaped`` — schemes in :data:`KNOWN_MUTANTS`
+  are held to the *inverted* bar: the sweep re-checks their crash-extended
+  impl model (:mod:`repro.verification.impl_model`) and the row passes iff
+  the checker (or a live oracle) catches the planted bug.
+
+Every faulted point runs on **both** deterministic schedulers and the row
+records whether the :func:`~repro.bench.campaign.run_result_sha`
+fingerprints matched — crash delivery is part of the determinism contract.
+
+Execution rides on the campaign machinery: points fan out over
+:func:`~repro.bench.campaign.parallel_map` and verdict rows land in the
+``faults`` :class:`~repro.bench.campaign.ResultCache` namespace on the same
+golden-fingerprint epoch as benchmark and conformance rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.registry import get_scheme
+from repro.bench.campaign import (
+    ResultCache,
+    _import_provider,
+    default_jobs,
+    get_campaign,
+    golden_epoch,
+    parallel_map,
+    run_result_sha,
+)
+from repro.bench.harness import run_lock_benchmark_detailed
+from repro.bench.workloads import LockBenchConfig
+from repro.fault import (
+    FAULT_SCENARIOS,
+    FaultHorizonError,
+    FaultPlan,
+    LockTimeout,
+    TimelineObserver,
+    fault_rng,
+    recovery_info,
+)
+from repro.rma.runtime_base import RuntimeError_, SimDeadlockError
+from repro.topology.builder import cached_machine
+from repro.verification.oracles import RecoveryOracleObserver
+
+__all__ = [
+    "FaultPoint",
+    "FaultReport",
+    "KNOWN_MUTANTS",
+    "fault_points",
+    "format_fault_rows",
+    "run_fault_point",
+    "run_faults",
+    "write_faults_json",
+]
+
+#: Schemes that ship an intentionally planted bug (PR-4 style): the sweep
+#: inverts their bar — the row passes iff the bug is *caught*, by a live
+#: oracle or by the scheme's crash-extended impl model.
+KNOWN_MUTANTS: Tuple[str, ...] = ("repair-mcs-racy",)
+
+#: Kill-placement policy: a candidate interval must be long enough that the
+#: kill lands well inside it — past the enqueue RMAs of a wait, before the
+#: grant at its end — and must be *followed* by another rank's hold in the
+#: probe timeline, so that the crash provably leaves pending lock work behind
+#: (a kill after the last contended grant would exercise nothing and read as
+#: a false "recovered").
+_HOLD_MIN_US = 1.0
+_WAIT_MIN_US = 6.0
+_KILL_FRACTION = 0.5
+#: Kill times are integral and only fire at public-call *entry* clocks, so a
+#: kill aimed at a sub-microsecond hold can slip past the victim's release.
+#: Placement is therefore outcome-verified: the engine tries candidate plans
+#: (on the horizon scheduler) until the oracle confirms the scenario really
+#: manifested — a holder died holding, a waiter died parked — bounded by
+#: this attempt budget.
+_MAX_PLACEMENT_TRIES = 10
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One fault-sweep cell: a scheme × crash scenario × crash seed.
+
+    Primitives only, so points pickle into pool workers and hash canonically
+    for the ``faults`` cache namespace.
+    """
+
+    scheme: str
+    scenario: str
+    crash_seed: int
+    procs: int
+    procs_per_node: int = 8
+    iterations: int = 6
+    fw: float = 0.2
+    seed: int = 5
+    benchmark: str = "wcsb"
+    topology: str = "xc30"
+    #: Module that registered the scheme (imported in pool workers; not part
+    #: of the cache key).
+    provider: str = ""
+
+    @property
+    def case(self) -> str:
+        return (
+            f"{self.scheme}-{self.scenario}-p{self.procs}"
+            f"-s{self.seed}-k{self.crash_seed}"
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical JSON-able description (the cache-key input)."""
+        return {
+            "kind": "faults",
+            "scheme": self.scheme,
+            "scenario": self.scenario,
+            "crash_seed": self.crash_seed,
+            "procs": self.procs,
+            "procs_per_node": self.procs_per_node,
+            "iterations": self.iterations,
+            "fw": self.fw,
+            "seed": self.seed,
+            "benchmark": self.benchmark,
+            "topology": self.topology,
+        }
+
+    def config(self) -> LockBenchConfig:
+        _import_provider(self.provider)
+        machine = cached_machine(self.procs, self.procs_per_node, self.topology)
+        return LockBenchConfig(
+            machine=machine,
+            scheme=self.scheme,
+            benchmark=self.benchmark,
+            iterations=self.iterations,
+            fw=self.fw,
+            seed=self.seed,
+        )
+
+
+def fault_points(
+    *,
+    seeds: int = 5,
+    schemes: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    process_counts: Sequence[int] = (4,),
+    iterations: int = 6,
+    benchmark: str = "wcsb",
+    seed: int = 5,
+    procs_per_node: int = 8,
+) -> List[FaultPoint]:
+    """Expand the scheme × scenario × crash-seed grid into points.
+
+    ``schemes`` defaults to every conformance-capable scheme (the same
+    selector the conformance sweep uses, so third-party ``@register_scheme``
+    locks are crash-tested for free); crash seeds run ``1..seeds``.
+    """
+    if seeds < 1:
+        raise ValueError("seeds must be >= 1")
+    if schemes is None:
+        schemes = get_campaign("conformance").resolve_schemes()
+    if scenarios is None:
+        scenarios = FAULT_SCENARIOS
+    for scenario in scenarios:
+        if scenario not in FAULT_SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {scenario!r} (expected one of {FAULT_SCENARIOS})"
+            )
+    points: List[FaultPoint] = []
+    for scheme in schemes:
+        info = get_scheme(scheme)
+        provider = getattr(info.builder, "__module__", "") or ""
+        for scenario in scenarios:
+            for procs in process_counts:
+                for crash_seed in range(1, seeds + 1):
+                    points.append(
+                        FaultPoint(
+                            scheme=scheme,
+                            scenario=scenario,
+                            crash_seed=crash_seed,
+                            procs=int(procs),
+                            procs_per_node=procs_per_node,
+                            iterations=iterations,
+                            seed=seed,
+                            benchmark=benchmark,
+                            provider=provider,
+                        )
+                    )
+    return points
+
+
+# --------------------------------------------------------------------------- #
+# Point execution
+# --------------------------------------------------------------------------- #
+
+def _probe(point: FaultPoint) -> Tuple[TimelineObserver, float]:
+    """Unfaulted probe run: the timeline to place the kill in, plus makespan."""
+    probe = TimelineObserver()
+    _, raw = run_lock_benchmark_detailed(point.config(), observer=probe)
+    makespan = max(raw.finish_times_us) if raw.finish_times_us else 0.0
+    return probe, makespan
+
+
+def _candidate_plans(
+    point: FaultPoint, probe: TimelineObserver, makespan: float
+) -> List[Tuple[FaultPlan, Dict[str, Any]]]:
+    """All candidate fault plans for this point, in seeded trial order.
+
+    The crash seed draws the *order* from the dedicated fault Philox lane;
+    the engine then walks the list until the oracle confirms the scenario
+    manifested (see :data:`_MAX_PLACEMENT_TRIES`).
+    """
+    declared = recovery_info(point.scheme)
+    if point.scenario == "holder-crash":
+        kind = "hold"
+    elif point.scenario == "waiter-crash":
+        kind = "wait"
+    else:  # restart: crash whatever the scheme claims to recover from
+        kind = (
+            "hold"
+            if declared is not None and "holder-crash" in declared.scenarios
+            else "wait"
+        )
+
+    def _has_successor(iv):
+        # Some *other* rank acquires after this interval ends, so the crash
+        # leaves real lock work pending for recovery to unblock.
+        return any(
+            h.rank != iv.rank and h.start_us > iv.end_us for h in probe.holds
+        )
+
+    min_len = _HOLD_MIN_US if kind == "hold" else _WAIT_MIN_US
+    candidates = [
+        iv
+        for iv in probe.intervals(kind)
+        if iv.length_us >= min_len and _has_successor(iv)
+    ]
+    if not candidates:
+        return []
+    rng = fault_rng(point.crash_seed, stream=point.seed)
+    order = rng.permutation(len(candidates))
+
+    restart_us: Optional[float] = None
+    if point.scenario == "restart":
+        # Revive well past the unfaulted makespan: by then any queue node the
+        # victim left behind has been spliced/expired, so the restarted rank
+        # re-enters from a clean slate.
+        restart_us = float(int(2.0 * makespan) + 50)
+    horizon = float(int(4.0 * makespan + (restart_us or 0.0)) + 100)
+
+    plans: List[Tuple[FaultPlan, Dict[str, Any]]] = []
+    for idx in order:
+        chosen = candidates[int(idx)]
+        if kind == "hold":
+            # A hold spans [acquire-return, release-flush-done], but the kill
+            # fires at a public call whose *entry* clock reached kill_us —
+            # the exact integral time that traps the victim between its
+            # grant and its release depends on sub-microsecond call
+            # alignment, so offer both integers bracketing the grant edge.
+            kills = [float(int(chosen.start_us) + 1), float(int(chosen.start_us))]
+        else:
+            # Mid-wait: away from the enqueue RMAs at the front and the
+            # grant at the end, so the victim dies parked.
+            kill = float(int(chosen.start_us + _KILL_FRACTION * chosen.length_us))
+            if kill < chosen.start_us:  # integral truncation fell off the front
+                kill += 1.0
+            kills = [kill]
+        for kill_us in kills:
+            if kill_us <= 0:
+                continue
+            plan = FaultPlan.single(
+                rank=chosen.rank,
+                kill_us=kill_us,
+                restart_us=restart_us,
+                horizon_us=horizon,
+            )
+            plans.append(
+                (
+                    plan,
+                    {
+                        "victim": chosen.rank,
+                        "kill_us": kill_us,
+                        "restart_us": restart_us,
+                        "horizon_us": horizon,
+                    },
+                )
+            )
+    return plans
+
+
+def _scenario_manifested(scenario: str, oracle: Mapping[str, Any]) -> bool:
+    """Did the faulted run actually exhibit the requested crash scenario?"""
+    if oracle.get("crashes", 0) < 1:
+        return False
+    if scenario == "holder-crash":
+        return oracle.get("holder_deaths", 0) >= 1
+    if scenario == "waiter-crash":
+        return oracle.get("waiter_deaths", 0) >= 1
+    return oracle.get("restarts", 0) >= 1
+
+
+def _run_faulted(
+    point: FaultPoint, plan: FaultPlan, scheduler: str
+) -> Tuple[Optional[str], Optional[str], Dict[str, Any]]:
+    """One faulted run; returns (fingerprint, abort-kind, oracle summary)."""
+    declared = recovery_info(point.scheme)
+    observer = RecoveryOracleObserver(
+        lease_us=declared.lease_us if declared is not None else None
+    )
+    try:
+        _, raw = run_lock_benchmark_detailed(
+            point.config(), scheduler=scheduler, fault_plan=plan, observer=observer
+        )
+    except (SimDeadlockError, FaultHorizonError, LockTimeout) as exc:
+        return None, type(exc).__name__, observer.report().summary()
+    except RuntimeError_ as exc:
+        oracle = observer.report().summary()
+        oracle["ok"] = False
+        oracle["violations"] = list(oracle["violations"]) + [f"[runtime] {exc}"]
+        return None, type(exc).__name__, oracle
+    except Exception as exc:  # noqa: BLE001 - a crashing scheme is a verdict
+        oracle = observer.report().summary()
+        oracle["ok"] = False
+        oracle["violations"] = list(oracle["violations"]) + [
+            f"[error] {type(exc).__name__}: {exc}"
+        ]
+        return None, type(exc).__name__, oracle
+    return run_result_sha(raw), None, observer.report().summary()
+
+
+def _mutant_model_caught(scheme: str) -> bool:
+    """Exhaustively re-check a known mutant's crash-extended impl model."""
+    from repro.verification.impl_model import repair_queue_impl_model
+    from repro.verification.lock_models import build_checker
+
+    if scheme != "repair-mcs-racy":  # pragma: no cover - single mutant today
+        return False
+    result = build_checker(
+        repair_queue_impl_model(3, racy=True), max_states=500_000
+    ).check()
+    return result.violation is not None
+
+
+def run_fault_point(point: FaultPoint) -> Dict[str, Any]:
+    """Execute one fault point and build its verdict row."""
+    declared_info = recovery_info(point.scheme)
+    declared = (
+        declared_info is not None and point.scenario in declared_info.scenarios
+    )
+    probe, makespan = _probe(point)
+    plans = _candidate_plans(point, probe, makespan)
+
+    row: Dict[str, Any] = {
+        "case": point.case,
+        "scheme": point.scheme,
+        "scenario": point.scenario,
+        "crash_seed": point.crash_seed,
+        "P": point.procs,
+        "benchmark": point.benchmark,
+        "iterations": point.iterations,
+        "seed": point.seed,
+        "declared": declared,
+        "probe_makespan_us": round(makespan, 3),
+        "violations": [],
+        "cross_scheduler_identical": None,
+        "fingerprint": None,
+    }
+    if not plans:
+        row.update({"victim": None, "kill_us": None, "restart_us": None})
+        row["status"] = "no-crash-window"
+        row["ok"] = True
+        return row
+
+    # Outcome-verified placement: walk the seeded candidate order (horizon
+    # runs only) until the oracle confirms the scenario manifested; the last
+    # attempt stands if none does.
+    tries = 0
+    for plan, meta in plans[:_MAX_PLACEMENT_TRIES]:
+        tries += 1
+        sha_h, abort_h, oracle = _run_faulted(point, plan, "horizon")
+        if _scenario_manifested(point.scenario, oracle):
+            break
+    row.update(meta)
+    row["placement_tries"] = tries
+    manifested = _scenario_manifested(point.scenario, oracle)
+
+    sha_b, abort_b, oracle_b = _run_faulted(point, plan, "baseline")
+    identical = sha_h == sha_b and abort_h == abort_b and oracle == oracle_b
+    row["fingerprint"] = sha_h
+    row["cross_scheduler_identical"] = identical
+    violations = list(oracle["violations"])
+    if not identical:
+        violations.append(
+            "[determinism] horizon and baseline diverged under the same "
+            f"fault plan ({sha_h}/{abort_h} vs {sha_b}/{abort_b})"
+        )
+    for key in (
+        "crashes", "restarts", "holder_deaths", "waiter_deaths",
+        "fenced_releases", "expired_takeovers", "recovery_us",
+    ):
+        row[key] = oracle.get(key)
+
+    unavailable = abort_h is not None
+    oracle_ok = bool(oracle["ok"]) and not violations
+    if point.scheme in KNOWN_MUTANTS:
+        # Inverted bar: the planted bug must be caught somewhere.
+        caught_live = unavailable or not oracle_ok
+        caught_model = _mutant_model_caught(point.scheme)
+        row["mutant_caught_live"] = caught_live
+        row["mutant_caught_model"] = caught_model
+        row["status"] = (
+            "mutant-caught" if (caught_live or caught_model) else "mutant-escaped"
+        )
+        row["ok"] = caught_live or caught_model
+        row["violations"] = violations
+        return row
+
+    if unavailable:
+        row["abort"] = abort_h
+        row["status"] = "unavailable" if declared else "expected-unavailable"
+        row["ok"] = not declared
+        if declared:
+            violations.append(
+                f"[recovery] declared scenario {point.scenario!r} ended in "
+                f"{abort_h} instead of recovering (lost lock)"
+            )
+    elif not oracle_ok:
+        row["status"] = "violation"
+        row["ok"] = False
+    elif not manifested:
+        # Every candidate kill either never fired or missed the requested
+        # role (e.g. the victim slipped its release under an integral kill
+        # time on all tries) — honest "could not stage it", not a recovery.
+        row["status"] = "not-manifested"
+        row["ok"] = True
+    else:
+        row["status"] = "recovered" if declared else "tolerated"
+        row["ok"] = True
+    row["violations"] = violations
+    return row
+
+
+def _execute_fault_point(point: FaultPoint) -> Dict[str, Any]:
+    """Module-level pool worker (picklable via functools.partial)."""
+    return run_fault_point(point)
+
+
+# --------------------------------------------------------------------------- #
+# Sweep execution
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class FaultReport:
+    """Outcome of one :func:`run_faults` sweep."""
+
+    rows: List[Dict[str, Any]]
+    jobs: int
+    wall_s: float
+    cache_hits: int
+    cache_misses: int
+    epoch: str
+    seeds: int
+
+    @property
+    def points(self) -> int:
+        return len(self.rows)
+
+    @property
+    def ok(self) -> bool:
+        return all(row["ok"] for row in self.rows)
+
+    @property
+    def failures(self) -> List[Dict[str, Any]]:
+        return [row for row in self.rows if not row["ok"]]
+
+    def scheme_verdicts(self) -> List[Dict[str, Any]]:
+        """Per-scheme aggregate rows for the CLI table."""
+        order: List[str] = []
+        by_scheme: Dict[str, List[Dict[str, Any]]] = {}
+        for row in self.rows:
+            by_scheme.setdefault(row["scheme"], []).append(row)
+            if row["scheme"] not in order:
+                order.append(row["scheme"])
+        out = []
+        for scheme in order:
+            rows = by_scheme[scheme]
+            bad = [r for r in rows if not r["ok"]]
+            statuses: Dict[str, int] = {}
+            for r in rows:
+                statuses[r["status"]] = statuses.get(r["status"], 0) + 1
+            recovery = [
+                s for r in rows for s in (r.get("recovery_us") or [])
+            ]
+            identical = [r["cross_scheduler_identical"] for r in rows
+                         if r["cross_scheduler_identical"] is not None]
+            out.append(
+                {
+                    "scheme": scheme,
+                    "points": len(rows),
+                    "statuses": ",".join(
+                        f"{k}:{v}" for k, v in sorted(statuses.items())
+                    ),
+                    "schedulers": (
+                        ("identical" if all(identical) else "DIVERGED")
+                        if identical else "-"
+                    ),
+                    "recovery_p50_us": (
+                        round(sorted(recovery)[len(recovery) // 2], 1)
+                        if recovery else "-"
+                    ),
+                    "verdict": "ok" if not bad else f"FAIL ({len(bad)} points)",
+                }
+            )
+        return out
+
+
+def run_faults(
+    *,
+    seeds: int = 5,
+    jobs: Optional[int] = None,
+    cache: "ResultCache | bool | None" = None,
+    cache_dir: Optional[Path] = None,
+    refresh: bool = False,
+    schemes: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    process_counts: Sequence[int] = (4,),
+    iterations: int = 6,
+    benchmark: str = "wcsb",
+) -> FaultReport:
+    """Run the fault sweep, consulting the ``faults`` verdict cache.
+
+    Mirrors :func:`repro.bench.conformance.run_conformance`: points fan out
+    over the multiprocessing pool (each is self-seeded, so ``jobs=N`` equals
+    ``jobs=1`` bit-for-bit) and rows are cached per golden epoch.
+    """
+    points = fault_points(
+        seeds=seeds,
+        schemes=schemes,
+        scenarios=scenarios,
+        process_counts=process_counts,
+        iterations=iterations,
+        benchmark=benchmark,
+    )
+
+    store: Optional[ResultCache]
+    if cache is False:
+        store = None
+    elif cache is None or cache is True:
+        store = ResultCache(cache_dir, namespace="faults")
+    else:
+        store = cache
+
+    t0 = time.perf_counter()
+    rows: List[Optional[Dict[str, Any]]] = [None] * len(points)
+    todo: List[Tuple[int, FaultPoint]] = []
+    hits = 0
+    for i, point in enumerate(points):
+        cached_row = store.get(point) if (store is not None and not refresh) else None
+        if cached_row is not None:
+            cached_row["cached"] = True
+            rows[i] = cached_row
+            hits += 1
+        else:
+            todo.append((i, point))
+
+    computed = parallel_map(_execute_fault_point, [p for _, p in todo], jobs=jobs)
+    for (i, _point), row in zip(todo, computed):
+        if store is not None:
+            store.put(_point, row)
+        row = dict(row)
+        row["cached"] = False
+        rows[i] = row
+
+    wall = time.perf_counter() - t0
+    requested = default_jobs() if jobs is None else max(1, int(jobs))
+    return FaultReport(
+        rows=[r for r in rows if r is not None],
+        jobs=requested,
+        wall_s=wall,
+        cache_hits=hits,
+        cache_misses=len(todo),
+        epoch=store.epoch if store is not None else golden_epoch(),
+        seeds=seeds,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Reporting
+# --------------------------------------------------------------------------- #
+
+def format_fault_rows(report: FaultReport) -> List[Dict[str, Any]]:
+    """Failure-detail rows for the CLI (empty when everything passed)."""
+    out = []
+    for row in report.failures:
+        out.append(
+            {
+                "case": row["case"],
+                "status": row["status"],
+                "victim": row.get("victim"),
+                "kill_us": row.get("kill_us"),
+                "violations": "; ".join(str(v) for v in row["violations"][:3])
+                + ("; ..." if len(row["violations"]) > 3 else ""),
+            }
+        )
+    return out
+
+
+def write_faults_json(
+    report: FaultReport,
+    path: Path,
+    *,
+    timing: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write the verdict rows + host metadata as a JSON artifact (CI upload)."""
+    payload: Dict[str, Any] = {
+        "suite": "faults",
+        "epoch": report.epoch,
+        "seeds": report.seeds,
+        "ok": report.ok,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "schemes": report.scheme_verdicts(),
+        "rows": [{k: v for k, v in row.items() if k != "cached"} for row in report.rows],
+    }
+    if timing is not None:
+        payload["timing"] = dict(timing)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -253,6 +253,7 @@ def run_lock_benchmark_detailed(
     is_rw: Optional[bool] = None,
     perturbation: Optional["PerturbationModel"] = None,
     observer: Optional[Any] = None,
+    fault_plan: Optional[Any] = None,
 ):
     """Run one benchmark configuration; returns ``(LockBenchResult, RunResult)``.
 
@@ -275,7 +276,11 @@ def run_lock_benchmark_detailed(
     :class:`~repro.rma.perturbation.PerturbationModel` (each seed explores a
     different, bit-reproducible interleaving), and ``observer`` a
     :class:`~repro.verification.oracles.RunObserver` whose live oracles watch
-    the lock's acquire/release events.  Both are forwarded only when set, so
+    the lock's acquire/release events.  The fault layer adds a third:
+    ``fault_plan`` installs a seeded :class:`~repro.fault.FaultPlan` that
+    kills (and optionally restarts) ranks mid-run; a crashed rank's return
+    slot holds a ``{"__crashed__": True, ...}`` marker, which the metric
+    aggregation below skips.  All three are forwarded only when set, so
     third-party runtime factories with the original signature keep working.
     """
     runtime_info = get_runtime(scheduler if scheduler is not None else _DEFAULT_SCHEDULER)
@@ -302,6 +307,8 @@ def run_lock_benchmark_detailed(
         factory_kwargs["perturbation"] = perturbation
     if observer is not None:
         factory_kwargs["observer"] = observer
+    if fault_plan is not None:
+        factory_kwargs["fault_plan"] = fault_plan
     runtime = runtime_info.factory(
         config.machine,
         window_words=spec.window_words + 2,
@@ -314,26 +321,37 @@ def run_lock_benchmark_detailed(
     program = make_lock_program(config, spec, is_rw, shared_offset)
     result = runtime.run(program, window_init=spec.init_window)
 
+    # Ranks killed by a fault plan leave a crash marker instead of the
+    # program's return dictionary; every aggregate below covers survivors.
+    live = [
+        r for r in result.returns
+        if isinstance(r, dict) and not r.get("__crashed__", False)
+    ]
+    crashed = len(result.returns) - len(live)
+
     all_latencies = []
-    for per_rank in result.returns:
+    for per_rank in live:
         all_latencies.extend(per_rank["latencies"])
     summary = summarize(all_latencies, warmup_fraction=config.warmup_fraction)
 
-    starts = [r["start"] for r in result.returns]
-    ends = [r["end"] for r in result.returns]
-    elapsed_us = max(ends) - min(starts)
-    total_acquires = config.iterations * config.machine.num_processes
+    starts = [r["start"] for r in live]
+    ends = [r["end"] for r in live]
+    elapsed_us = (max(ends) - min(starts)) if live else 0.0
+    if crashed:
+        total_acquires = sum(len(r["latencies"]) for r in live)
+    else:
+        total_acquires = config.iterations * config.machine.num_processes
     throughput = total_acquires / elapsed_us if elapsed_us > 0 else 0.0
 
     percentiles: Dict[str, float] = {}
     phases: List[Dict[str, Any]] = []
-    if result.returns and isinstance(result.returns[0], dict) and "acquire_latencies" in result.returns[0]:
+    if live and isinstance(live[0], dict) and "acquire_latencies" in live[0]:
         # An open-loop traffic run: fold the per-request samples into the
         # deterministic tail-latency summary (imported lazily — the traffic
         # package sits above the harness in the layering).
         from repro.traffic.accounting import aggregate_traffic
 
-        traffic = aggregate_traffic(result.returns)
+        traffic = aggregate_traffic(live)
         percentiles = traffic.percentile_fields()
         percentiles["offered_per_s"] = traffic.offered_per_s
         phases = traffic.phases
@@ -345,8 +363,8 @@ def run_lock_benchmark_detailed(
         fw=config.fw,
         iterations=config.iterations,
         total_acquires=total_acquires,
-        reads=sum(r["reads"] for r in result.returns),
-        writes=sum(r["writes"] for r in result.returns),
+        reads=sum(r["reads"] for r in live),
+        writes=sum(r["writes"] for r in live),
         elapsed_us=elapsed_us,
         latency_mean_us=summary.mean,
         latency_p95_us=summary.p95,
@@ -371,6 +389,7 @@ def run_lock_benchmark(
     is_rw: Optional[bool] = None,
     perturbation: Optional[PerturbationModel] = None,
     observer: Optional[Any] = None,
+    fault_plan: Optional[Any] = None,
 ) -> LockBenchResult:
     """Run one benchmark configuration and return its aggregated metrics.
 
@@ -387,5 +406,6 @@ def run_lock_benchmark(
         is_rw=is_rw,
         perturbation=perturbation,
         observer=observer,
+        fault_plan=fault_plan,
     )
     return bench_result

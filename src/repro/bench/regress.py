@@ -21,6 +21,18 @@ sanity-checks the recorded ``BENCH_runtime.json`` perf manifest plus the
 records cold/warm wall times — the cache-effectiveness numbers the acceptance
 criteria track — plus, with ``--scaling``, a ``jobs=1`` cold run so the
 manifest documents the parallel speedup measured on the blessing host.
+
+**Schema-bump rule.** Whenever a field joins (or changes meaning inside)
+:data:`~repro.bench.campaign.DETERMINISM_FIELDS`, bump
+:data:`~repro.bench.campaign.CACHE_SCHEMA_VERSION` in the same commit and
+re-bless ``BENCH_campaign.json``: the schema version is folded into the cache
+epoch, so the bump atomically invalidates every cached row (campaign,
+conformance *and* fault verdicts — they share the epoch machinery), and the
+re-bless records the new row shape in the committed baseline.  Skipping the
+bump would let stale cached rows (missing the new field) gate fresh runs and
+report phantom determinism diffs; skipping the re-bless fails the very next
+``repro regress``.  Schema 3 added the ``recovery`` field alongside the
+fault sweep (:mod:`repro.bench.faults`).
 """
 
 from __future__ import annotations

@@ -24,6 +24,9 @@ The subcommands cover the common workflows:
 * ``conform`` — the conformance & chaos sweep: every registered scheme under
   seeded schedule perturbation with the live safety/fairness oracles, each
   point re-run to certify bit-reproducibility (exit 1 on any violation).
+* ``faults`` — the fault sweep: seeded rank crashes (holder, waiter, restart)
+  against every scheme, with probe-placed kills, recovery-safety oracles and
+  a horizon/baseline fingerprint cross-check (exit 1 on any violation).
 * ``traffic`` — the open-loop traffic sweep: scheme x scenario service
   simulation over a multi-lock table (Zipf popularity, phased load) with
   tail-latency percentile reports; ``--bless`` records ``BENCH_traffic.json``.
@@ -266,6 +269,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cache root (default: <repo>/.repro-cache)")
     conform.add_argument("--output", default=None,
                          help="write the verdict rows as a JSON report (CI artifact)")
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault sweep: seeded rank crashes x recovery-safety oracles per scheme",
+    )
+    faults.add_argument("--seeds", type=int, default=5,
+                        help="crash seeds per scheme/scenario cell (each seed draws a "
+                             "different victim interval from the probe timeline)")
+    faults.add_argument("--scenarios", nargs="+", default=None,
+                        help="crash scenarios to stage (default: holder-crash "
+                             "waiter-crash restart)")
+    faults.add_argument("--schemes", nargs="+", default=None,
+                        help="restrict to these schemes (default: the 'conformance' "
+                             "selector = every conformance-capable registered scheme)")
+    faults.add_argument("--procs", type=int, nargs="+", default=None,
+                        help="process counts (default: 4)")
+    faults.add_argument("--iterations", type=int, default=None,
+                        help="lock acquisitions per rank per run")
+    faults.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or all cores)")
+    faults.add_argument("--smoke", action="store_true",
+                        help="small CI grid: the fault/recovery schemes plus two "
+                             "non-recovering controls, 2 crash seeds")
+    faults.add_argument("--import", dest="imports", action="append", default=[],
+                        metavar="MODULE",
+                        help="import a third-party lock provider first (module name "
+                             "or path/to/file.py; repeatable) so its @register_scheme "
+                             "locks join the sweep")
+    faults.add_argument("--no-cache", action="store_true",
+                        help="compute every verdict, store nothing")
+    faults.add_argument("--refresh", action="store_true",
+                        help="ignore cached verdicts but refresh the cache")
+    faults.add_argument("--cache-dir", default=None,
+                        help="cache root (default: <repo>/.repro-cache)")
+    faults.add_argument("--output", default=None,
+                        help="write the verdict rows as a JSON report (CI artifact)")
 
     traffic = sub.add_parser(
         "traffic",
@@ -752,6 +791,74 @@ def _run_conform(args: argparse.Namespace) -> int:
     return 1
 
 
+#: The --smoke grid for ``repro faults``: the fault subsystem's own schemes
+#: (including the planted mutant) plus two non-recovering controls, so CI
+#: exercises every verdict class without sweeping all registered schemes.
+_FAULT_SMOKE_SCHEMES = ("lease-lock", "repair-mcs", "repair-mcs-racy", "rma-mcs", "ticket")
+
+
+def _run_faults(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.api.registry import UnknownNameError
+    from repro.bench import faults as faults_mod
+
+    for token in args.imports:
+        try:
+            _load_provider(token)
+        except (ImportError, FileNotFoundError) as exc:
+            print(f"cannot import provider {token!r}: {exc}", file=sys.stderr)
+            return 2
+
+    seeds = args.seeds
+    schemes = args.schemes
+    procs = args.procs
+    if args.smoke:
+        seeds = min(seeds, 2)
+        if schemes is None:
+            schemes = list(_FAULT_SMOKE_SCHEMES)
+        if procs is None:
+            procs = [4]
+
+    try:
+        report = faults_mod.run_faults(
+            seeds=seeds,
+            jobs=args.jobs,
+            cache=False if args.no_cache else None,
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+            refresh=args.refresh,
+            schemes=schemes,
+            scenarios=args.scenarios,
+            process_counts=procs if procs is not None else (4,),
+            **({"iterations": args.iterations} if args.iterations else {}),
+        )
+    except (UnknownNameError, ValueError) as exc:
+        print(f"fault sweep cannot run: {exc}", file=sys.stderr)
+        return 2
+
+    print(format_table(report.scheme_verdicts()))
+    if not report.ok:
+        print("\nfailing points:")
+        print(format_table(faults_mod.format_fault_rows(report)))
+    print(
+        f"\nfaults: {report.points} points ({report.seeds} crash seed(s) per "
+        f"scheme/scenario cell), jobs={report.jobs}, "
+        f"{report.cache_hits} cached / {report.cache_misses} computed, "
+        f"{report.wall_s:.2f}s wall (cache epoch {report.epoch})"
+    )
+    if args.output:
+        path = faults_mod.write_faults_json(report, Path(args.output))
+        print(f"wrote {path}")
+    if report.ok:
+        print(
+            "verdict: every declared recovery recovered, every undeclared crash "
+            "was honestly unavailable, every mutant was caught"
+        )
+        return 0
+    print(f"verdict: {len(report.failures)} point(s) FAILED", file=sys.stderr)
+    return 1
+
+
 def _run_traffic(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -856,6 +963,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_regress(args)
     if args.command == "conform":
         return _run_conform(args)
+    if args.command == "faults":
+        return _run_faults(args)
     if args.command == "traffic":
         return _run_traffic(args)
     if args.command == "info":

@@ -11,10 +11,10 @@ horizon scheduler in :mod:`repro.rma.sim_runtime`:
   scheduler speedup against it on the same host.
 
 Do not optimize this module; its value is that it stays byte-for-byte the
-seed behaviour.  The only post-seed additions are the perturbation and
-observer hooks shared with the horizon scheduler (guarded so they are inert
-when unset), which the conformance layer uses to cross-check perturbed
-schedules between both schedulers.
+seed behaviour.  The only post-seed additions are the perturbation, observer
+and fault-plan hooks shared with the horizon scheduler (guarded so they are
+inert when unset), which the conformance and fault layers use to cross-check
+perturbed/faulted schedules between both schedulers.
 
 This backend is the repository's substitute for the paper's Cray XC30 /
 foMPI testbed.  Every rank is a logical process with its own virtual clock
@@ -52,6 +52,7 @@ from repro.rma.perturbation import PerturbationModel, RankPerturbation
 from repro.rma.ops import AtomicOp, RMACall
 from repro.rma.runtime_base import (
     Cell,
+    FaultHorizonError,
     ProcessContext,
     RMARuntime,
     RunResult,
@@ -74,6 +75,19 @@ _FINISHED = "finished"
 
 class _Aborted(BaseException):
     """Internal control-flow exception used to unwind rank threads on abort."""
+
+
+class _Killed(BaseException):
+    """Unwinds exactly one rank's thread when a fault plan kills that rank.
+
+    Mirrors the horizon scheduler: raised at the rank's next public context
+    call (or when the scheduler reaps it from a parked/barrier wait) and
+    caught in ``_rank_main``, which either restarts the rank or retires it
+    with a crash-marker result.
+    """
+
+
+_INF = float("inf")
 
 
 class _RankState:
@@ -103,6 +117,12 @@ class _RankState:
 
 class BaselineSimProcessContext(ProcessContext):
     """Per-rank handle bound to a :class:`BaselineSimRuntime` run."""
+
+    #: The runtime's fault plan (None on unfaulted runs); fault-aware lock
+    #: handles use it as a perfect failure detector via ``fault.dead_at``.
+    fault: Optional[Any] = None
+    #: Incarnation counter: 0 until the rank crashes and restarts.
+    incarnation: int = 0
 
     def __init__(self, runtime: "BaselineSimRuntime", state: _RankState):
         self._rt = runtime
@@ -188,6 +208,92 @@ class BaselineSimProcessContext(ProcessContext):
         self._rt._barrier(self._state)
 
 
+class _FaultedBaselineContext(BaselineSimProcessContext):
+    """Context variant used only when a fault plan is installed.
+
+    Mirrors ``_FaultedSimContext`` in the horizon scheduler: every public
+    context call checks the rank's virtual clock against its scheduled kill
+    time (and the plan's optional horizon ceiling) before executing, and
+    ``spin_on_cells`` checks exactly once per poll round so the crash lands
+    on the same virtual moment under both schedulers.
+    """
+
+    def __init__(self, runtime: "BaselineSimRuntime", state: _RankState):
+        super().__init__(runtime, state)
+        plan = runtime.fault_plan
+        self.fault = plan
+        self.incarnation = 0
+        self._kill_us = runtime._kill_at[state.rank]
+        self._ceiling = plan.horizon_us if plan.horizon_us is not None else _INF
+
+    def _entry(self) -> None:
+        clock = self._state.clock
+        if clock >= self._kill_us:
+            raise _Killed()
+        if clock >= self._ceiling:
+            raise FaultHorizonError(
+                f"rank {self.rank} passed the fault plan's virtual-time ceiling "
+                f"of {self._ceiling:g}us at t={clock:.2f}us (livelock under a crash?)"
+            )
+
+    def _on_restarted(self) -> None:
+        """Called once the scheduler revives this rank (one crash per run)."""
+        self.incarnation += 1
+        self._kill_us = _INF
+
+    def put(self, src_data: int, target: int, offset: int) -> None:
+        self._entry()
+        BaselineSimProcessContext.put(self, src_data, target, offset)
+
+    def get(self, target: int, offset: int) -> int:
+        self._entry()
+        return BaselineSimProcessContext.get(self, target, offset)
+
+    def accumulate(self, operand: int, target: int, offset: int, op: AtomicOp = AtomicOp.SUM) -> None:
+        self._entry()
+        BaselineSimProcessContext.accumulate(self, operand, target, offset, op)
+
+    def fao(self, operand: int, target: int, offset: int, op: AtomicOp) -> int:
+        self._entry()
+        return BaselineSimProcessContext.fao(self, operand, target, offset, op)
+
+    def cas(self, src_data: int, cmp_data: int, target: int, offset: int) -> int:
+        self._entry()
+        return BaselineSimProcessContext.cas(self, src_data, cmp_data, target, offset)
+
+    def flush(self, target: int) -> None:
+        self._entry()
+        BaselineSimProcessContext.flush(self, target)
+
+    def spin_on_cells(self, cells: Sequence[Cell], predicate: Callable[[Sequence[int]], bool]) -> List[int]:
+        # Re-implements the parent's poll loop with ONE kill/ceiling check per
+        # round (at the top, where the horizon scheduler's spin task checks)
+        # instead of one per Get/Flush leg — the per-leg checks of the plain
+        # overrides would kill mid-round on multi-cell spins and diverge from
+        # the horizon scheduler's crash clock.  The legs below call the parent
+        # class methods directly, bypassing the per-call checks.
+        cells = [(int(t), int(o)) for t, o in cells]
+        targets = sorted({t for t, _ in cells})
+        parent = BaselineSimProcessContext
+        while True:
+            self._entry()
+            versions = self._rt._versions_of(cells)
+            values = [parent.get(self, t, o) for t, o in cells]
+            for t in targets:
+                parent.flush(self, t)
+            if not predicate(values):
+                return values
+            self._rt._park_if_unchanged(self._state, cells, versions)
+
+    def compute(self, duration_us: float) -> None:
+        self._entry()
+        BaselineSimProcessContext.compute(self, duration_us)
+
+    def barrier(self) -> None:
+        self._entry()
+        BaselineSimProcessContext.barrier(self)
+
+
 class BaselineSimRuntime(RMARuntime):
     """Discrete-event simulation of ``P`` ranks communicating through RMA windows."""
 
@@ -205,6 +311,7 @@ class BaselineSimRuntime(RMARuntime):
         stall_timeout_s: float = 600.0,
         perturbation: Optional[PerturbationModel] = None,
         observer: Optional[Any] = None,
+        fault_plan: Optional[Any] = None,
     ):
         self.machine = machine
         self.window_words = int(window_words)
@@ -220,6 +327,12 @@ class BaselineSimRuntime(RMARuntime):
         #: perturbed runs stay bit-identical across both schedulers.
         self.perturbation = perturbation
         self.observer = observer
+        #: Optional seeded crash schedule (see repro.fault.FaultPlan).  A null
+        #: plan is normalized to None so every fault code path stays cold and
+        #: the run is bit-identical to an unfaulted one.
+        self.fault_plan = (
+            fault_plan if fault_plan is not None and not fault_plan.is_null else None
+        )
         self.seed = int(seed)
         self.barrier_cost_us = float(barrier_cost_us)
         self.max_ops = max_ops
@@ -241,6 +354,11 @@ class BaselineSimRuntime(RMARuntime):
         self._total_ops = 0
         self._perturb_mult: Optional[Tuple[float, ...]] = None
         self._perturb_states: Optional[List[RankPerturbation]] = None
+        # Fault state (only populated when a non-null fault plan is set):
+        # per-rank kill times (inf = never) and reaped ranks whose event-set
+        # doubles as a kill signal.
+        self._kill_at: Optional[List[float]] = None
+        self._reaped: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -281,6 +399,16 @@ class BaselineSimRuntime(RMARuntime):
         self._abort = False
         self._abort_exc = None
         self._total_ops = 0
+        plan = self.fault_plan
+        if plan is not None:
+            plan.validate_for(nranks)
+            kill_at = [_INF] * nranks
+            for fault in plan.faults:
+                kill_at[fault.rank] = fault.kill_us
+            self._kill_at = kill_at
+            self._reaped = set()
+        else:
+            self._kill_at = None
         perturbation = self.perturbation
         if perturbation is not None and perturbation.rank_slowdown > 0.0:
             self._perturb_mult = perturbation.rank_multipliers(nranks)
@@ -335,11 +463,31 @@ class BaselineSimRuntime(RMARuntime):
         state = self._states[rank]
         state.event.wait()
         state.event.clear()
-        ctx = BaselineSimProcessContext(self, state)
+        if self.fault_plan is None:
+            ctx: BaselineSimProcessContext = BaselineSimProcessContext(self, state)
+        else:
+            ctx = _FaultedBaselineContext(self, state)
         try:
             if self._abort:
                 raise _Aborted()
-            state.result = program(ctx, arg) if has_arg else program(ctx)
+            while True:
+                try:
+                    state.result = program(ctx, arg) if has_arg else program(ctx)
+                    break
+                except _Killed:
+                    restart_us = self._crash_rank(state)
+                    if restart_us is None:
+                        state.result = {
+                            "__crashed__": True,
+                            "rank": rank,
+                            "t_us": state.clock,
+                        }
+                        break
+                    self._await_restart(state, restart_us)
+                    ctx._on_restarted()
+                    # Re-run the program from the top: fresh handles, fresh
+                    # local state; the rank's window keeps whatever survivors
+                    # wrote to it while the rank was dead.
         except _Aborted:
             pass
         except BaseException as exc:  # noqa: BLE001 - surface any rank failure
@@ -355,11 +503,18 @@ class BaselineSimRuntime(RMARuntime):
         with self._lock:
             state.status = _FINISHED
             state.finish_time = state.clock
+            if self.fault_plan is not None:
+                # A finish can change the crash-aware barrier's headcount
+                # (e.g. the ranks parked at the final barrier are joined by a
+                # crash instead of an arrival); re-check before scheduling.
+                self._release_barrier_if_complete_locked()
             nxt = self._pick_runnable_locked()
             if nxt is not None:
                 nxt.event.set()
                 return
             if self._abort:
+                return
+            if self.fault_plan is not None and self._reap_blocked_locked() is not None:
                 return
             unfinished = [s.rank for s in self._states if s.status != _FINISHED]
             if unfinished:
@@ -371,6 +526,92 @@ class BaselineSimRuntime(RMARuntime):
                         f"{state.rank} finished: {self._blocked_report_locked()}"
                     )
                 self._wake_all_locked()
+
+    # ------------------------------------------------------------------ #
+    # Fault handling (every method below runs only under a non-null plan)
+    # ------------------------------------------------------------------ #
+
+    def _crash_rank(self, state: _RankState) -> Optional[float]:
+        """Record ``state``'s crash; returns its restart time (None = final).
+
+        Runs on the victim's own thread right after ``_Killed`` unwound the
+        rank program.  One crash per rank per run: the kill time is retired
+        so a restarted rank cannot be re-killed.
+        """
+        assert self._kill_at is not None
+        self._kill_at[state.rank] = _INF
+        observer = self.observer
+        if observer is not None:
+            on_crash = getattr(observer, "on_crash", None)
+            if on_crash is not None:
+                on_crash(state.rank, state.clock)
+        fault = self.fault_plan.fault_for(state.rank)
+        return fault.restart_us if fault is not None else None
+
+    def _await_restart(self, state: _RankState, restart_us: float) -> None:
+        """Park the crashed rank until virtual time reaches ``restart_us``.
+
+        The rank stays READY with its clock bumped to the restart time, so
+        the min-clock scheduler revives it exactly when the rest of the
+        simulation reaches that virtual moment — or immediately, if every
+        survivor is blocked waiting for it.
+        """
+        if state.clock < restart_us:
+            state.clock = restart_us
+        self._maybe_switch(state)
+        observer = self.observer
+        if observer is not None:
+            on_restart = getattr(observer, "on_restart", None)
+            if on_restart is not None:
+                on_restart(state.rank, state.clock)
+
+    def _reap_blocked_locked(self) -> Optional[_RankState]:
+        """Kill the next blocked rank whose crash is scheduled, if any.
+
+        Called (lock held) when the scheduler ran out of runnable ranks: a
+        parked or barrier-blocked victim will never issue the context call
+        that would normally deliver its kill, so the scheduler delivers it
+        here — smallest ``(kill_us, rank)`` first, clock bumped to the kill
+        time, matching the horizon scheduler's reap order exactly.  The
+        victim's thread is woken with the reap flag set; it raises ``_Killed``
+        out of its wait.  Returns the victim (None when nothing to reap).
+        """
+        kill_at = self._kill_at
+        if kill_at is None:
+            return None
+        victim: Optional[_RankState] = None
+        for s in self._states:
+            if s.status in (_PARKED, _BARRIER) and kill_at[s.rank] < _INF:
+                if victim is None or (kill_at[s.rank], s.rank) < (kill_at[victim.rank], victim.rank):
+                    victim = s
+        if victim is None:
+            return None
+        if victim.clock < kill_at[victim.rank]:
+            victim.clock = kill_at[victim.rank]
+        for cell in victim.watching:
+            waiters = self._watchers.get(cell)
+            if waiters is not None:
+                waiters.discard(victim.rank)
+        victim.watching.clear()
+        if victim.rank in self._barrier_waiting:
+            self._barrier_waiting.remove(victim.rank)
+        victim.status = _READY
+        self._reaped.add(victim.rank)
+        victim.event.set()
+        return victim
+
+    def _release_barrier_if_complete_locked(self) -> None:
+        """Release the barrier if crashes/finishes completed its headcount."""
+        waiting = self._barrier_waiting
+        need = sum(1 for s in self._states if s.status != _FINISHED)
+        if not waiting or len(waiting) < need:
+            return
+        release_time = max(self._states[r].clock for r in waiting) + self.barrier_cost_us
+        for r in waiting:
+            s = self._states[r]
+            s.clock = release_time
+            s.status = _READY
+        self._barrier_waiting = []
 
     # ------------------------------------------------------------------ #
     # Scheduler primitives (all take/hold self._lock where noted)
@@ -423,6 +664,9 @@ class BaselineSimRuntime(RMARuntime):
                 raise _Aborted()
         state.event.clear()
         self._check_abort()
+        if self.fault_plan is not None and state.rank in self._reaped:
+            self._reaped.discard(state.rank)
+            raise _Killed()
 
     def _maybe_switch(self, state: _RankState) -> None:
         """After advancing ``state``'s clock, hand the baton to the earliest rank."""
@@ -535,12 +779,17 @@ class BaselineSimRuntime(RMARuntime):
             state.status = _PARKED
             nxt = self._pick_runnable_locked()
             if nxt is None:
-                raise SimDeadlockError(
-                    f"all unfinished ranks are blocked; rank {state.rank} parked on "
-                    f"cells {list(cells)} with nobody left to wake it: "
-                    f"{self._blocked_report_locked()}"
-                )
-            nxt.event.set()
+                # Faulted runs: a scheduled crash of a blocked rank (possibly
+                # this one) can still make progress; the victim's wait below
+                # raises _Killed if it was reaped.
+                if self.fault_plan is None or self._reap_blocked_locked() is None:
+                    raise SimDeadlockError(
+                        f"all unfinished ranks are blocked; rank {state.rank} parked on "
+                        f"cells {list(cells)} with nobody left to wake it: "
+                        f"{self._blocked_report_locked()}"
+                    )
+            else:
+                nxt.event.set()
         self._wait_for_turn(state)
 
     def _barrier(self, state: _RankState) -> None:
@@ -548,7 +797,13 @@ class BaselineSimRuntime(RMARuntime):
         release = False
         with self._lock:
             self._barrier_waiting.append(state.rank)
-            if len(self._barrier_waiting) == self.num_ranks:
+            # Faulted runs count only unfinished ranks: crashed ranks never
+            # reach the barrier, so the rendezvous must not wait for them.
+            if self.fault_plan is None:
+                need = self.num_ranks
+            else:
+                need = sum(1 for s in self._states if s.status != _FINISHED)
+            if len(self._barrier_waiting) >= need:
                 release = True
                 release_time = max(self._states[r].clock for r in self._barrier_waiting)
                 release_time += self.barrier_cost_us
@@ -561,11 +816,14 @@ class BaselineSimRuntime(RMARuntime):
                 state.status = _BARRIER
                 nxt = self._pick_runnable_locked()
                 if nxt is None:
-                    raise SimDeadlockError(
-                        f"barrier cannot complete: {self.num_ranks - len(self._barrier_waiting)} "
-                        f"rank(s) never arrived; blocked ranks: {self._blocked_report_locked()}"
-                    )
-                nxt.event.set()
+                    # Same reap escape hatch as _park_if_unchanged.
+                    if self.fault_plan is None or self._reap_blocked_locked() is None:
+                        raise SimDeadlockError(
+                            f"barrier cannot complete: {need - len(self._barrier_waiting)} "
+                            f"rank(s) never arrived; blocked ranks: {self._blocked_report_locked()}"
+                        )
+                else:
+                    nxt.event.set()
         if release:
             # The releasing rank continues; equal clocks, ties broken by rank.
             self._maybe_switch(state)
@@ -580,10 +838,11 @@ class BaselineSimRuntime(RMARuntime):
 @register_runtime(
     "baseline",
     help="preserved seed scheduler (slower; bit-identical reference for 'horizon')",
+    fault_injection=True,
 )
 def _make_baseline_runtime(
     machine, *, window_words=64, seed=0, latency=None, fabric=None, tracer=None,
-    perturbation=None, observer=None,
+    perturbation=None, observer=None, fault_plan=None,
 ):
     return BaselineSimRuntime(
         machine,
@@ -594,4 +853,5 @@ def _make_baseline_runtime(
         seed=seed,
         perturbation=perturbation,
         observer=observer,
+        fault_plan=fault_plan,
     )

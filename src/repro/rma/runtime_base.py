@@ -53,6 +53,7 @@ from repro.rma.ops import AtomicOp
 
 __all__ = [
     "Cell",
+    "FaultHorizonError",
     "ProcessContext",
     "RMARuntime",
     "RunResult",
@@ -74,6 +75,17 @@ class RuntimeError_(RuntimeError):
 
 class SimDeadlockError(RuntimeError_):
     """Raised when every unfinished rank is blocked and no progress is possible."""
+
+
+class FaultHorizonError(RuntimeError_):
+    """A faulted run passed its virtual-time ceiling without draining.
+
+    Only raised when a :class:`repro.fault.FaultPlan` with a ``horizon_us``
+    ceiling is installed: a crash can turn a polling lock into a livelock
+    that never parks (so the structural deadlock detector cannot fire); the
+    ceiling converts it into this deterministic abort at the first context
+    call past the limit.
+    """
 
 
 @dataclass

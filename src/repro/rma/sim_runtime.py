@@ -68,6 +68,7 @@ from repro.rma.perturbation import PerturbationModel, RankPerturbation
 from repro.rma.ops import CALLS, CALL_INDEX, NUM_CALLS, AtomicOp, RMACall
 from repro.rma.runtime_base import (
     Cell,
+    FaultHorizonError,
     ProcessContext,
     RMARuntime,
     RunResult,
@@ -106,6 +107,19 @@ _FLUSH_I = CALL_INDEX[_FLUSH]
 
 class _Aborted(BaseException):
     """Internal control-flow exception used to unwind rank threads on abort."""
+
+
+class _Killed(BaseException):
+    """Unwinds exactly one rank's thread when a fault plan kills that rank.
+
+    Raised at the rank's next public context call (or when the scheduler
+    reaps it from a parked/barrier wait); caught in ``_rank_main``, which
+    either restarts the rank or retires it with a crash-marker result.
+    Never crosses into another rank's frames.
+    """
+
+
+_INF = float("inf")
 
 
 class _RankState:
@@ -147,6 +161,12 @@ class _RankState:
 
 class SimProcessContext(ProcessContext):
     """Per-rank handle bound to a :class:`SimRuntime` run."""
+
+    #: The runtime's fault plan (None on unfaulted runs); fault-aware lock
+    #: handles use it as a perfect failure detector via ``fault.dead_at``.
+    fault: Optional[Any] = None
+    #: Incarnation counter: 0 until the rank crashes and restarts.
+    incarnation: int = 0
 
     def __init__(self, runtime: "SimRuntime", state: _RankState):
         self._rt = runtime
@@ -239,6 +259,77 @@ class SimProcessContext(ProcessContext):
         self._rt._barrier(self._state)
 
 
+class _FaultedSimContext(SimProcessContext):
+    """Context variant used only when a fault plan is installed.
+
+    Every *public* context call checks the rank's virtual clock against its
+    scheduled kill time (and the plan's optional horizon ceiling) before
+    executing.  The clock observed at a context-call boundary is part of the
+    deterministic scheduling contract, so the crash lands on the same call
+    under every conforming scheduler.  Unfaulted runs never construct this
+    class, which keeps their hot path byte-identical to the goldens.
+    """
+
+    def __init__(self, runtime: "SimRuntime", state: _RankState):
+        super().__init__(runtime, state)
+        plan = runtime.fault_plan
+        self.fault = plan
+        self.incarnation = 0
+        self._kill_us = runtime._kill_at[state.rank]
+        self._ceiling = plan.horizon_us if plan.horizon_us is not None else _INF
+
+    def _entry(self) -> None:
+        clock = self._state.clock
+        if clock >= self._kill_us:
+            raise _Killed()
+        if clock >= self._ceiling:
+            raise FaultHorizonError(
+                f"rank {self.rank} passed the fault plan's virtual-time ceiling "
+                f"of {self._ceiling:g}us at t={clock:.2f}us (livelock under a crash?)"
+            )
+
+    def _on_restarted(self) -> None:
+        """Called once the scheduler revives this rank (one crash per run)."""
+        self.incarnation += 1
+        self._kill_us = _INF
+
+    def put(self, src_data: int, target: int, offset: int) -> None:
+        self._entry()
+        SimProcessContext.put(self, src_data, target, offset)
+
+    def get(self, target: int, offset: int) -> int:
+        self._entry()
+        return SimProcessContext.get(self, target, offset)
+
+    def accumulate(self, operand: int, target: int, offset: int, op: AtomicOp = AtomicOp.SUM) -> None:
+        self._entry()
+        SimProcessContext.accumulate(self, operand, target, offset, op)
+
+    def fao(self, operand: int, target: int, offset: int, op: AtomicOp) -> int:
+        self._entry()
+        return SimProcessContext.fao(self, operand, target, offset, op)
+
+    def cas(self, src_data: int, cmp_data: int, target: int, offset: int) -> int:
+        self._entry()
+        return SimProcessContext.cas(self, src_data, cmp_data, target, offset)
+
+    def flush(self, target: int) -> None:
+        self._entry()
+        SimProcessContext.flush(self, target)
+
+    def spin_on_cells(self, cells: Sequence[Cell], predicate: Callable[[Sequence[int]], bool]) -> List[int]:
+        self._entry()
+        return SimProcessContext.spin_on_cells(self, cells, predicate)
+
+    def compute(self, duration_us: float) -> None:
+        self._entry()
+        SimProcessContext.compute(self, duration_us)
+
+    def barrier(self) -> None:
+        self._entry()
+        SimProcessContext.barrier(self)
+
+
 class SimRuntime(RMARuntime):
     """Discrete-event simulation of ``P`` ranks communicating through RMA windows."""
 
@@ -256,6 +347,7 @@ class SimRuntime(RMARuntime):
         stall_timeout_s: float = 600.0,
         perturbation: Optional[PerturbationModel] = None,
         observer: Optional[Any] = None,
+        fault_plan: Optional[Any] = None,
     ):
         self.machine = machine
         self.window_words = int(window_words)
@@ -273,6 +365,12 @@ class SimRuntime(RMARuntime):
         #: Optional run observer (see repro.verification.oracles.RunObserver);
         #: reset via on_run_start at the top of every run().
         self.observer = observer
+        #: Optional seeded crash schedule (see repro.fault.FaultPlan).  A null
+        #: plan is normalized to None so every fault code path stays cold and
+        #: the run is bit-identical to an unfaulted one.
+        self.fault_plan = (
+            fault_plan if fault_plan is not None and not fault_plan.is_null else None
+        )
         self.seed = int(seed)
         self.barrier_cost_us = float(barrier_cost_us)
         self.max_ops = max_ops
@@ -304,6 +402,11 @@ class SimRuntime(RMARuntime):
         self._occ: List[List[float]] = []
         self._node_of: Tuple[int, ...] = ()
         self._perturb: Optional[List[RankPerturbation]] = None
+        # Fault state (only populated when a non-null fault plan is set):
+        # per-rank kill times (inf = never), reaped ranks whose baton release
+        # doubles as a kill signal, and the plan's restart schedule.
+        self._kill_at: Optional[List[float]] = None
+        self._reaped: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -384,6 +487,16 @@ class SimRuntime(RMARuntime):
         self._abort = False
         self._abort_exc = None
         self._total_ops = 0
+        plan = self.fault_plan
+        if plan is not None:
+            plan.validate_for(nranks)
+            kill_at = [_INF] * nranks
+            for fault in plan.faults:
+                kill_at[fault.rank] = fault.kill_us
+            self._kill_at = kill_at
+            self._reaped = set()
+        else:
+            self._kill_at = None
         # All clocks are zero; ties break by rank, so rank 0 starts and the
         # rest wait in the heap (already heap-ordered by construction).
         self._heap = [(0.0, r) for r in range(1, nranks)]
@@ -457,10 +570,30 @@ class SimRuntime(RMARuntime):
 
     def _rank_main(self, rank: int, program: Callable[..., Any], arg: Any, has_arg: bool) -> None:
         state = self._states[rank]
-        ctx = SimProcessContext(self, state)
+        if self.fault_plan is None:
+            ctx: SimProcessContext = SimProcessContext(self, state)
+        else:
+            ctx = _FaultedSimContext(self, state)
         try:
             self._wait_for_turn(state)
-            state.result = program(ctx, arg) if has_arg else program(ctx)
+            while True:
+                try:
+                    state.result = program(ctx, arg) if has_arg else program(ctx)
+                    break
+                except _Killed:
+                    restart_us = self._crash_rank(state)
+                    if restart_us is None:
+                        state.result = {
+                            "__crashed__": True,
+                            "rank": rank,
+                            "t_us": state.clock,
+                        }
+                        break
+                    self._await_restart(state, restart_us)
+                    ctx._on_restarted()
+                    # Re-run the program from the top: fresh handles, fresh
+                    # local state; the rank's window keeps whatever survivors
+                    # wrote to it while the rank was dead.
         except _Aborted:
             pass
         except BaseException as exc:  # noqa: BLE001 - surface any rank failure
@@ -478,9 +611,120 @@ class SimRuntime(RMARuntime):
             state.finish_time = state.clock
             if self._abort:
                 return
+        if self.fault_plan is not None:
+            # A finish can change the crash-aware barrier's headcount (e.g.
+            # the ranks parked at the final barrier are joined by a crash
+            # instead of an arrival); re-check before driving the scheduler.
+            self._release_barrier_if_complete()
         # This thread still owns the baton: drive remaining tasks until the
         # baton can be handed to another thread (or the run drains).
         self._run_tasks(None)
+
+    # ------------------------------------------------------------------ #
+    # Fault handling (every method below runs only under a non-null plan)
+    # ------------------------------------------------------------------ #
+
+    def _crash_rank(self, state: _RankState) -> Optional[float]:
+        """Record ``state``'s crash; returns its restart time (None = final).
+
+        Runs on the victim's own thread (which owns the baton) right after
+        ``_Killed`` unwound the rank program.  One crash per rank per run:
+        the kill time is retired so a restarted rank cannot be re-killed.
+        """
+        assert self._kill_at is not None
+        self._kill_at[state.rank] = _INF
+        observer = self.observer
+        if observer is not None:
+            on_crash = getattr(observer, "on_crash", None)
+            if on_crash is not None:
+                on_crash(state.rank, state.clock)
+        fault = self.fault_plan.fault_for(state.rank)
+        return fault.restart_us if fault is not None else None
+
+    def _await_restart(self, state: _RankState, restart_us: float) -> None:
+        """Park the crashed rank until virtual time reaches ``restart_us``.
+
+        The rank re-enters the heap keyed at its restart time, so the
+        scheduler revives it exactly when the rest of the simulation reaches
+        that virtual moment — or immediately, if every survivor is blocked
+        waiting for it.
+        """
+        if state.clock < restart_us:
+            state.clock = restart_us
+        state.status = _READY
+        heappush(self._heap, (state.clock, state.rank))
+        self._run_tasks(state)
+        observer = self.observer
+        if observer is not None:
+            on_restart = getattr(observer, "on_restart", None)
+            if on_restart is not None:
+                on_restart(state.rank, state.clock)
+
+    def _cleanup_blocked(self, state: _RankState) -> None:
+        """Detach a blocked victim from every wait structure before killing it."""
+        for cell in state.watching:
+            waiters = self._watchers.get(cell)
+            if waiters is not None:
+                waiters.discard(state.rank)
+        state.watching.clear()
+        state.spin = None
+        state.spin_values = None
+        if state.rank in self._barrier_waiting:
+            self._barrier_waiting.remove(state.rank)
+
+    def _reap_blocked(self, owner: Optional[_RankState]) -> bool:
+        """Kill the next blocked rank whose crash is scheduled, if any.
+
+        Called when the scheduler ran out of runnable ranks: a parked or
+        barrier-blocked victim will never issue the context call that would
+        normally deliver its kill, so the scheduler delivers it here —
+        smallest ``(kill_us, rank)`` first, clock bumped to the kill time so
+        the crash happens at a deterministic virtual moment.  Returns True
+        when a victim was killed (the caller's scheduling pass is over: the
+        victim's thread now owns the baton, or ``owner`` itself is dying).
+        """
+        kill_at = self._kill_at
+        assert kill_at is not None
+        victim: Optional[_RankState] = None
+        for s in self._states:
+            if s.status in (_PARKED, _BARRIER) and kill_at[s.rank] < _INF:
+                if victim is None or (kill_at[s.rank], s.rank) < (kill_at[victim.rank], victim.rank):
+                    victim = s
+        if victim is None:
+            return False
+        if victim.clock < kill_at[victim.rank]:
+            victim.clock = kill_at[victim.rank]
+        self._cleanup_blocked(victim)
+        victim.status = _READY
+        if victim is owner:
+            raise _Killed()
+        # Wake the victim's thread with the kill flag set; this thread stops
+        # driving (the baton invariant: one active thread at a time).
+        self._reaped.add(victim.rank)
+        victim.baton.release()
+        if owner is not None:
+            self._wait_for_turn(owner)
+        return True
+
+    def _barrier_need(self) -> int:
+        """Crash-aware barrier headcount: every rank not (yet) finished."""
+        return sum(1 for s in self._states if s.status != _FINISHED)
+
+    def _release_barrier_if_complete(self) -> None:
+        """Release the barrier if crashes/finishes completed its headcount."""
+        waiting = self._barrier_waiting
+        if not waiting or len(waiting) < self._barrier_need():
+            return
+        states = self._states
+        release_time = max(states[r].clock for r in waiting) + self.barrier_cost_us
+        heap = self._heap
+        for r in waiting:
+            s = states[r]
+            s.clock = release_time
+            s.status = _READY
+            heappush(heap, (release_time, r))
+        self._barrier_waiting = []
+        self._horizon = self._peek_key()
 
     # ------------------------------------------------------------------ #
     # Scheduler core
@@ -532,7 +776,22 @@ class SimRuntime(RMARuntime):
             else:
                 self._horizon = _INF_KEY
             if s.spin is not None:
-                if self._step_spin(s):
+                try:
+                    done = self._step_spin(s)
+                except _Killed:
+                    # The spin's own kill check fired (faulted runs only).
+                    # The victim dies on its *own* thread: either it is this
+                    # thread (owner), or its parked thread is woken with the
+                    # reap flag set and this thread stops driving.
+                    if s is owner:
+                        raise
+                    self._reaped.add(s.rank)
+                    s.status = _READY
+                    s.baton.release()
+                    if owner is not None:
+                        self._wait_for_turn(owner)
+                    return
+                if done:
                     # Spin finished: the rank becomes an ordinary threaded
                     # task again at its current key.
                     heappush(heap, (s.clock, s.rank))
@@ -562,7 +821,9 @@ class SimRuntime(RMARuntime):
         self._run_tasks(state)
 
     def _no_runnable(self, owner: Optional[_RankState]) -> None:
-        """Handle an empty scheduler: clean drain, or deadlock."""
+        """Handle an empty scheduler: reap a crash victim, clean drain, or deadlock."""
+        if self.fault_plan is not None and not self._abort and self._reap_blocked(owner):
+            return
         with self._lock:
             if self._abort:
                 if owner is None:
@@ -609,6 +870,9 @@ class SimRuntime(RMARuntime):
         state.baton.acquire()
         if self._abort:
             raise _Aborted()
+        if self.fault_plan is not None and state.rank in self._reaped:
+            self._reaped.discard(state.rank)
+            raise _Killed()
 
     def _watchdog_main(self, run_done: threading.Event) -> None:
         """Abort the run if no simulation progress happens for stall_timeout_s.
@@ -773,6 +1037,11 @@ class SimRuntime(RMARuntime):
         except _Aborted:
             state.spin = None
             raise
+        except _Killed:
+            # Fault-plan kill fired inside the poll loop; the caller routes
+            # the death to the victim's own thread (see _run_tasks).
+            state.spin = None
+            raise
         except BaseException as exc:  # noqa: BLE001 - reroute foreign failures
             state.spin = None
             if own_thread:
@@ -803,7 +1072,21 @@ class SimRuntime(RMARuntime):
         watchers = self._watchers
         heap = self._heap
         rank = state.rank
+        kill_at = self._kill_at
+        plan = self.fault_plan
+        ceiling = plan.horizon_us if plan is not None and plan.horizon_us is not None else _INF
         while True:
+            # Faulted runs only: each poll round is a kill/ceiling checkpoint,
+            # mirroring the public-context-call checks (a rank that keeps
+            # polling past its kill time must still die deterministically).
+            if kill_at is not None:
+                if state.clock >= kill_at[rank]:
+                    raise _Killed()
+                if state.clock >= ceiling:
+                    raise FaultHorizonError(
+                        f"rank {rank} passed the fault plan's virtual-time ceiling "
+                        f"of {ceiling:g}us at t={state.clock:.2f}us while spinning"
+                    )
             snapshot = [versions[c] for c in cells]
             values: List[int] = []
             for t, o in cells:
@@ -845,7 +1128,10 @@ class SimRuntime(RMARuntime):
             raise _Aborted()
         waiting = self._barrier_waiting
         waiting.append(state.rank)
-        if len(waiting) < self._nranks:
+        # Faulted runs count only unfinished ranks: crashed ranks never reach
+        # the barrier, so the rendezvous must not wait for them.
+        need = self._nranks if self.fault_plan is None else self._barrier_need()
+        if len(waiting) < need:
             state.status = _BARRIER
             self._run_tasks(state)
             return
@@ -876,10 +1162,11 @@ class SimRuntime(RMARuntime):
 @register_runtime(
     "horizon",
     help="min-heap time-horizon scheduler (the fast default; bit-identical to 'baseline')",
+    fault_injection=True,
 )
 def _make_horizon_runtime(
     machine, *, window_words=64, seed=0, latency=None, fabric=None, tracer=None,
-    perturbation=None, observer=None,
+    perturbation=None, observer=None, fault_plan=None,
 ):
     return SimRuntime(
         machine,
@@ -890,4 +1177,5 @@ def _make_horizon_runtime(
         seed=seed,
         perturbation=perturbation,
         observer=observer,
+        fault_plan=fault_plan,
     )

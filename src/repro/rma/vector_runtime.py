@@ -387,6 +387,7 @@ class VectorRuntime(RMARuntime):
         perturbation: Optional[PerturbationModel] = None,
         observer: Optional[Any] = None,
         shards: Any = "auto",
+        fault_plan: Optional[Any] = None,
     ):
         self.machine = machine
         self.window_words = int(window_words)
@@ -397,6 +398,13 @@ class VectorRuntime(RMARuntime):
         self.tracer = tracer
         self.perturbation = perturbation
         self.observer = observer
+        #: Optional seeded crash schedule (see repro.fault.FaultPlan).  The
+        #: batched fast path has no kill checkpoints, so non-null faulted
+        #: runs delegate to the horizon scheduler (same canonical order, full
+        #: fault support) — the hook-fallback path, like lockstep observers.
+        self.fault_plan = (
+            fault_plan if fault_plan is not None and not fault_plan.is_null else None
+        )
         self.seed = int(seed)
         self.barrier_cost_us = float(barrier_cost_us)
         self.max_ops = max_ops
@@ -465,6 +473,8 @@ class VectorRuntime(RMARuntime):
         nranks = self.num_ranks
         if program_args is not None and len(program_args) != nranks:
             raise ValueError(f"program_args must have one entry per rank ({nranks})")
+        if self.fault_plan is not None:
+            return self._run_faulted(program, window_init, program_args)
         with self._run_guard:
             if self._run_active:
                 raise RuntimeError_(
@@ -477,6 +487,41 @@ class VectorRuntime(RMARuntime):
         finally:
             with self._run_guard:
                 self._run_active = False
+
+    def _run_faulted(
+        self,
+        program: Callable[..., Any],
+        window_init: Optional[WindowInit],
+        program_args: Optional[Sequence[Any]],
+    ) -> RunResult:
+        """Execute a faulted run through the horizon scheduler.
+
+        The descriptor-batched fast path has no kill checkpoints, so a
+        non-null fault plan takes the hook-fallback path (like lockstep
+        observers): the horizon scheduler replays the identical canonical
+        order with full fault support, keeping faulted RunResults
+        bit-identical across all three deterministic runtimes.
+        """
+        from repro.rma.sim_runtime import SimRuntime
+
+        delegate = SimRuntime(
+            self.machine,
+            window_words=self.window_words,
+            latency=self.latency,
+            fabric=self.fabric,
+            tracer=self.tracer,
+            seed=self.seed,
+            barrier_cost_us=self.barrier_cost_us,
+            max_ops=self.max_ops,
+            stall_timeout_s=self.stall_timeout_s,
+            perturbation=self.perturbation,
+            observer=self.observer,
+            fault_plan=self.fault_plan,
+        )
+        result = delegate.run(program, window_init=window_init, program_args=program_args)
+        # Keep window() inspection working after a delegated run.
+        self.windows = delegate.windows
+        return result
 
     # ------------------------------------------------------------------ #
     # Shard planning
@@ -1892,10 +1937,11 @@ class VectorRuntime(RMARuntime):
     "vector",
     help="descriptor-batched state-machine scheduler with sharded lookahead "
     "(fastest; bit-identical to 'horizon'/'baseline')",
+    fault_injection=True,
 )
 def _make_vector_runtime(
     machine, *, window_words=64, seed=0, latency=None, fabric=None, tracer=None,
-    perturbation=None, observer=None, shards="auto",
+    perturbation=None, observer=None, shards="auto", fault_plan=None,
 ):
     return VectorRuntime(
         machine,
@@ -1907,4 +1953,5 @@ def _make_vector_runtime(
         perturbation=perturbation,
         observer=observer,
         shards=shards,
+        fault_plan=fault_plan,
     )

@@ -24,6 +24,18 @@ half the paper could not do, checking the *running implementations*:
   ``repro conform`` (:mod:`repro.bench.conformance`) sweeps these oracles
   over every registered scheme under seeded schedule perturbation
   (:mod:`repro.rma.perturbation`).
+
+The fault subsystem (:mod:`repro.fault`, README section "Failure &
+recovery") extends both halves: crash transitions join the impl models
+(:func:`~repro.verification.impl_model.lease_impl_model`,
+:func:`~repro.verification.impl_model.repair_queue_impl_model` — virtual
+crash/expiry processes let the checker enumerate every crash timing at
+P = 2-3), and the live side gains the
+:class:`~repro.verification.oracles.RecoveryOracleObserver`, whose
+recovery-safety oracles (no double grant inside a live lease, fenced stale
+releases, recovery-latency accounting) ``repro faults``
+(:mod:`repro.bench.faults`) sweeps over every registered scheme under
+seeded rank crashes.
 """
 
 from repro.verification.fairness import (
@@ -34,7 +46,11 @@ from repro.verification.fairness import (
     tas_fairness,
     ticket_fairness,
 )
-from repro.verification.impl_model import rma_rw_impl_model
+from repro.verification.impl_model import (
+    lease_impl_model,
+    repair_queue_impl_model,
+    rma_rw_impl_model,
+)
 from repro.verification.interleaving import (
     CheckResult,
     InvariantViolation,
@@ -56,6 +72,8 @@ from repro.verification.oracles import (
     ObservedRWLock,
     OracleReport,
     OracleViolation,
+    RecoveryOracleObserver,
+    RecoveryReport,
     RunObserver,
     observe_lock,
 )
@@ -74,14 +92,18 @@ __all__ = [
     "ObservedRWLock",
     "OracleReport",
     "OracleViolation",
+    "RecoveryOracleObserver",
+    "RecoveryReport",
     "RunObserver",
     "StateExplosionError",
     "broken_test_and_set_model",
     "build_checker",
     "dining_deadlock_model",
+    "lease_impl_model",
     "mcs_fairness",
     "mcs_model",
     "observe_lock",
+    "repair_queue_impl_model",
     "rma_rw_impl_model",
     "rw_counter_model",
     "tas_fairness",

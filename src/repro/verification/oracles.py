@@ -59,6 +59,8 @@ __all__ = [
     "ObservedRWLock",
     "OracleReport",
     "OracleViolation",
+    "RecoveryOracleObserver",
+    "RecoveryReport",
     "RunObserver",
     "observe_lock",
 ]
@@ -93,6 +95,25 @@ class RunObserver:
 
     def released(self, rank: int, mode: str, t: float) -> None:
         """``rank`` is about to run ``release`` (still inside the CS)."""
+
+    # -- fault hooks (only fired on runs with a repro.fault.FaultPlan) ----- #
+
+    def on_crash(self, rank: int, t: float) -> None:
+        """``rank`` was killed by the fault plan at virtual time ``t``."""
+
+    def on_restart(self, rank: int, t: float) -> None:
+        """``rank`` was revived at virtual time ``t`` (re-runs its program)."""
+
+    def on_lease(self, rank: int, deadline_us: float) -> None:
+        """``rank`` acquired a leased lock valid until ``deadline_us``.
+
+        Reported by lease-based schemes right after installing their lock
+        word, so recovery oracles can judge takeover legality against the
+        exact deadline instead of reconstructing it.
+        """
+
+    def on_fenced_release(self, rank: int) -> None:
+        """``rank``'s stale release was rejected by the lock's fencing."""
 
 
 @dataclass(frozen=True)
@@ -291,6 +312,223 @@ class LockOracleObserver(RunObserver):
         if len(self._report.violations) < self.max_violations:
             self._report.violations.append(
                 OracleViolation(oracle=oracle, rank=rank, t=float(t), detail=detail)
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Recovery oracles (crash / lease / fencing safety)
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class RecoveryReport(OracleReport):
+    """An :class:`OracleReport` extended with crash-recovery accounting."""
+
+    crashes: int = 0
+    restarts: int = 0
+    #: Crashes that killed a rank *while it held the lock* — the sweep engine
+    #: uses this to confirm a holder-crash scenario actually manifested (a
+    #: kill landing a microsecond late hits the victim after its release).
+    holder_deaths: int = 0
+    #: Crashes that killed a rank between ``wait_start`` and ``acquired``.
+    waiter_deaths: int = 0
+    fenced_releases: int = 0
+    #: Live-but-expired holders revoked by a legal lease takeover.
+    expired_takeovers: int = 0
+    #: Per-recovery latency samples: takeover time minus holder crash time.
+    recovery_us: List[float] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, Any]:
+        out = super().summary()
+        out.update(
+            {
+                "crashes": self.crashes,
+                "restarts": self.restarts,
+                "holder_deaths": self.holder_deaths,
+                "waiter_deaths": self.waiter_deaths,
+                "fenced_releases": self.fenced_releases,
+                "expired_takeovers": self.expired_takeovers,
+                "recovery_us": [round(v, 3) for v in self.recovery_us],
+            }
+        )
+        return out
+
+
+class RecoveryOracleObserver(LockOracleObserver):
+    """Recovery-safety oracles layered on the base lock oracles.
+
+    Extends :class:`LockOracleObserver` with the three crash-safety checks of
+    the fault sweep (:mod:`repro.bench.faults`):
+
+    - **no double grant** — after a *holder* crash, the lock may only be
+      re-granted once the crashed hold's lease deadline has passed; a grant
+      before that is a double grant inside a live lease.  A crashed hold with
+      no lease at all can never legally be re-granted (a scheme without
+      leases has no way to distinguish a dead holder from a slow one).
+    - **fenced release** — a holder whose lease expired and whose lock was
+      taken over must have its late ``release`` *rejected*.  The takeover is
+      recorded as a revocation (not a mutual-exclusion violation); the stale
+      holder's subsequent release is held pending and must be confirmed by
+      :meth:`on_fenced_release` before the rank's next lock event — a stale
+      release that silently wrote the lock word is a fencing violation.
+    - **recovery accounting** — crash/restart/fence counts and per-recovery
+      latency samples (takeover time minus crash time) for the availability
+      report of the traffic-crash scenario.
+
+    Holder crashes are *not* handoff violations: :meth:`on_crash` retires the
+    dead rank's hold and wait state so the base oracles keep judging the
+    survivors only.
+
+    Args:
+        lease_us: Fallback lease term for schemes that do not announce exact
+            deadlines via :meth:`RunObserver.on_lease`; ``None`` means the
+            scheme has no lease (any post-crash re-grant is then a violation).
+        bypass_bound, max_violations: See :class:`LockOracleObserver`.
+    """
+
+    def __init__(
+        self,
+        *,
+        lease_us: Optional[float] = None,
+        bypass_bound: Optional[int] = None,
+        max_violations: int = 32,
+    ):
+        self.lease_us = lease_us
+        super().__init__(bypass_bound=bypass_bound, max_violations=max_violations)
+
+    def on_run_start(self, nranks: int) -> None:
+        super().on_run_start(nranks)
+        base = self._report
+        self._report = RecoveryReport(
+            bypass_bound=base.bypass_bound, runs_observed=base.runs_observed
+        )
+        #: dead rank -> {"mode", "deadline", "t"} for holds orphaned by a crash.
+        self._crashed_holds: Dict[int, Dict[str, Any]] = {}
+        #: current holder -> exact lease deadline (if the scheme announced one).
+        self._lease_deadline: Dict[int, float] = {}
+        #: deadlines announced by on_lease before the acquired event lands.
+        self._announced: Dict[int, float] = {}
+        #: live holders revoked by an expired-lease takeover (await fencing).
+        self._revoked: Dict[int, str] = {}
+        #: rank -> (mode, t) stale releases awaiting their fence confirmation.
+        self._pending_fence: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # Fault hooks
+    # ------------------------------------------------------------------ #
+
+    def on_crash(self, rank: int, t: float) -> None:
+        self._report.crashes += 1
+        if rank in self._wait_baseline:
+            self._report.waiter_deaths += 1
+        mode = self._holders.pop(rank, None)
+        if mode is not None:
+            self._report.holder_deaths += 1
+            if mode == MODE_WRITE:
+                self._writers_in -= 1
+            else:
+                self._readers_in -= 1
+            self._crashed_holds[rank] = {
+                "mode": mode,
+                "deadline": self._lease_deadline.pop(rank, None),
+                "t": t,
+            }
+        # A dead waiter stops competing; a dead rank can no longer confirm a
+        # pending fence (the kill may land between the CAS and the report),
+        # so drop its pending state without judging it.
+        self._wait_baseline.pop(rank, None)
+        self._ordered.pop(rank, None)
+        self._announced.pop(rank, None)
+        self._revoked.pop(rank, None)
+        self._pending_fence.pop(rank, None)
+
+    def on_restart(self, rank: int, t: float) -> None:
+        self._report.restarts += 1
+
+    def on_lease(self, rank: int, deadline_us: float) -> None:
+        self._announced[rank] = float(deadline_us)
+
+    def on_fenced_release(self, rank: int) -> None:
+        self._report.fenced_releases += 1
+        self._pending_fence.pop(rank, None)
+
+    # ------------------------------------------------------------------ #
+    # Lock events
+    # ------------------------------------------------------------------ #
+
+    def wait_start(self, rank: int, mode: str, t: float) -> None:
+        self._flush_stale(rank, t)
+        super().wait_start(rank, mode, t)
+
+    def acquired(self, rank: int, mode: str, t: float) -> None:
+        self._flush_stale(rank, t)
+        report = self._report
+        deadline = self._announced.pop(rank, None)
+        if deadline is None and self.lease_us is not None:
+            # Scheme declared a lease but does not announce exact deadlines:
+            # reconstruct conservatively from the grant timestamp.
+            deadline = float(int(t + self.lease_us) + 1)
+        # 1. Judge this grant against every hold orphaned by a crash.
+        for dead in sorted(self._crashed_holds):
+            hold = self._crashed_holds[dead]
+            dead_deadline = hold["deadline"]
+            if dead_deadline is None:
+                self._violate(
+                    "recovery", rank, t,
+                    f"lock re-granted after rank {dead} crashed holding it "
+                    f"with no lease to expire (lost-lock hazard)",
+                )
+            elif t < dead_deadline:
+                self._violate(
+                    "lease", rank, t,
+                    f"takeover before rank {dead}'s lease deadline "
+                    f"{dead_deadline:.0f}us (double grant inside a live lease)",
+                )
+            else:
+                report.recovery_us.append(t - hold["t"])
+        self._crashed_holds.clear()
+        # 2. A live holder whose lease expired is *revoked* by this grant —
+        #    that is the lease contract, not a mutual-exclusion violation.
+        #    Its late release must then be fenced (checked via _pending_fence).
+        for holder in list(self._holders):
+            if holder == rank:
+                continue  # a genuine re-entrant acquire stays a violation
+            holder_deadline = self._lease_deadline.get(holder)
+            if holder_deadline is not None and t >= holder_deadline:
+                hmode = self._holders.pop(holder)
+                if hmode == MODE_WRITE:
+                    self._writers_in -= 1
+                else:
+                    self._readers_in -= 1
+                self._lease_deadline.pop(holder, None)
+                self._revoked[holder] = hmode
+                report.expired_takeovers += 1
+        super().acquired(rank, mode, t)
+        if deadline is not None and rank in self._holders:
+            self._lease_deadline[rank] = deadline
+
+    def released(self, rank: int, mode: str, t: float) -> None:
+        if rank not in self._holders and rank in self._revoked:
+            # The lease contract revoked this hold; the release is only legal
+            # if the lock rejects it.  Hold it pending until the fence report
+            # (or flag it at this rank's next event / run end).
+            self._revoked.pop(rank)
+            self._pending_fence[rank] = (mode, t)
+            return
+        super().released(rank, mode, t)
+        self._lease_deadline.pop(rank, None)
+
+    def on_run_end(self) -> None:
+        for rank in sorted(self._pending_fence):
+            self._flush_stale(rank, 0.0)
+        super().on_run_end()
+
+    def _flush_stale(self, rank: int, t: float) -> None:
+        pend = self._pending_fence.pop(rank, None)
+        if pend is not None:
+            self._violate(
+                "fencing", rank, t,
+                f"stale release at t={pend[1]:.2f}us was never fenced "
+                f"(a non-holder's release reached the lock word)",
             )
 
 

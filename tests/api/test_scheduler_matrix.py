@@ -45,3 +45,18 @@ def test_matrix_covers_every_registered_runtime():
         assert f"| `{name}` |" in table
     # Non-deterministic backends are present but flagged.
     assert "| `thread` | no |" in table
+
+
+def test_matrix_fault_injection_column_tracks_registry():
+    from repro.api.registry import get_runtime
+
+    tool = _load_tool()
+    table = tool.matrix_markdown()
+    assert "| fault injection |" in table.splitlines()[0]
+    for name in runtime_names():
+        info = get_runtime(name)
+        faults = "yes" if info.fault_injection else "no"
+        assert f"| `{name}` | {'yes' if info.deterministic else 'no'} | {faults} |" in table
+    # Every deterministic core honors FaultPlan; the wall-clock backend does not.
+    assert "| `horizon` | yes | yes |" in table
+    assert "| `thread` | no | no |" in table

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api.registry import scheme_names
 from repro.cli import build_parser, main
 
 
@@ -194,7 +195,10 @@ class TestCampaignCommand:
         assert main(["campaign", "show", "ci-gate"]) == 0
         out = capsys.readouterr().out
         assert "rma-rw-wcsb-p64" in out
-        assert "27 points" in out
+        # schemes resolve against the live registry: every harness scheme
+        # (including the fault-recovery locks) x P in {8, 32, 64}.
+        expected = 3 * len(scheme_names(harness=True))
+        assert f"{expected} points" in out
 
     def test_campaign_show_unknown_name_suggests(self, capsys):
         assert main(["campaign", "show", "ci-gat"]) == 2

@@ -39,14 +39,17 @@ WHEN_TO_PICK = {
 
 def matrix_markdown() -> str:
     lines = [
-        "| scheduler | deterministic | what it is | pick it when |",
-        "|-----------|---------------|------------|--------------|",
+        "| scheduler | deterministic | fault injection | what it is | pick it when |",
+        "|-----------|---------------|-----------------|------------|--------------|",
     ]
     for name in runtime_names():
         info = get_runtime(name)
         deterministic = "yes" if info.deterministic else "no"
+        faults = "yes" if info.fault_injection else "no"
         when = WHEN_TO_PICK.get(name, "see its registry help string")
-        lines.append(f"| `{name}` | {deterministic} | {info.help} | {when} |")
+        lines.append(
+            f"| `{name}` | {deterministic} | {faults} | {info.help} | {when} |"
+        )
     return "\n".join(lines)
 
 

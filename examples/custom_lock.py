@@ -97,7 +97,7 @@ class TASBackoffLockHandle(LockHandle):
     "tas-backoff",
     category="custom",
     params=(
-        ParamSpec("home_rank", int, 0, "rank hosting the lock word"),
+        ParamSpec("home_rank", int, 0, "rank hosting the lock word", tunable=False),
         ParamSpec("max_backoff_us", float, 8.0, "backoff cap in microseconds"),
     ),
     help="centralized test-and-set lock with proportional backoff (example)",

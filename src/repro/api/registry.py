@@ -96,6 +96,12 @@ class ParamSpec:
         from_config: Optional extractor used by the benchmark harness to pull
             the value out of a ``LockBenchConfig``-like object.  Defaults to
             ``getattr(config, name, default)``.
+        tunable: Whether the parameter is a performance threshold that sweep
+            tools (``repro tune``, policy tables) may vary without changing
+            the lock's placement or semantics.  ``None`` (the default) infers
+            from the metadata: numeric scalar and sequence parameters are
+            tunable, everything else is not.  Placement-style parameters
+            (``home_rank``) should be registered with ``tunable=False``.
     """
 
     name: str
@@ -104,6 +110,13 @@ class ParamSpec:
     help: str = ""
     sequence: bool = False
     from_config: Optional[Callable[[Any], Any]] = None
+    tunable: Optional[bool] = None
+
+    @property
+    def is_tunable(self) -> bool:
+        if self.tunable is not None:
+            return self.tunable
+        return self.type in (int, float)
 
     def coerce(self, value: Any) -> Any:
         """Coerce ``value`` to the declared type (``None`` passes through)."""
@@ -171,8 +184,30 @@ class SchemeInfo:
         return self.builder(machine, **values)
 
     def params_from_config(self, config: Any) -> Dict[str, Any]:
-        """Extract every declared parameter from a benchmark configuration."""
-        return {spec.name: spec.extract(config) for spec in self.params}
+        """Extract every declared parameter from a benchmark configuration.
+
+        The legacy per-field extraction (``config.t_r`` etc.) runs first;
+        the configuration's generic ``params`` overlay — ``(name, value)``
+        pairs or a mapping, see ``LockBenchConfig.params`` — is applied on
+        top, coerced and validated against this scheme's declarations, so
+        third-party schemes are parameterizable without dedicated config
+        fields.
+        """
+        values = {spec.name: spec.extract(config) for spec in self.params}
+        overlay = getattr(config, "params", None) or ()
+        items = overlay.items() if isinstance(overlay, Mapping) else overlay
+        for key, value in items:
+            values[key] = self.param(key).coerce(value)
+        return values
+
+    def tunable_params(self) -> Tuple[ParamSpec, ...]:
+        """The subset of declared parameters sweep tools may vary.
+
+        Derived from :class:`ParamSpec` metadata (see ``ParamSpec.tunable``),
+        so ``repro tune`` grids and generated CLI flags cover third-party
+        ``@register_scheme`` locks without any hard-coded flag lists.
+        """
+        return tuple(spec for spec in self.params if spec.is_tunable)
 
 
 @dataclass(frozen=True)

@@ -35,7 +35,7 @@ import multiprocessing
 import os
 import platform
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -163,6 +163,11 @@ def _import_provider(provider: str) -> None:
             pass
 
 
+def _config_field_names() -> frozenset:
+    """Init-field names of :class:`LockBenchConfig` (direct-kwarg params)."""
+    return frozenset(f.name for f in fields(LockBenchConfig) if f.init)
+
+
 def run_result_sha(result: Any) -> str:
     """SHA-256 over every determinism-relevant field of a ``RunResult``.
 
@@ -250,6 +255,15 @@ class CampaignPoint:
     def config(self) -> LockBenchConfig:
         _import_provider(self.provider)
         machine = cached_machine(self.procs, self.procs_per_node, self.topology)
+        # Params naming a LockBenchConfig field (t_r, warmup_fraction, ...)
+        # stay direct constructor kwargs — the historical behavior, and what
+        # committed cache entries were keyed under.  Everything else flows
+        # through the generic scheme-parameter overlay, so campaign and tune
+        # grids can sweep any registered ParamSpec (hbo backoff caps,
+        # third-party thresholds) without a dedicated config field.
+        fields = _config_field_names()
+        direct = {k: v for k, v in self.params if k in fields}
+        overlay = tuple((k, v) for k, v in self.params if k not in fields)
         return LockBenchConfig(
             machine=machine,
             scheme=self.scheme,
@@ -257,7 +271,8 @@ class CampaignPoint:
             iterations=self.iterations,
             fw=self.fw,
             seed=self.seed,
-            **dict(self.params),
+            params=overlay,
+            **direct,
         )
 
 

@@ -355,6 +355,11 @@ def run_lock_benchmark_detailed(
         percentiles = traffic.percentile_fields()
         percentiles["offered_per_s"] = traffic.offered_per_s
         phases = traffic.phases
+        if "swaps" in live[0]:
+            # Adaptive run: per-rank count of scheme-slot installs executed
+            # at phase-boundary crossings (see repro.control.policy).  Summed
+            # so the determinism gate pins the swap schedule too.
+            percentiles["swaps_total"] = float(sum(r.get("swaps", 0) for r in live))
 
     bench_result = LockBenchResult(
         scheme=config.scheme,

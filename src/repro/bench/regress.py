@@ -4,7 +4,9 @@ Runs a campaign (default: ``ci-gate``) through the campaign engine and
 compares its rows against the committed ``BENCH_campaign.json`` manifest, and
 sanity-checks the recorded ``BENCH_runtime.json`` perf manifest plus the
 ``BENCH_traffic.json`` open-loop traffic baseline (see
-:func:`check_traffic_manifest`).  Two classes of fields, two severities:
+:func:`check_traffic_manifest`) and the ``BENCH_tune.json`` auto-tuner
+baseline (see :func:`check_tune_manifest`).  Two classes of fields, two
+severities:
 
 * **Determinism fields** (:data:`repro.bench.campaign.DETERMINISM_FIELDS`)
   are bit-exact functions of each point's seed.  Any mismatch is a *hard*
@@ -60,6 +62,7 @@ __all__ = [
     "bless",
     "check_runtime_manifest",
     "check_traffic_manifest",
+    "check_tune_manifest",
     "compare_campaign_rows",
     "exit_code",
     "format_findings",
@@ -86,10 +89,15 @@ DEFAULT_CAMPAIGN = "ci-gate"
 DEFAULT_CAMPAIGN_BASELINE = _REPO_ROOT / "BENCH_campaign.json"
 DEFAULT_RUNTIME_BASELINE = _REPO_ROOT / "BENCH_runtime.json"
 DEFAULT_TRAFFIC_BASELINE = _REPO_ROOT / "BENCH_traffic.json"
+DEFAULT_TUNE_BASELINE = _REPO_ROOT / "BENCH_tune.json"
 
 #: Structural floor of the committed traffic baseline: the acceptance grid
 #: covers at least this many distinct schemes on both deterministic schedulers.
 TRAFFIC_MIN_SCHEMES = 3
+
+#: Structural floor of the committed tune baseline: the threshold sweep
+#: certifies best rows for at least this many distinct schemes.
+TUNE_MIN_SCHEMES = 3
 
 
 class RegressError(RuntimeError):
@@ -291,6 +299,61 @@ def check_traffic_manifest(payload: Mapping[str, Any]) -> List[Finding]:
     return findings
 
 
+def check_tune_manifest(payload: Mapping[str, Any]) -> List[Finding]:
+    """Sanity-check the committed ``BENCH_tune.json`` auto-tuner manifest.
+
+    The manifest is blessed by ``repro tune --bless`` (grid rows go through
+    the same campaign cache as every other point); the gate checks that the
+    *recorded* baseline still documents a trustworthy threshold table: grid
+    rows exist, every best row carries a re-run determinism certificate
+    (``fingerprint`` bit-equal to ``refingerprint`` — the winner replayed
+    from scratch must reproduce the cached run exactly), and best rows cover
+    at least :data:`TUNE_MIN_SCHEMES` distinct schemes.  Tune rows reuse the
+    campaign row schema, so there is deliberately no schema-version coupling
+    here beyond what the campaign gate already enforces.
+    """
+    name = "BENCH_tune.json"
+    rows = payload.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return [Finding("hard", name, "rows", "manifest has no tune grid rows")]
+    best = payload.get("best")
+    if not isinstance(best, list) or not best:
+        return [Finding("hard", name, "best", "manifest has no best-threshold rows")]
+    findings: List[Finding] = []
+    schemes = set()
+    for row in best:
+        if not isinstance(row, dict) or "scheme" not in row:
+            return [Finding("hard", name, "best", "malformed best row without a 'scheme' key")]
+        schemes.add(str(row["scheme"]))
+        case = str(row.get("best_case", row["scheme"]))
+        fingerprint = row.get("fingerprint")
+        refingerprint = row.get("refingerprint")
+        if not fingerprint or not refingerprint:
+            findings.append(
+                Finding("hard", case, "refingerprint", "best row has no re-run determinism certificate")
+            )
+        elif fingerprint != refingerprint:
+            findings.append(
+                Finding(
+                    "hard",
+                    case,
+                    "refingerprint",
+                    f"winner re-run diverged from its recorded run: {fingerprint!r} vs {refingerprint!r}",
+                )
+            )
+    if len(schemes) < TUNE_MIN_SCHEMES:
+        findings.append(
+            Finding(
+                "fail",
+                name,
+                "schemes",
+                f"baseline certifies best rows for {len(schemes)} scheme(s); "
+                f"the tune gate expects at least {TUNE_MIN_SCHEMES}",
+            )
+        )
+    return findings
+
+
 def _timed_run(campaign: str, *, jobs: Optional[int], cache_dir: Optional[Path], refresh: bool, scheduler: Optional[str] = None) -> CampaignReport:
     return run_campaign(
         campaign,
@@ -372,6 +435,7 @@ def run_regress(
     baseline_path: Path = DEFAULT_CAMPAIGN_BASELINE,
     runtime_baseline_path: Optional[Path] = DEFAULT_RUNTIME_BASELINE,
     traffic_baseline_path: Optional[Path] = DEFAULT_TRAFFIC_BASELINE,
+    tune_baseline_path: Optional[Path] = DEFAULT_TUNE_BASELINE,
     soft: bool = False,
     jobs: Optional[int] = None,
     fresh: bool = True,
@@ -516,6 +580,29 @@ def run_regress(
                 )
             else:
                 findings.extend(check_traffic_manifest(traffic_payload))
+    if tune_baseline_path is not None:
+        tune_baseline_path = Path(tune_baseline_path)
+        if not tune_baseline_path.exists():
+            # Same policy as the traffic manifest: the default file missing is
+            # survivable (warn); an explicit path must exist — 'none' opts out.
+            level = "warn" if tune_baseline_path == DEFAULT_TUNE_BASELINE else "hard"
+            findings.append(
+                Finding(
+                    level,
+                    str(tune_baseline_path),
+                    "file",
+                    "tune manifest not found; run `repro tune --bless` to record one",
+                )
+            )
+        else:
+            try:
+                tune_payload = json.loads(tune_baseline_path.read_text())
+            except ValueError as exc:
+                findings.append(
+                    Finding("hard", str(tune_baseline_path), "json", f"unreadable manifest: {exc}")
+                )
+            else:
+                findings.extend(check_tune_manifest(tune_payload))
 
     print_fn(format_findings(findings))
     code = exit_code(findings)

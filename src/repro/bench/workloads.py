@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 from repro.api.registry import (
     BenchmarkInfo,
@@ -141,6 +141,13 @@ class LockBenchConfig:
         seed: Seed for the per-rank random generators.
         t_dc / t_l / t_r / t_w: RMA-RW thresholds (ignored by other schemes;
             ``t_l`` also applies to RMA-MCS).
+        params: Generic scheme-parameter overlay, ``(name, value)`` pairs (a
+            mapping is normalized to a sorted tuple).  Values are validated
+            and coerced against the scheme's registered
+            :class:`~repro.api.registry.ParamSpec` declarations and applied
+            on top of the legacy per-field thresholds above, so third-party
+            schemes (and non-``t_*`` thresholds such as ``hbo``'s backoff
+            caps) are parameterizable without dedicated config fields.
         cs_compute_us: Bounds of the random in-CS computation used by WCSB.
         wait_after_release_us: Bounds of the random post-release wait of WARB.
         warmup_fraction: Leading fraction of samples discarded, as in the paper.
@@ -156,6 +163,7 @@ class LockBenchConfig:
     t_l: Optional[Sequence[int]] = None
     t_r: int = 64
     t_w: Optional[int] = None
+    params: Tuple[Tuple[str, object], ...] = ()
     cs_compute_us: Tuple[float, float] = (1.0, 4.0)
     wait_after_release_us: Tuple[float, float] = (1.0, 4.0)
     warmup_fraction: float = 0.1
@@ -173,6 +181,16 @@ class LockBenchConfig:
                 f"protocol and cannot run under the lock benchmark harness"
             )
         get_benchmark(self.benchmark)
+        overlay = self.params
+        if isinstance(overlay, Mapping):
+            overlay = tuple(sorted(overlay.items()))
+        else:
+            overlay = tuple((str(k), v) for k, v in overlay)
+        for key, value in overlay:
+            # Unknown names raise UnknownNameError here (with a did-you-mean
+            # list), not deep inside a campaign worker.
+            scheme_info.param(key).coerce(value)
+        object.__setattr__(self, "params", overlay)
         if self.iterations < 1:
             raise ValueError("iterations must be >= 1")
         if not 0.0 <= self.fw <= 1.0:

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import difflib
+import json
 import sys
 from dataclasses import fields as _dataclass_fields
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -100,14 +101,54 @@ def _config_threshold_params() -> Dict[str, Tuple[ParamSpec, List[str]]]:
 
 
 def _add_threshold_flags(parser: argparse.ArgumentParser) -> None:
-    """Add one generated ``--<param>`` flag per registry threshold parameter."""
+    """Add one generated ``--<param>`` flag per registry threshold parameter.
+
+    Deprecated aliases: ``--param NAME=VALUE`` (below) covers every scheme
+    parameter the registry declares — including ones without a
+    ``LockBenchConfig`` field — so these per-field flags remain only for
+    backward compatibility.
+    """
     for name, (param, users) in _config_threshold_params().items():
         flag = "--" + name.replace("_", "-")
-        help_text = f"{param.help} [schemes: {', '.join(users)}]"
+        help_text = (
+            f"{param.help} [schemes: {', '.join(users)}; "
+            f"deprecated alias of --param {name}=VALUE]"
+        )
         if param.sequence:
             parser.add_argument(flag, type=param.type, nargs="+", default=param.default, help=help_text)
         else:
             parser.add_argument(flag, type=param.type, default=param.default, help=help_text)
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        dest="scheme_params",
+        help="set any registered scheme parameter by name (repeatable); "
+        "see 'repro info' / repro.api.get_scheme(...).params for the "
+        "per-scheme catalogue — third-party @register_scheme locks "
+        "included",
+    )
+
+
+def _parse_param_assignments(pairs: Sequence[str]) -> Tuple[Tuple[str, object], ...]:
+    """Parse repeated ``NAME=VALUE`` flags into overlay pairs.
+
+    Values parse as JSON when possible (numbers, lists for sequence
+    parameters) and fall back to the raw string; type coercion and unknown
+    name errors are the registry's job (``LockBenchConfig.__post_init__``).
+    """
+    out: List[Tuple[str, object]] = []
+    for pair in pairs:
+        name, sep, raw = pair.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"--param expects NAME=VALUE, got {pair!r}")
+        try:
+            value: object = json.loads(raw)
+        except ValueError:
+            value = raw
+        out.append((name.replace("-", "_"), value))
+    return tuple(out)
 
 
 def _threshold_kwargs(args: argparse.Namespace) -> Dict[str, object]:
@@ -118,6 +159,9 @@ def _threshold_kwargs(args: argparse.Namespace) -> Dict[str, object]:
         if value is None:
             continue
         kwargs[name] = tuple(value) if param.sequence else value
+    overlay = _parse_param_assignments(getattr(args, "scheme_params", ()) or ())
+    if overlay:
+        kwargs["params"] = overlay
     return kwargs
 
 
@@ -214,6 +258,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="perf manifest to sanity-check (default: <repo>/BENCH_runtime.json); 'none' skips")
     regress.add_argument("--traffic-baseline", default=None,
                          help="traffic manifest to sanity-check (default: <repo>/BENCH_traffic.json); 'none' skips")
+    regress.add_argument("--tune-baseline", default=None,
+                         help="tune manifest to sanity-check (default: <repo>/BENCH_tune.json); 'none' skips")
     regress.add_argument("--soft", action="store_true",
                          help="use the loose throughput tolerance (for noisy shared runners)")
     regress.add_argument("--jobs", type=int, default=None, help="worker processes for the campaign")
@@ -341,6 +387,47 @@ def build_parser() -> argparse.ArgumentParser:
     traffic.add_argument("--baseline", default=None,
                          help="baseline manifest path for --bless (default: <repo>/BENCH_traffic.json)")
 
+    tune = sub.add_parser(
+        "tune",
+        help="offline threshold auto-tuner: sweep registry-declared parameter "
+             "grids, report best-known thresholds per scheme x scenario",
+    )
+    tune.add_argument("--scheme", default=None,
+                      help="tune one scheme only (default: the built-in suite)")
+    tune.add_argument("--tune-param", dest="tune_param", default=None,
+                      help="with --scheme: the parameter to sweep (default: every "
+                           "tunable parameter the scheme registered)")
+    tune.add_argument("--scenario", default=None,
+                      help="with --scheme: the traffic scenario to tune on "
+                           "(default: traffic-zipf)")
+    tune.add_argument("--procs", type=int, default=None,
+                      help="process count per point (default: the suite's)")
+    tune.add_argument("--iterations", type=int, default=None,
+                      help="requests per rank (default: the suite's)")
+    tune.add_argument("--scheduler", choices=schedulers, default="horizon",
+                      help="simulator core (fingerprints are scheduler-invariant)")
+    tune.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (default: REPRO_JOBS or all cores)")
+    tune.add_argument("--smoke", action="store_true",
+                      help="small CI grid: 3 schemes, one axis each, P=16")
+    tune.add_argument("--import", dest="imports", action="append", default=[],
+                      metavar="MODULE",
+                      help="import a third-party lock provider first (module name "
+                           "or path/to/file.py; repeatable) so its @register_scheme "
+                           "locks can be tuned")
+    tune.add_argument("--no-cache", action="store_true",
+                      help="compute every point, store nothing")
+    tune.add_argument("--refresh", action="store_true",
+                      help="ignore cached rows but refresh the cache with fresh results")
+    tune.add_argument("--cache-dir", default=None,
+                      help="cache root (default: <repo>/.repro-cache)")
+    tune.add_argument("--output", default=None,
+                      help="write the tune manifest as a JSON report (CI artifact)")
+    tune.add_argument("--bless", action="store_true",
+                      help="record a new BENCH_tune.json baseline through the campaign cache")
+    tune.add_argument("--baseline", default=None,
+                      help="baseline manifest path for --bless (default: <repo>/BENCH_tune.json)")
+
     info = sub.add_parser("info", help="describe a simulated machine and the portability table")
     info.add_argument("--procs", type=int, default=64)
     info.add_argument("--procs-per-node", type=int, default=8)
@@ -389,15 +476,21 @@ def _run_figures(args: argparse.Namespace) -> int:
 
 def _run_bench(args: argparse.Namespace) -> int:
     machine = xc30_like(args.procs, procs_per_node=args.procs_per_node)
-    config = LockBenchConfig(
-        machine=machine,
-        scheme=args.scheme,
-        benchmark=args.benchmark,
-        iterations=args.iterations,
-        fw=args.fw,
-        seed=args.seed,
-        **_threshold_kwargs(args),
-    )
+    try:
+        config = LockBenchConfig(
+            machine=machine,
+            scheme=args.scheme,
+            benchmark=args.benchmark,
+            iterations=args.iterations,
+            fw=args.fw,
+            seed=args.seed,
+            **_threshold_kwargs(args),
+        )
+    except ValueError as exc:
+        # Covers UnknownNameError from a bad --param name, with its
+        # did-you-mean suggestion intact.
+        print(f"invalid benchmark configuration: {exc}", file=sys.stderr)
+        return 2
     result = run_lock_benchmark(config, scheduler=args.scheduler)
     print(format_table([result.as_row()]))
     print(f"\nRMA operations issued: {sum(result.op_counts.values())} ({dict(sorted(result.op_counts.items()))})")
@@ -697,12 +790,19 @@ def _run_regress(args: argparse.Namespace) -> int:
         traffic_baseline = Path(args.traffic_baseline)
     else:
         traffic_baseline = regress_mod.DEFAULT_TRAFFIC_BASELINE
+    if args.tune_baseline == "none":
+        tune_baseline = None
+    elif args.tune_baseline:
+        tune_baseline = Path(args.tune_baseline)
+    else:
+        tune_baseline = regress_mod.DEFAULT_TUNE_BASELINE
     try:
         return regress_mod.run_regress(
             campaign=args.campaign,
             baseline_path=baseline,
             runtime_baseline_path=runtime_baseline,
             traffic_baseline_path=traffic_baseline,
+            tune_baseline_path=tune_baseline,
             soft=args.soft,
             jobs=args.jobs,
             fresh=not args.reuse_cache,
@@ -928,6 +1028,104 @@ def _run_traffic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_tune(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.api.registry import UnknownNameError, get_scheme
+    from repro.control import tune as tune_mod
+
+    for token in args.imports:
+        try:
+            _load_provider(token)
+        except (ImportError, FileNotFoundError) as exc:
+            print(f"cannot import provider {token!r}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        grids = None
+        if args.scheme is not None:
+            scenario = args.scenario or "traffic-zipf"
+            params = (
+                [args.tune_param]
+                if args.tune_param
+                else [p.name for p in get_scheme(args.scheme).tunable_params()]
+            )
+            if not params:
+                print(
+                    f"scheme {args.scheme!r} declares no tunable parameters",
+                    file=sys.stderr,
+                )
+                return 2
+            overrides = {}
+            if args.procs is not None:
+                overrides["procs"] = args.procs
+            if args.iterations is not None:
+                overrides["iterations"] = args.iterations
+            grids = [
+                tune_mod.TuneGrid(
+                    scheme=args.scheme,
+                    param=param,
+                    scenario=scenario,
+                    values=tune_mod.derive_axis(args.scheme, param),
+                    **overrides,
+                )
+                for param in params
+            ]
+        cache_dir = Path(args.cache_dir) if args.cache_dir else None
+        if args.bless:
+            baseline = (
+                Path(args.baseline) if args.baseline else tune_mod.DEFAULT_TUNE_BASELINE
+            )
+            report = tune_mod.bless_tune(
+                baseline, grids=grids, jobs=args.jobs, cache_dir=cache_dir,
+                smoke=args.smoke,
+            )
+        else:
+            report = tune_mod.run_tune(
+                grids,
+                jobs=args.jobs,
+                cache=False if args.no_cache else None,
+                cache_dir=cache_dir,
+                refresh=args.refresh,
+                scheduler=args.scheduler,
+                smoke=args.smoke,
+            )
+    except (UnknownNameError, ValueError, RuntimeError) as exc:
+        print(f"tune sweep cannot run: {exc}", file=sys.stderr)
+        return 2
+    print(tune_mod.render_sensitivity(report))
+    best_rows = [
+        {
+            "scheme": b["scheme"],
+            "scenario": b["benchmark"],
+            "P": b["P"],
+            "param": b["param"],
+            "best": b["best_value"],
+            "p99_us": round(b["e2e_p99_us"], 2),
+            "default_p99_us": round(b["default_p99_us"], 2),
+            "improvement_pct": b["improvement_pct"],
+            "certified": "yes" if b["fingerprint"] == b["refingerprint"] else "NO",
+        }
+        for b in report.best
+    ]
+    print("\nBest-known thresholds (winner re-run certifies the fingerprint):")
+    print(format_table(best_rows))
+    print(
+        f"\ntune: {report.points} grid points on {report.scheduler}, "
+        f"{report.cache_hits} cached / {report.cache_misses} computed, "
+        f"{report.wall_s:.2f}s wall (cache epoch {report.epoch})"
+    )
+    if args.bless:
+        baseline = Path(args.baseline) if args.baseline else tune_mod.DEFAULT_TUNE_BASELINE
+        print(f"blessed {baseline} ({report.points} rows, {len(report.best)} best rows)")
+        if args.output and Path(args.output) != baseline:
+            Path(args.output).write_text(baseline.read_text())
+            print(f"wrote {args.output}")
+    elif args.output:
+        path = tune_mod.write_tune_json(report, Path(args.output))
+        print(f"wrote {path}")
+    return 0
+
+
 def _run_info(args: argparse.Namespace) -> int:
     machine = xc30_like(args.procs, procs_per_node=args.procs_per_node)
     print(f"Machine: {machine.describe()}")
@@ -959,6 +1157,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_perf(args)
     if args.command == "campaign":
         return _run_campaign(args)
+    if args.command == "tune":
+        return _run_tune(args)
     if args.command == "regress":
         return _run_regress(args)
     if args.command == "conform":

@@ -1,0 +1,419 @@
+"""The online half of the adaptive control plane: declarative policy switching.
+
+The paper's Section 5 sensitivity analysis shows the best lock design (and
+the best DC/DR/DW/DT thresholds within one design) depend on the read
+fraction and the contention level — exactly the quantities the traffic
+engine's phased scenarios vary mid-run.  This module turns that observation
+into a *controller*: a declarative :class:`PolicyTable` maps per-entry
+traffic statistics (read fraction, waiter depth) to a target scheme +
+thresholds, and a :class:`PolicyController` executes the resulting
+:class:`SwapPlan` at :class:`~repro.traffic.generators.Phase` boundaries as
+collective, bit-reproducible virtual-time events.
+
+Determinism contract — the part that makes adaptive runs gate-able:
+
+* Decisions are derived **only from virtual-time state**: the per-entry
+  per-phase statistics come from the materialized request schedules (pure
+  functions of ``(scenario, seed, rank)``), never from measured wall time or
+  scheduler-dependent quantities.  :func:`build_swap_plan` therefore computes
+  the identical plan under the horizon, baseline and vector schedulers and
+  under any ``--jobs`` setting.
+* A swap executes at a phase boundary as a *drain-then-reinit* crossing:
+  every rank barriers (so no holder is in flight), rewrites its **own**
+  window words of the affected slabs to the new scheme's initial values,
+  flushes, installs the new spec into the shared :class:`TableEntry` slot
+  (idempotent, version-guarded — any rank may install, exactly one does)
+  and barriers again.  Handles rebuild lazily from the entry version; an
+  attached oracle observer survives the rebuild, so safety/fairness
+  verdicts span the swap.
+* An empty plan adds **zero** barriers and zero RMA operations: a null
+  policy is bit-identical to a policy-free run.
+
+The offline half (``repro tune``, :mod:`repro.control.tune`) produces the
+best-known thresholds this table feeds from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.api.registry import SchemeInfo, get_scheme
+
+# repro.traffic imports this module at scenario-registration time, so the
+# traffic imports below must stay function-local (importing the traffic
+# package here would close the cycle).
+if False:  # pragma: no cover - typing only
+    from repro.traffic.generators import TrafficScenario
+    from repro.traffic.table import LockTableSpec
+
+__all__ = [
+    "EntryPhaseStats",
+    "EntrySwap",
+    "PolicyController",
+    "PolicyRule",
+    "PolicyTable",
+    "SwapPlan",
+    "build_swap_plan",
+    "policy_min_entry_words",
+    "policy_schemes",
+]
+
+
+@dataclass(frozen=True)
+class EntryPhaseStats:
+    """Virtual-time traffic statistics of one table entry during one phase.
+
+    ``read_fraction`` is the fraction of the entry's requests arriving as
+    reads; ``waiter_depth`` is the offered critical-section utilization
+    (total CS time over the phase span, summed across ranks) — a value above
+    1.0 means the entry cannot serve its offered load without queueing, the
+    virtual-time proxy for a deep waiter queue.
+    """
+
+    entry: int
+    phase: int
+    requests: int
+    writes: int
+    cs_us_total: float
+    span_us: float
+
+    @property
+    def read_fraction(self) -> float:
+        if self.requests <= 0:
+            return 0.0
+        return 1.0 - self.writes / self.requests
+
+    @property
+    def waiter_depth(self) -> float:
+        if self.span_us <= 0.0:
+            return 0.0
+        return self.cs_us_total / self.span_us
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One row of a policy table: a stats window mapped to a target scheme.
+
+    A rule *matches* a stats row when the entry saw at least ``min_requests``
+    requests and both the read fraction and the waiter depth fall inside the
+    rule's closed bounds.  ``params`` are the thresholds passed to the target
+    scheme's registered builder (e.g. ``(("t_r", 256),)`` for a read-heavy
+    ``rma-rw`` rule) — validated against the scheme's
+    :class:`~repro.api.registry.ParamSpec` declarations, so third-party
+    ``@register_scheme`` locks are valid targets for free.
+    """
+
+    name: str
+    scheme: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    min_read_fraction: float = 0.0
+    max_read_fraction: float = 1.0
+    min_waiter_depth: float = 0.0
+    max_waiter_depth: float = math.inf
+    min_requests: int = 1
+
+    def __post_init__(self) -> None:
+        if isinstance(self.params, Mapping):
+            object.__setattr__(self, "params", tuple(sorted(self.params.items())))
+        else:
+            object.__setattr__(self, "params", tuple((k, v) for k, v in self.params))
+        info = get_scheme(self.scheme)
+        if not info.harness:
+            raise ValueError(
+                f"policy rule {self.name!r} targets scheme {self.scheme!r}, which "
+                f"does not follow the plain lock-handle protocol and cannot be "
+                f"placed into a table entry"
+            )
+        for key, value in self.params:
+            info.param(key)  # raises UnknownNameError for unknown thresholds
+        if not 0.0 <= self.min_read_fraction <= self.max_read_fraction <= 1.0:
+            raise ValueError("read-fraction bounds must satisfy 0 <= min <= max <= 1")
+        if not 0.0 <= self.min_waiter_depth <= self.max_waiter_depth:
+            raise ValueError("waiter-depth bounds must satisfy 0 <= min <= max")
+        if self.min_requests < 1:
+            raise ValueError("min_requests must be >= 1")
+
+    def matches(self, stats: EntryPhaseStats) -> bool:
+        if stats.requests < self.min_requests:
+            return False
+        return (
+            self.min_read_fraction <= stats.read_fraction <= self.max_read_fraction
+            and self.min_waiter_depth <= stats.waiter_depth <= self.max_waiter_depth
+        )
+
+    def build_spec(self, machine: Any) -> Tuple[Any, SchemeInfo]:
+        """Build the rule's target base spec for ``machine``."""
+        info = get_scheme(self.scheme)
+        return info.build(machine, **dict(self.params)), info
+
+
+@dataclass(frozen=True)
+class PolicyTable:
+    """An ordered rule list plus a per-boundary swap budget.
+
+    ``decide`` returns the first matching rule (order is priority).  The
+    budget caps how many entries may swap at one boundary — the hottest
+    entries (most requests in the decision phase) win, which bounds the
+    re-initialization traffic a crossing injects.
+    """
+
+    rules: Tuple[PolicyRule, ...] = ()
+    max_swaps_per_boundary: int = 4
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        if self.max_swaps_per_boundary < 1:
+            raise ValueError("max_swaps_per_boundary must be >= 1")
+
+    def decide(self, stats: EntryPhaseStats) -> Optional[PolicyRule]:
+        for rule in self.rules:
+            if rule.matches(stats):
+                return rule
+        return None
+
+
+@dataclass(frozen=True)
+class EntrySwap:
+    """One planned scheme-slot install: entry × boundary × target version."""
+
+    boundary: int
+    entry_index: int
+    version: int
+    scheme: str
+    rw: bool
+    rule: str
+    spec: Any
+
+
+@dataclass(frozen=True)
+class SwapPlan:
+    """The precomputed swap schedule of one run.
+
+    ``num_boundaries`` counts the scenario's finite phase boundaries; a rank
+    crosses each exactly once, in order (see :class:`PolicyController`).  An
+    ``empty`` plan (no swaps) short-circuits to the policy-free program —
+    zero extra barriers, zero extra RMA ops, bit-identical fingerprints.
+    """
+
+    num_boundaries: int
+    swaps: Tuple[EntrySwap, ...] = ()
+    by_boundary: Mapping[int, Tuple[EntrySwap, ...]] = field(
+        default=None, init=False, compare=False, repr=False  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        grouped: Dict[int, List[EntrySwap]] = {}
+        for swap in self.swaps:
+            grouped.setdefault(swap.boundary, []).append(swap)
+        object.__setattr__(
+            self, "by_boundary", {b: tuple(s) for b, s in grouped.items()}
+        )
+
+    @property
+    def empty(self) -> bool:
+        return not self.swaps
+
+    def swaps_at(self, boundary: int) -> Tuple[EntrySwap, ...]:
+        return self.by_boundary.get(boundary, ())
+
+
+def policy_schemes(policy: PolicyTable) -> Tuple[str, ...]:
+    """The distinct target schemes of ``policy``, in rule order."""
+    out: List[str] = []
+    for rule in policy.rules:
+        if rule.scheme not in out:
+            out.append(rule.scheme)
+    return tuple(out)
+
+
+def policy_min_entry_words(machine: Any, policy: PolicyTable) -> int:
+    """Slab floor so every rule's target scheme fits any table entry.
+
+    Scenario registrations pass this as ``build_lock_table``'s
+    ``min_entry_words``, so a table built for (say) ``fompi-spin`` still has
+    room to place an ``rma-rw`` spec with its larger distributed-counter
+    footprint.
+    """
+    words = 0
+    for rule in policy.rules:
+        spec, _ = rule.build_spec(machine)
+        words = max(words, spec.window_words)
+    return words
+
+
+def build_swap_plan(
+    scenario: TrafficScenario,
+    config: Any,
+    table: Any,
+    policy: Optional[PolicyTable],
+) -> SwapPlan:
+    """Compute the deterministic swap schedule of one scenario run.
+
+    Statistics are aggregated from **all** ranks' materialized request
+    schedules — pure virtual-time state, identical across schedulers and job
+    counts.  Decisions are reactive: the crossing into phase ``b + 1`` uses
+    the statistics of phase ``b`` (always a finite phase, so spans are well
+    defined).  Per boundary, at most ``policy.max_swaps_per_boundary``
+    entries swap, hottest first (ties broken by entry index).
+    """
+    from repro.traffic.generators import generate_schedule
+    from repro.traffic.table import LockTableSpec
+
+    phases = scenario.effective_phases()
+    ends: List[float] = []
+    t_end = 0.0
+    for phase in phases:
+        t_end = math.inf if phase.duration_us is None else t_end + float(phase.duration_us)
+        ends.append(t_end)
+    finite_ends = [e for e in ends[:-1] if math.isfinite(e)]
+    num_boundaries = len(finite_ends)
+    if (
+        policy is None
+        or not policy.rules
+        or num_boundaries == 0
+        or not isinstance(table, LockTableSpec)
+    ):
+        return SwapPlan(num_boundaries=0)
+
+    machine = config.machine
+    nranks = int(machine.num_processes)
+    requests = int(config.iterations)
+    fw_default = float(config.fw)
+    seed = int(config.seed)
+    num_locks = table.num_locks
+    num_phases = len(phases)
+
+    counts = np.zeros(num_phases * num_locks, dtype=np.int64)
+    writes = np.zeros(num_phases * num_locks, dtype=np.float64)
+    cs_tot = np.zeros(num_phases * num_locks, dtype=np.float64)
+    for rank in range(nranks):
+        sched = generate_schedule(scenario, seed, rank, requests, fw_default)
+        if not len(sched):
+            continue
+        entries = np.mod(sched.lock_index, num_locks)
+        keys = sched.phase * num_locks + entries
+        counts += np.bincount(keys, minlength=counts.size)
+        writes += np.bincount(keys, weights=sched.is_write.astype(np.float64), minlength=counts.size)
+        cs_tot += np.bincount(keys, weights=sched.cs_us, minlength=counts.size)
+
+    swaps: List[EntrySwap] = []
+    versions: Dict[int, int] = {}
+    # Planned identity per entry; params start as None ("construction-time
+    # thresholds, unknown here"), so a rule targeting the run's own scheme
+    # still swaps once to pin its thresholds.
+    current: Dict[int, Tuple[str, Any]] = {}
+    initial = (table.scheme, None)
+    phase_start = 0.0
+    for boundary in range(num_boundaries):
+        span = finite_ends[boundary] - phase_start
+        phase_start = finite_ends[boundary]
+        candidates: List[Tuple[int, int, PolicyRule, EntryPhaseStats]] = []
+        base_key = boundary * num_locks
+        for entry_index in range(num_locks):
+            n = int(counts[base_key + entry_index])
+            if n == 0:
+                continue
+            stats = EntryPhaseStats(
+                entry=entry_index,
+                phase=boundary,
+                requests=n,
+                writes=int(writes[base_key + entry_index]),
+                cs_us_total=float(cs_tot[base_key + entry_index]),
+                span_us=span,
+            )
+            rule = policy.decide(stats)
+            if rule is None:
+                continue
+            if current.get(entry_index, initial) == (rule.scheme, rule.params):
+                continue
+            candidates.append((n, entry_index, rule, stats))
+        candidates.sort(key=lambda c: (-c[0], c[1]))
+        for n, entry_index, rule, _ in candidates[: policy.max_swaps_per_boundary]:
+            spec, info = rule.build_spec(machine)
+            # Validate placement now — a slab too small for the rule's scheme
+            # should fail at plan time with a clear message, not mid-run.
+            table.entry(entry_index).place(spec, nranks=nranks)
+            versions[entry_index] = versions.get(entry_index, 0) + 1
+            swaps.append(
+                EntrySwap(
+                    boundary=boundary,
+                    entry_index=entry_index,
+                    version=versions[entry_index],
+                    scheme=rule.scheme,
+                    rw=info.rw,
+                    rule=rule.name,
+                    spec=spec,
+                )
+            )
+            current[entry_index] = (rule.scheme, rule.params)
+    return SwapPlan(num_boundaries=num_boundaries, swaps=tuple(swaps))
+
+
+class PolicyController:
+    """Executes a :class:`SwapPlan` against a live table, one crossing at a time.
+
+    The controller itself is stateless across ranks (per-rank progress lives
+    in the rank program); :meth:`cross` is the collective drain-reinit-install
+    event every rank performs at each plan boundary:
+
+    1. ``barrier()`` — no request is in flight, every holder has released —
+       followed by a value-producing ``get`` fence, so descriptor-batched
+       runtimes that buffer barriers cannot let one rank's install race
+       ahead of another rank's pre-boundary requests in thread time.
+    2. Each rank rewrites its **own** window words of every swapping entry's
+       slab to the placed spec's initial values (zero where the spec declares
+       nothing) and flushes — the deterministic re-initialization.
+    3. Each rank attempts the version-guarded install into the shared
+       :class:`~repro.traffic.table.TableEntry`; the first attempt wins,
+       the rest are no-ops, so no leader election is needed.
+    4. ``barrier()`` — all ranks observe the new slot before any request of
+       the next phase issues; handles rebuild lazily from the version bump.
+    """
+
+    def __init__(self, table: LockTableSpec, plan: SwapPlan):
+        self.table = table
+        self.plan = plan
+
+    @property
+    def num_boundaries(self) -> int:
+        return self.plan.num_boundaries
+
+    def cross(self, ctx: Any, boundary: int) -> int:
+        """Perform the collective crossing of ``boundary``; returns swap count."""
+        ctx.barrier()
+        swaps = self.plan.swaps_at(boundary)
+        if swaps:
+            rank = ctx.rank
+            # Real-time fence.  Descriptor-batched runtimes (the vector
+            # scheduler) buffer barriers without blocking the rank's thread,
+            # so without a value-producing operation here a fast rank could
+            # run the install below — a Python-level effect on the shared
+            # TableEntry, applied at *thread* time — while a slow rank is
+            # still serving pre-boundary requests against the old slot.  A
+            # get's result can only be delivered once the barrier above has
+            # completed, which requires every rank to have executed all of
+            # its pre-boundary program code first, so the install is ordered
+            # after every pre-boundary read of the slot in real time as well
+            # as virtual time.
+            ctx.get(rank, self.table.entry(swaps[0].entry_index).base_offset)
+            for swap in swaps:
+                entry = self.table.entry(swap.entry_index)
+                placed = entry.place(swap.spec, nranks=ctx.nranks)
+                inits = placed.init_window(rank)
+                for offset in range(entry.base_offset, entry.base_offset + entry.stride):
+                    ctx.put(int(inits.get(offset, 0)), rank, offset)
+            ctx.flush(rank)
+            for swap in swaps:
+                self.table.entry(swap.entry_index).swap_spec(
+                    swap.spec,
+                    rw=swap.rw,
+                    scheme=swap.scheme,
+                    nranks=ctx.nranks,
+                    version=swap.version,
+                )
+        ctx.barrier()
+        return len(swaps)

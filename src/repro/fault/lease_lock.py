@@ -215,7 +215,7 @@ class LeaseLockHandle(LockHandle):
     "lease-lock",
     category="fault",
     params=(
-        ParamSpec("home_rank", int, 0, "rank holding the lock word"),
+        ParamSpec("home_rank", int, 0, "rank holding the lock word", tunable=False),
         ParamSpec("lease_us", float, DEFAULT_LEASE_US, "lease term granted per hold [us]"),
         ParamSpec("patience_us", float, DEFAULT_PATIENCE_US, "polling bound before LockTimeout [us]"),
     ),

@@ -190,7 +190,7 @@ class RacyRepairMCSLockHandle(RepairMCSLockHandle):
     "repair-mcs",
     category="fault",
     params=(
-        ParamSpec("home_rank", int, 0, "rank holding the queue TAIL word"),
+        ParamSpec("home_rank", int, 0, "rank holding the queue TAIL word", tunable=False),
     ),
     help="MCS queue lock that splices dead waiters out of the queue on release",
 )
@@ -202,7 +202,7 @@ def _build_repair_mcs(machine, home_rank=0) -> RepairMCSLockSpec:
     "repair-mcs-racy",
     category="fault",
     params=(
-        ParamSpec("home_rank", int, 0, "rank holding the queue TAIL word"),
+        ParamSpec("home_rank", int, 0, "rank holding the queue TAIL word", tunable=False),
     ),
     help="INTENTIONALLY BROKEN repair-mcs variant (orphans a mid-enqueue racer); "
     "kept registered to prove the recovery oracles catch it",

@@ -118,7 +118,7 @@ class TicketLockHandle(LockHandle):
     "ticket",
     category="related-mcs",
     params=(
-        ParamSpec("home_rank", int, 0, "rank hosting NEXT_TICKET and NOW_SERVING"),
+        ParamSpec("home_rank", int, 0, "rank hosting NEXT_TICKET and NOW_SERVING", tunable=False),
     ),
     help="centralized FIFO ticket lock (strongest centralized baseline)",
     # Tickets are served in draw order: after the FAO that draws a ticket, at

@@ -21,6 +21,13 @@ accounting.  The pieces:
 * :mod:`repro.traffic.engine` — the ``repro traffic`` sweep: scheme x
   scenario campaigns with the content-addressed cache, percentile report
   tables and the committed ``BENCH_traffic.json`` baseline.
+
+Every table entry is a mutable *scheme slot* (:class:`TableEntry`): the
+adaptive control plane (:mod:`repro.control`) swaps per-entry schemes and
+thresholds at phase boundaries as deterministic virtual-time events, and
+``repro tune`` maintains the best-known thresholds the policies feed from.
+See the "Adaptive control plane" section of the README for the policy-table
+format and the swap semantics.
 """
 
 from repro.traffic.accounting import (
@@ -42,6 +49,8 @@ from repro.traffic.generators import (
     zipf_head_frequencies,
 )
 from repro.traffic.scenarios import (
+    ADAPTIVE_POLICY,
+    ADAPTIVE_SCENARIO,
     BUILTIN_SCENARIOS,
     register_traffic_scenario,
     scenario_tags,
@@ -50,11 +59,14 @@ from repro.traffic.table import (
     LockTableHandle,
     LockTableSpec,
     StripedLockTableSpec,
+    TableEntry,
     as_lock_table,
     build_lock_table,
 )
 
 __all__ = [
+    "ADAPTIVE_POLICY",
+    "ADAPTIVE_SCENARIO",
     "ARRIVAL_KINDS",
     "BUILTIN_SCENARIOS",
     "KEY_DISTRIBUTIONS",
@@ -65,6 +77,7 @@ __all__ = [
     "Phase",
     "RequestSchedule",
     "StripedLockTableSpec",
+    "TableEntry",
     "TrafficScenario",
     "TrafficSummary",
     "aggregate_traffic",

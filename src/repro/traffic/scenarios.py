@@ -29,15 +29,24 @@ entry, which is the whole integration story in one decorator call:
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any, List, Optional, Sequence
 
 from repro.api.registry import register_benchmark
+from repro.control.policy import (
+    PolicyController,
+    PolicyRule,
+    PolicyTable,
+    build_swap_plan,
+    policy_min_entry_words,
+)
 from repro.core.lock_base import RWLockHandle
 from repro.rma.runtime_base import ProcessContext
 from repro.traffic.generators import Phase, TrafficScenario, generate_schedule
 from repro.traffic.table import as_lock_table, build_lock_table
 
 __all__ = [
+    "ADAPTIVE_POLICY",
+    "ADAPTIVE_SCENARIO",
     "BUILTIN_SCENARIOS",
     "register_traffic_scenario",
     "scenario_tags",
@@ -53,14 +62,40 @@ def scenario_tags(scenario: TrafficScenario) -> tuple:
     return tuple(tags)
 
 
-def _make_traffic_program(scenario: TrafficScenario, config: Any, spec: Any, is_rw: bool):
-    """Build the open-loop rank program for one scenario/config pair."""
+def _make_traffic_program(
+    scenario: TrafficScenario,
+    config: Any,
+    spec: Any,
+    is_rw: bool,
+    policy: Optional[PolicyTable] = None,
+):
+    """Build the open-loop rank program for one scenario/config pair.
+
+    With a ``policy``, the swap plan is computed up front from the
+    materialized schedules (virtual-time state only — see
+    :func:`repro.control.policy.build_swap_plan`); a non-empty plan selects
+    the adaptive program body, which crosses every phase boundary
+    collectively and resolves each request's read/write role against the
+    entry's *current* scheme slot.  An empty plan (null policy, single-phase
+    scenario, striped table) falls back to the policy-free body, which is
+    bit-identical to a run without any policy at all.
+    """
     table = as_lock_table(spec, is_rw)
     draw_role = is_rw and config.is_rw_scheme
     fw_default = float(config.fw)
     requests = int(config.iterations)
     num_locks = table.num_locks
     seed = int(config.seed)
+
+    controller = None
+    if policy is not None:
+        plan = build_swap_plan(scenario, config, table, policy)
+        if not plan.empty:
+            controller = PolicyController(table, plan)
+    if controller is not None:
+        return _make_adaptive_program(
+            scenario, table, controller, requests, seed, fw_default
+        )
 
     def program(ctx: ProcessContext):
         handle = table.make(ctx)
@@ -152,12 +187,149 @@ def _make_traffic_program(scenario: TrafficScenario, config: Any, spec: Any, is_
     return program
 
 
-def register_traffic_scenario(scenario: TrafficScenario, *, replace: bool = False) -> TrafficScenario:
+def _make_adaptive_program(
+    scenario: TrafficScenario,
+    table: Any,
+    controller: PolicyController,
+    requests: int,
+    seed: int,
+    fw_default: float,
+):
+    """The policy-switched variant of the open-loop rank program.
+
+    Differences from the policy-free body, both deterministic in virtual
+    time: (1) every rank crosses each plan boundary exactly once, in order —
+    before serving its first request of a later phase, with any leftover
+    boundaries crossed after its last request, so the collective barriers
+    inside :meth:`PolicyController.cross` always pair up across ranks; (2)
+    each request's read/write role resolves against the entry's *current*
+    scheme slot (a swapped-to plain lock treats every request as a writer).
+    The returned dict additionally carries ``swaps``, the plan swap count
+    every rank observed (a determinism field by construction).
+    """
+
+    def program(ctx: ProcessContext):
+        table.reset_entries()
+        handle = table.make(ctx)
+        observer = getattr(ctx, "observer", None)
+        if observer is not None:
+            # The oracles' invariants are per lock; watch the hottest entry.
+            # The observer survives swaps: rebuilt handles re-wrap with it.
+            handle.observe(observer, index=0)
+        schedule = generate_schedule(scenario, seed, ctx.rank, requests, fw_default)
+        arrivals = schedule.arrival_us
+        lock_ids = schedule.lock_index
+        roles = schedule.is_write
+        cs_times = schedule.cs_us
+        think_times = schedule.think_us
+        phase_ids = schedule.phase
+
+        now = ctx.now
+        compute = ctx.compute
+        table_lock = handle.lock
+        table_entry = table.entry
+        num_locks = table.num_locks
+        num_boundaries = controller.num_boundaries
+        cross = controller.cross
+        ctx.barrier()
+        t_open = now()
+        e2e: List[float] = []
+        acquire_lat: List[float] = []
+        hold_us: List[float] = []
+        out_arrivals: List[float] = []
+        out_phases: List[int] = []
+        write_flags: List[int] = []
+        reads = 0
+        writes = 0
+        swaps_seen = 0
+        next_boundary = 0
+        prev_end = t_open
+        for i in range(requests):
+            while next_boundary < num_boundaries and int(phase_ids[i]) > next_boundary:
+                swaps_seen += cross(ctx, next_boundary)
+                next_boundary += 1
+            arrival = t_open + float(arrivals[i])
+            ready = arrival
+            think = float(think_times[i])
+            if think > 0.0:
+                ready = max(ready, prev_end + think)
+            t_now = now()
+            if ready > t_now:
+                compute(ready - t_now)
+            index = int(lock_ids[i]) % num_locks
+            entry_rw = table_entry(index).rw
+            as_writer = not entry_rw or bool(roles[i])
+            lock = table_lock(index)
+            t0 = now()
+            if entry_rw and not as_writer:
+                rw_lock: RWLockHandle = lock  # type: ignore[assignment]
+                rw_lock.acquire_read()
+            else:
+                lock.acquire()
+            t1 = now()
+            cs = float(cs_times[i])
+            if cs > 0.0:
+                compute(cs)
+            if entry_rw and not as_writer:
+                rw_lock.release_read()
+            else:
+                lock.release()
+            t2 = now()
+            acquire_lat.append(float(t1 - t0))
+            hold_us.append(float(t2 - t1))
+            e2e.append(float(t2 - arrival))
+            out_arrivals.append(float(arrival))
+            out_phases.append(int(phase_ids[i]))
+            write_flags.append(1 if as_writer else 0)
+            if as_writer:
+                writes += 1
+            else:
+                reads += 1
+            prev_end = t2
+        # A rank whose schedule ends early still owes the remaining collective
+        # crossings, or the other ranks' barriers would never pair up.
+        while next_boundary < num_boundaries:
+            swaps_seen += cross(ctx, next_boundary)
+            next_boundary += 1
+        end = now()
+        ctx.barrier()
+        return {
+            "start": t_open,
+            "end": end,
+            "latencies": e2e,
+            "acquire_latencies": acquire_lat,
+            "hold_us": hold_us,
+            "arrivals": out_arrivals,
+            "phases": out_phases,
+            "write_flags": write_flags,
+            "reads": reads,
+            "writes": writes,
+            "swaps": swaps_seen,
+        }
+
+    return program
+
+
+def register_traffic_scenario(
+    scenario: TrafficScenario,
+    *,
+    policy: Optional[PolicyTable] = None,
+    tags: Optional[Sequence[str]] = None,
+    replace: bool = False,
+) -> TrafficScenario:
     """Register ``scenario`` as a benchmark; returns the scenario unchanged.
 
     After this, every consumer of the benchmark registry can drive it: the
     harness, ``Cluster.bench``, campaign grids (via the ``traffic`` selector),
     the conformance sweep and the ``repro traffic`` CLI.
+
+    ``policy`` attaches an adaptive :class:`~repro.control.policy.PolicyTable`
+    to the scenario: the registered table is built with slabs large enough
+    for every rule's target scheme and the rank program executes the
+    deterministic swap plan at phase boundaries.  ``tags`` overrides the
+    default :func:`scenario_tags` (adaptive scenarios register under
+    ``"traffic-adaptive"`` so the policy-free ``traffic`` selector grids stay
+    unchanged).
     """
 
     def _spec_transform(config: Any, spec: Any, is_rw: bool, _scenario=scenario) -> Any:
@@ -165,8 +337,12 @@ def register_traffic_scenario(scenario: TrafficScenario, *, replace: bool = Fals
 
         info = get_scheme(config.scheme)
         params = info.params_from_config(config) if info.harness else None
+        min_entry_words = (
+            policy_min_entry_words(config.machine, policy) if policy is not None else 0
+        )
         table, _ = build_lock_table(
-            config.machine, config.scheme, _scenario.num_locks, params=params
+            config.machine, config.scheme, _scenario.num_locks, params=params,
+            min_entry_words=min_entry_words,
         )
         return table
 
@@ -175,11 +351,11 @@ def register_traffic_scenario(scenario: TrafficScenario, *, replace: bool = Fals
         help=scenario.help or f"open-loop traffic: {scenario.arrival} arrivals, "
         f"{scenario.key_dist} keys over {scenario.num_locks} locks",
         spec_transform=_spec_transform,
-        tags=scenario_tags(scenario),
+        tags=tuple(tags) if tags is not None else scenario_tags(scenario),
         replace=replace,
     )
     def _factory(config, spec, is_rw, shared_offset, _scenario=scenario):
-        return _make_traffic_program(_scenario, config, spec, is_rw)
+        return _make_traffic_program(_scenario, config, spec, is_rw, policy=policy)
 
     return scenario
 
@@ -251,4 +427,51 @@ BUILTIN_SCENARIOS = tuple(
             ),
         ),
     )
+)
+
+#: The built-in adaptive policy: the paper's Section 5 guidance as two rules.
+#: A read-dominated entry runs the reader-writer lock with a high reader
+#: threshold (long reader leases, writes rare enough to absorb the preemption
+#: cost); a write-dominated entry runs the queue-based d-mcs lock (FIFO
+#: handoff beats reader batching once most requests are exclusive).
+ADAPTIVE_POLICY = PolicyTable(
+    rules=(
+        PolicyRule(
+            name="write-storm",
+            scheme="d-mcs",
+            max_read_fraction=0.7,
+            min_requests=4,
+        ),
+        PolicyRule(
+            name="read-heavy",
+            scheme="rma-rw",
+            params=(("t_r", 256),),
+            min_read_fraction=0.7,
+            min_requests=4,
+        ),
+    ),
+    max_swaps_per_boundary=4,
+)
+
+#: The adaptive scenario ships under its own ``traffic-adaptive`` tag (not
+#: ``traffic``), so the policy-free traffic-suite grids and the committed
+#: BENCH_traffic.json baseline are untouched by the control plane.
+ADAPTIVE_SCENARIO = register_traffic_scenario(
+    TrafficScenario(
+        name="traffic-adaptive",
+        help="read-heavy -> write-storm -> cooldown with per-entry policy switching",
+        num_locks=16,
+        arrival="poisson",
+        mean_gap_us=8.0,
+        key_dist="zipf",
+        zipf_exponent=1.1,
+        fw=0.05,
+        phases=(
+            Phase(duration_us=140.0, rate_scale=1.0, fw=0.05, name="read-heavy"),
+            Phase(duration_us=160.0, rate_scale=2.0, fw=0.8, name="write-storm"),
+            Phase(duration_us=None, rate_scale=0.75, fw=0.05, name="cooldown"),
+        ),
+    ),
+    policy=ADAPTIVE_POLICY,
+    tags=("traffic-adaptive",),
 )

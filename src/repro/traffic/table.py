@@ -17,6 +17,17 @@ registered ``@register_scheme`` lock into such a table:
   (``key % P``) and binds a plain RW facade per accessed entry, reusing
   :class:`~repro.dht.striped_lock.StripeBoundRWLockHandle`.
 
+Every table entry is a :class:`TableEntry` — a mutable *scheme slot* holding
+the entry's placed spec, its slab geometry (``base_offset``/``stride``) and a
+version counter.  ``entry.swap_spec(new_spec)`` re-places a different lock
+scheme (or the same scheme with different thresholds) into the entry's slab;
+handles notice the version bump and lazily rebuild, which is how the adaptive
+control plane (:mod:`repro.control`) switches schemes per entry at traffic
+phase boundaries.  A swap is only safe at a drain point (no in-flight
+holders) and the entry's window words must be re-initialized for the new
+scheme — :class:`repro.control.policy.PolicyController` performs both as a
+collective, bit-reproducible virtual-time event.
+
 Both table specs follow the ordinary :class:`~repro.core.lock_base.LockSpec`
 surface (``window_words``/``init_window``/``make``), so the benchmark
 harness, the runtimes and ``Cluster.session`` treat a whole table exactly
@@ -27,7 +38,7 @@ Zipf skew most of a 1024-entry table is never touched by a given rank.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.api.registry import get_scheme
@@ -39,9 +50,140 @@ __all__ = [
     "LockTableHandle",
     "LockTableSpec",
     "StripedLockTableSpec",
+    "TableEntry",
     "as_lock_table",
     "build_lock_table",
 ]
+
+
+class TableEntry:
+    """One mutable scheme slot of a lock table.
+
+    The entry owns a fixed slab of the table's window —
+    ``[base_offset, base_offset + stride)`` — and the spec currently placed
+    in it.  ``swap_spec`` installs a different base spec (re-based into the
+    slab, homes rotated like :func:`build_lock_table` does at construction)
+    and bumps ``version``, which invalidates every lazily-built handle.
+
+    Installs are idempotent per target version: during a collective swap all
+    ranks call ``swap_spec`` with the same planned version and only the first
+    call mutates the slot, so the crossing needs no designated leader.
+    """
+
+    __slots__ = (
+        "index",
+        "base_offset",
+        "stride",
+        "nranks",
+        "spec",
+        "rw",
+        "scheme",
+        "version",
+        "swappable",
+        "_initial",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        base_offset: int,
+        stride: int,
+        spec: LockSpec,
+        rw: bool,
+        scheme: str,
+        *,
+        nranks: Optional[int] = None,
+        swappable: bool = True,
+    ):
+        self.index = int(index)
+        self.base_offset = int(base_offset)
+        self.stride = int(stride)
+        self.nranks = nranks
+        self.spec = spec
+        self.rw = bool(rw)
+        self.scheme = scheme
+        self.version = 0
+        self.swappable = swappable
+        self._initial = (spec, self.rw, scheme)
+
+    def place(self, new_spec: LockSpec, *, nranks: Optional[int] = None) -> LockSpec:
+        """Re-base ``new_spec`` into this entry's slab (pure; no install).
+
+        Replicates the construction-time placement exactly: entry 0 keeps the
+        base spec untouched, later entries get ``base_offset`` moved to their
+        slab and any ``home_rank``/``tail_rank`` rotated ``index % nranks``.
+        Raises :class:`ValueError` when the spec cannot be re-based or its
+        footprint does not fit the slab.
+        """
+        if not self.swappable:
+            raise ValueError(
+                f"table entry {self.index} shares one striped window layout "
+                f"and cannot swap its scheme slot"
+            )
+        if self.index == 0 and self.base_offset == 0:
+            placed = new_spec
+        else:
+            if not dataclasses.is_dataclass(new_spec):
+                raise ValueError(
+                    f"cannot place a non-dataclass spec into table entry "
+                    f"{self.index}; entries need re-basable specs (a frozen "
+                    f"dataclass with a base_offset field)"
+                )
+            field_names = {f.name for f in dataclasses.fields(new_spec) if f.init}
+            if "base_offset" not in field_names:
+                raise ValueError(
+                    f"spec {type(new_spec).__name__} has no base_offset field; "
+                    f"its window layout cannot be re-based into table entry {self.index}"
+                )
+            overrides: Dict[str, Any] = {"base_offset": self.base_offset}
+            ranks = self.nranks if nranks is None else int(nranks)
+            if ranks:
+                if "home_rank" in field_names:
+                    overrides["home_rank"] = self.index % ranks
+                if "tail_rank" in field_names:
+                    overrides["tail_rank"] = self.index % ranks
+            placed = dataclasses.replace(new_spec, **overrides)
+        if placed.window_words > self.base_offset + self.stride:
+            raise ValueError(
+                f"spec {type(new_spec).__name__} needs "
+                f"{placed.window_words - self.base_offset} words but table entry "
+                f"{self.index}'s slab holds {self.stride}; build the table with "
+                f"a larger min_entry_words"
+            )
+        return placed
+
+    def swap_spec(
+        self,
+        new_spec: LockSpec,
+        *,
+        rw: Optional[bool] = None,
+        scheme: Optional[str] = None,
+        nranks: Optional[int] = None,
+        version: Optional[int] = None,
+    ) -> Optional[LockSpec]:
+        """Place ``new_spec`` into the slot and bump the entry version.
+
+        ``version`` names the target version of a planned collective swap;
+        when the entry already reached it (another rank installed first) the
+        call is a no-op returning ``None``.  Without ``version`` the swap is
+        unconditional (``version + 1``).  Returns the placed spec on install.
+        """
+        placed = self.place(new_spec, nranks=nranks)
+        target = self.version + 1 if version is None else int(version)
+        if target <= self.version:
+            return None
+        self.spec = placed
+        if rw is not None:
+            self.rw = bool(rw)
+        if scheme is not None:
+            self.scheme = scheme
+        self.version = target
+        return placed
+
+    def reset(self) -> None:
+        """Restore the construction-time spec (version back to 0)."""
+        self.spec, self.rw, self.scheme = self._initial
+        self.version = 0
 
 
 class LockTableHandle:
@@ -49,23 +191,40 @@ class LockTableHandle:
 
     ``lock(index)`` returns the plain :class:`LockHandle` /
     :class:`~repro.core.lock_base.RWLockHandle` guarding table entry
-    ``index``.  ``observe(observer, index)`` wraps that entry's handle with
-    the live-oracle observer (:func:`repro.verification.oracles.observe_lock`)
-    — per entry, because the oracles' invariants (mutual exclusion, bounded
-    bypass) hold per lock, not across the whole table.
+    ``index``, rebuilt whenever the entry's scheme slot was swapped (the
+    handle tracks each entry's :class:`TableEntry` version).  ``observe(
+    observer, index)`` wraps that entry's handle with the live-oracle
+    observer (:func:`repro.verification.oracles.observe_lock`) — per entry,
+    because the oracles' invariants (mutual exclusion, bounded bypass) hold
+    per lock, not across the whole table.  The observer survives swaps: a
+    rebuilt handle is re-wrapped with the same observer, so oracle counters
+    continue across the scheme change.
     """
 
     def __init__(self, table: "LockTableSpec | StripedLockTableSpec", ctx: ProcessContext):
         self.table = table
         self.ctx = ctx
         self._handles: Dict[int, LockHandle] = {}
+        self._versions: Dict[int, int] = {}
+        self._observers: Dict[int, Any] = {}
 
     def lock(self, index: int) -> LockHandle:
         """The handle guarding table entry ``index`` (built on first use)."""
+        entry = self.table.entry(index)
         handle = self._handles.get(index)
-        if handle is None:
-            handle = self._handles[index] = self.table._make_entry(self.ctx, index)
+        if handle is None or self._versions.get(index) != entry.version:
+            handle = self._build_entry(entry)
+            observer = self._observers.get(index)
+            if observer is not None:
+                from repro.verification.oracles import observe_lock
+
+                handle = observe_lock(handle, self.ctx, observer)
+            self._handles[index] = handle
+            self._versions[index] = entry.version
         return handle
+
+    def _build_entry(self, entry: TableEntry) -> LockHandle:
+        return entry.spec.make(self.ctx)
 
     def observe(self, observer: Any, index: int = 0) -> None:
         """Attach the run observer to entry ``index`` (the oracle target).
@@ -74,22 +233,57 @@ class LockTableHandle:
         fingerprints; index 0 is the natural target under Zipf popularity
         (the hottest, most contended entry).
         """
-        from repro.verification.oracles import observe_lock
-
-        self._handles[index] = observe_lock(self.lock(index), self.ctx, observer)
+        self._observers[index] = observer
+        self._handles.pop(index, None)
+        self._versions.pop(index, None)
+        self.lock(index)
 
 
 @dataclass(frozen=True)
 class LockTableSpec(LockSpec):
-    """``num_locks`` independent instances of one scheme, stacked in the window."""
+    """``num_locks`` independent instances of one scheme, stacked in the window.
+
+    ``specs`` is the *construction-time* entry tuple (immutable; it feeds
+    ``init_window`` and the window layout).  The live scheme slots are the
+    derived ``entries`` tuple of :class:`TableEntry` objects, which the
+    adaptive control plane may mutate mid-run; ``reset_entries()`` restores
+    the construction state (rank programs call it at run start so a table
+    object can be reused across runs bit-identically).
+
+    ``min_entry_words`` floors every entry's slab size so a swap can place a
+    scheme with a larger window footprint than the construction scheme.
+    ``nranks`` (the machine's process count) drives home/tail rotation of
+    swapped-in specs; 0 leaves swapped specs unrotated.
+    """
 
     specs: Tuple[LockSpec, ...]
     rw: bool = False
     scheme: str = ""
+    nranks: int = 0
+    min_entry_words: int = 0
+    entries: Tuple[TableEntry, ...] = field(
+        default=(), init=False, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if not self.specs:
             raise ValueError("a lock table needs at least one entry")
+        entries = []
+        for index, spec in enumerate(self.specs):
+            base = int(getattr(spec, "base_offset", 0))
+            stride = max(spec.window_words - base, int(self.min_entry_words))
+            entries.append(
+                TableEntry(
+                    index,
+                    base,
+                    stride,
+                    spec,
+                    self.rw,
+                    self.scheme,
+                    nranks=self.nranks or None,
+                )
+            )
+        object.__setattr__(self, "entries", tuple(entries))
 
     @property
     def num_locks(self) -> int:
@@ -97,20 +291,30 @@ class LockTableSpec(LockSpec):
 
     @property
     def window_words(self) -> int:
-        # Entries are stacked at increasing base offsets; the last spec's
-        # window_words covers the whole table.
-        return max(spec.window_words for spec in self.specs)
+        # Entries are stacked at increasing base offsets; the last entry's
+        # slab end covers the whole table (== the construction specs' maximum
+        # window_words whenever min_entry_words does not inflate the slabs).
+        return max(entry.base_offset + entry.stride for entry in self.entries)
 
     def init_window(self, rank: int) -> Mapping[int, int]:
+        # Always the construction-time layout: runtimes initialize windows
+        # before the run starts, when every entry is pristine.  Swapped-in
+        # specs re-initialize their slab words explicitly at the swap point.
         return LockSpec.merge_inits(*(spec.init_window(rank) for spec in self.specs))
 
     def make(self, ctx: ProcessContext) -> LockTableHandle:
         return LockTableHandle(self, ctx)
 
-    def _make_entry(self, ctx: ProcessContext, index: int) -> LockHandle:
-        if not 0 <= index < len(self.specs):
-            raise ValueError(f"lock index {index} out of range 0..{len(self.specs) - 1}")
-        return self.specs[index].make(ctx)
+    def entry(self, index: int) -> TableEntry:
+        """The mutable scheme slot of table entry ``index`` (range-checked)."""
+        if not 0 <= index < len(self.entries):
+            raise ValueError(f"lock index {index} out of range 0..{len(self.entries) - 1}")
+        return self.entries[index]
+
+    def reset_entries(self) -> None:
+        """Restore every entry's construction-time scheme slot."""
+        for entry in self.entries:
+            entry.reset()
 
 
 @dataclass(frozen=True)
@@ -119,7 +323,8 @@ class StripedLockTableSpec(LockSpec):
 
     Entry ``k`` maps to stripe ``k % P`` — the DHT's striping machinery
     reused as a table: distinct keys on the same stripe share a lock word,
-    exactly like hash-striped lock managers do.
+    exactly like hash-striped lock managers do.  Entries share one window
+    layout, so their scheme slots are not swappable.
     """
 
     inner: StripedRWLockSpec
@@ -130,6 +335,7 @@ class StripedLockTableSpec(LockSpec):
     def __post_init__(self) -> None:
         if self.num_locks < 1:
             raise ValueError("num_locks must be >= 1")
+        object.__setattr__(self, "_entry_cache", {})
 
     @property
     def window_words(self) -> int:
@@ -141,10 +347,21 @@ class StripedLockTableSpec(LockSpec):
     def make(self, ctx: ProcessContext) -> "_StripedTableHandle":
         return _StripedTableHandle(self, ctx)
 
-    def _make_entry(self, ctx: ProcessContext, index: int) -> LockHandle:
-        # Entries share one striped handle per process, so they are built by
-        # the table handle itself (see _StripedTableHandle.lock).
-        raise NotImplementedError("striped table entries are built by their handle")
+    def entry(self, index: int) -> TableEntry:
+        """The (swap-rejecting) scheme slot of entry ``index`` (range-checked)."""
+        if not 0 <= index < self.num_locks:
+            raise ValueError(f"lock index {index} out of range 0..{self.num_locks - 1}")
+        cache: Dict[int, TableEntry] = self._entry_cache  # type: ignore[attr-defined]
+        entry = cache.get(index)
+        if entry is None:
+            entry = cache[index] = TableEntry(
+                index, 0, self.inner.window_words, self.inner, True, self.scheme,
+                swappable=False,
+            )
+        return entry
+
+    def reset_entries(self) -> None:
+        """Striped entries are immutable; nothing to restore."""
 
 
 class _StripedTableHandle(LockTableHandle):
@@ -154,15 +371,10 @@ class _StripedTableHandle(LockTableHandle):
         super().__init__(table, ctx)
         self._striped = table.inner.make(ctx)
 
-    def lock(self, index: int) -> LockHandle:
-        handle = self._handles.get(index)
-        if handle is None:
-            table: StripedLockTableSpec = self.table  # type: ignore[assignment]
-            if not 0 <= index < table.num_locks:
-                raise ValueError(f"lock index {index} out of range 0..{table.num_locks - 1}")
-            volume = index % self.ctx.nranks
-            handle = self._handles[index] = StripeBoundRWLockHandle(self._striped, volume)
-        return handle
+    def _build_entry(self, entry: TableEntry) -> LockHandle:
+        # Entries share one striped handle per process; each entry binds a
+        # plain RW facade to its stripe (key % P).
+        return StripeBoundRWLockHandle(self._striped, entry.index % self.ctx.nranks)
 
 
 def build_lock_table(
@@ -171,6 +383,7 @@ def build_lock_table(
     num_locks: int,
     *,
     params: Optional[Mapping[str, Any]] = None,
+    min_entry_words: int = 0,
 ) -> Tuple[LockSpec, bool]:
     """Build a ``num_locks``-entry lock table of ``scheme``; returns ``(spec, is_rw)``.
 
@@ -179,6 +392,10 @@ def build_lock_table(
     third-party scheme joins tables automatically as long as its spec is a
     frozen dataclass with a ``base_offset`` field — the same layout
     convention every built-in lock follows.
+
+    ``min_entry_words`` floors each entry's slab size so the adaptive control
+    plane can later swap in schemes with larger window footprints (see
+    :meth:`TableEntry.swap_spec`).
     """
     if num_locks < 1:
         raise ValueError("num_locks must be >= 1")
@@ -192,8 +409,15 @@ def build_lock_table(
             f"nor provides striped-table support; it cannot form a lock table"
         )
     base = info.build(machine, **dict(params or {}))
+    nranks = machine.num_processes
     if num_locks == 1:
-        return LockTableSpec(specs=(base,), rw=info.rw, scheme=scheme), info.rw
+        return (
+            LockTableSpec(
+                specs=(base,), rw=info.rw, scheme=scheme, nranks=nranks,
+                min_entry_words=min_entry_words,
+            ),
+            info.rw,
+        )
     if not dataclasses.is_dataclass(base):
         raise ValueError(
             f"scheme {scheme!r} builds a non-dataclass spec; a lock table needs "
@@ -207,8 +431,7 @@ def build_lock_table(
         )
     if getattr(base, "base_offset", 0) != 0:
         raise ValueError("lock tables require the base spec to start at base_offset 0")
-    stride = base.window_words
-    nranks = machine.num_processes
+    stride = max(base.window_words, int(min_entry_words))
     specs = [base]
     for index in range(1, num_locks):
         overrides: Dict[str, Any] = {"base_offset": index * stride}
@@ -220,7 +443,13 @@ def build_lock_table(
         if "tail_rank" in field_names:
             overrides["tail_rank"] = index % nranks
         specs.append(dataclasses.replace(base, **overrides))
-    return LockTableSpec(specs=tuple(specs), rw=info.rw, scheme=scheme), info.rw
+    return (
+        LockTableSpec(
+            specs=tuple(specs), rw=info.rw, scheme=scheme, nranks=nranks,
+            min_entry_words=min_entry_words,
+        ),
+        info.rw,
+    )
 
 
 def as_lock_table(spec: LockSpec, is_rw: bool) -> "LockTableSpec | StripedLockTableSpec":

@@ -192,6 +192,51 @@ class TestParamSpec:
         assert excinfo.value.suggestion == "t_r"
 
 
+class TestTunableParams:
+    """The tune suite derives its threshold axes from ParamSpec metadata."""
+
+    def test_numeric_params_are_tunable_by_default(self):
+        assert ParamSpec("t_r", int, 64, "threshold").is_tunable
+        assert ParamSpec("cap", float, 2.0, "cap").is_tunable
+        assert not ParamSpec("mode", str, "fair", "mode").is_tunable
+
+    def test_explicit_flag_overrides_the_inference(self):
+        assert not ParamSpec("home_rank", int, 0, "home", tunable=False).is_tunable
+        assert ParamSpec("mode", str, "fair", "mode", tunable=True).is_tunable
+
+    def test_builtin_schemes_expose_their_thresholds(self):
+        names = {spec.name for spec in get_scheme("rma-rw").tunable_params()}
+        assert {"t_dc", "t_r"} <= names
+        # ticket's home_rank is a placement choice, not a threshold.
+        assert get_scheme("ticket").tunable_params() == ()
+
+    def test_params_from_config_applies_the_overlay(self):
+        info = get_scheme("rma-rw")
+
+        class Config:
+            t_dc = None
+            t_l = None
+            t_r = 64
+            t_w = None
+            params = (("t_r", "16"),)  # coerced through the ParamSpec
+
+        values = info.params_from_config(Config())
+        assert values["t_r"] == 16
+
+    def test_overlay_rejects_unknown_names(self):
+        info = get_scheme("rma-rw")
+
+        class Config:
+            t_dc = None
+            t_l = None
+            t_r = 64
+            t_w = None
+            params = (("t_rr", 16),)
+
+        with pytest.raises(UnknownNameError):
+            info.params_from_config(Config())
+
+
 class TestBenchmarkInfoValidation:
     def test_cs_kind_typo_rejected_at_registration(self):
         from repro.api import BenchmarkInfo

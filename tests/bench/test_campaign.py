@@ -128,6 +128,23 @@ class TestCampaignSpec:
         ):
             assert replace(base, **change).case != base.case, change
 
+    def test_param_overlay_joins_the_case_name_and_config(self):
+        from dataclasses import replace
+
+        base = CampaignPoint(scheme="hbo", benchmark="ecsb", procs=8,
+                             params=(("local_cap_us", 0.5),))
+        assert "local_cap_us=0.5" in base.case
+        assert replace(base, params=()).case != base.case
+        config = base.config()
+        # Non-config-field params ride in the generic overlay...
+        assert config.params == (("local_cap_us", 0.5),)
+        # ...while params naming LockBenchConfig fields stay direct kwargs
+        # (the historical cache-key behavior for the t_* thresholds).
+        legacy = CampaignPoint(scheme="rma-rw", benchmark="ecsb", procs=8,
+                               params=(("t_r", 16),))
+        legacy_config = legacy.config()
+        assert legacy_config.t_r == 16 and legacy_config.params == ()
+
     def test_points_carry_their_provider_module(self):
         points = get_campaign("ci-gate").points()
         providers = {p.scheme: p.provider for p in points}

@@ -76,6 +76,16 @@ class TestConfigValidation:
         assert not LockBenchConfig(machine=machine, scheme="d-mcs").is_rw_scheme
         assert LockBenchConfig(machine=machine, scheme="fompi-rw").is_rw_scheme
 
+    def test_param_overlay_normalized_and_validated(self, machine):
+        config = LockBenchConfig(
+            machine=machine, scheme="hbo", params={"min_backoff_us": 0.2, "local_cap_us": 1.0}
+        )
+        assert config.params == (("local_cap_us", 1.0), ("min_backoff_us", 0.2))
+
+    def test_param_overlay_rejects_unknown_names(self, machine):
+        with pytest.raises(ValueError):
+            LockBenchConfig(machine=machine, scheme="rma-rw", params=(("t_rr", 8),))
+
 
 class TestEnvironmentKnobs:
     def test_bench_scale_default(self, monkeypatch):

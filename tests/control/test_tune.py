@@ -1,0 +1,189 @@
+"""Tests for the offline auto-tuner and its regress gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.registry import UnknownNameError, get_scheme
+from repro.bench.regress import check_tune_manifest
+from repro.control.tune import (
+    TuneGrid,
+    TuneReport,
+    bless_tune,
+    default_grids,
+    derive_axis,
+    policy_from_tune,
+    render_sensitivity,
+    run_tune,
+    write_tune_json,
+)
+
+TINY_GRID = TuneGrid(
+    scheme="rma-rw", param="t_r", scenario="traffic-readheavy",
+    values=(16, 64), procs=8, iterations=4, procs_per_node=4, seed=5,
+)
+
+
+class TestAxes:
+    def test_curated_axis_wins(self):
+        assert derive_axis("rma-rw", "t_r") == (4, 16, 64, 256)
+        assert derive_axis("rma-rw", "t_dc") == (1, 2, 8, 32)
+
+    def test_int_default_brackets_by_4x(self):
+        # cohort's max_local_passes defaults to 16 with no curated axis.
+        assert derive_axis("cohort", "max_local_passes") == (4, 16, 64)
+
+    def test_float_default_brackets_by_4x(self):
+        assert derive_axis("hbo", "local_cap_us") == (0.5, 2.0, 8.0)
+
+    def test_non_tunable_parameter_rejected(self):
+        # home_rank is numeric but registered tunable=False (a placement
+        # choice, not a threshold).
+        with pytest.raises(ValueError, match="not tunable"):
+            derive_axis("ticket", "home_rank")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(UnknownNameError):
+            derive_axis("rma-rw", "t_rr")
+
+
+class TestGrids:
+    def test_grid_points_include_the_default_baseline(self):
+        points = TINY_GRID.points()
+        assert len(points) == 3  # default + 2 swept values
+        assert points[0].params == ()
+        assert points[1].params == (("t_r", 16),)
+
+    def test_grid_validates_eagerly(self):
+        with pytest.raises(UnknownNameError):
+            TuneGrid(scheme="rma-rw", param="t_rr", scenario="traffic-zipf", values=(1,))
+        with pytest.raises(ValueError, match="at least one"):
+            TuneGrid(scheme="rma-rw", param="t_r", scenario="traffic-zipf", values=())
+
+    def test_default_suite_covers_three_schemes_even_in_smoke(self):
+        for smoke in (False, True):
+            grids = default_grids(smoke=smoke)
+            assert len({g.scheme for g in grids}) >= 3
+
+
+class TestRunTune:
+    def test_sweep_certifies_the_winner(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_EPOCH", "tune-test")
+        report = run_tune([TINY_GRID], jobs=1, cache_dir=tmp_path)
+        assert report.points == 3
+        (best,) = report.best
+        assert best["scheme"] == "rma-rw" and best["param"] == "t_r"
+        assert best["best_value"] in (16, 64)
+        assert best["e2e_p99_us"] <= best["default_p99_us"] or best["improvement_pct"] <= 0
+        # The winner re-run reproduced its recorded fingerprint bit-exactly.
+        assert best["refingerprint"] == best["fingerprint"] != ""
+        (series,) = report.sensitivity
+        assert [p["value"] for p in series["series"]] == [16, 64]
+        # A warm sweep serves every grid point from the cache.
+        warm = run_tune([TINY_GRID], jobs=1, cache_dir=tmp_path)
+        assert warm.cache_hits == warm.points == 3
+        assert warm.best[0]["fingerprint"] == best["fingerprint"]
+
+    def test_bless_round_trips_through_the_gate(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_EPOCH", "tune-bless-test")
+        baseline = tmp_path / "BENCH_tune.json"
+        report = bless_tune(
+            baseline, grids=[TINY_GRID], jobs=1, cache_dir=tmp_path / "cache"
+        )
+        payload = json.loads(baseline.read_text())
+        assert payload["suite"] == "tune"
+        assert payload["timing"]["warm_cache_hits"] == report.points == 3
+        assert payload["best"] and payload["sensitivity"]
+        # One scheme only, so the scheme floor fails — but nothing is hard.
+        findings = check_tune_manifest(payload)
+        assert [f.level for f in findings] == ["fail"]
+        assert findings[0].field == "schemes"
+
+    def test_render_sensitivity_shows_axis_and_default(self):
+        report = TuneReport(
+            rows=[], best=[], scheduler="horizon", jobs=1, wall_s=0.0,
+            cache_hits=0, cache_misses=0, epoch="e",
+            sensitivity=[{
+                "grid": "g", "scheme": "rma-rw", "benchmark": "traffic-zipf",
+                "param": "t_r", "default_p99_us": 2.0,
+                "series": [{"value": 16, "e2e_p99_us": 1.0}],
+            }],
+        )
+        text = render_sensitivity(report)
+        assert "t_r=16" in text and "default" in text
+        assert "rma-rw @ traffic-zipf" in text
+
+
+class TestTuneManifestGate:
+    def _payload(self, schemes=("a", "b", "c")):
+        best = [
+            {
+                "scheme": scheme,
+                "best_case": f"{scheme}-case",
+                "fingerprint": "ab" * 32,
+                "refingerprint": "ab" * 32,
+            }
+            for scheme in schemes
+        ]
+        return {"suite": "tune", "rows": [{"case": "x"}], "best": best}
+
+    def test_healthy_manifest_passes(self):
+        assert check_tune_manifest(self._payload()) == []
+
+    def test_empty_rows_or_best_is_hard(self):
+        assert [f.level for f in check_tune_manifest({"rows": []})] == ["hard"]
+        assert [f.level for f in check_tune_manifest({"rows": [{}], "best": []})] == ["hard"]
+
+    def test_broken_certificate_is_hard(self):
+        payload = self._payload()
+        payload["best"][0]["refingerprint"] = "cd" * 32
+        findings = check_tune_manifest(payload)
+        assert any(f.level == "hard" and f.field == "refingerprint" for f in findings)
+        payload["best"][0]["refingerprint"] = ""
+        findings = check_tune_manifest(payload)
+        assert any(f.level == "hard" and f.field == "refingerprint" for f in findings)
+
+    def test_too_few_schemes_fails(self):
+        findings = check_tune_manifest(self._payload(schemes=("a", "b")))
+        assert any(f.level == "fail" and f.field == "schemes" for f in findings)
+
+    def test_committed_baseline_passes(self):
+        from repro.bench.regress import DEFAULT_TUNE_BASELINE
+
+        payload = json.loads(DEFAULT_TUNE_BASELINE.read_text())
+        assert check_tune_manifest(payload) == []
+        # The acceptance criterion: the tuner beats the static defaults'
+        # p99 on at least one built-in traffic scenario.
+        assert any(row["improvement_pct"] > 0 for row in payload["best"])
+
+
+class TestPolicyFeed:
+    BEST = [
+        {"scheme": "rma-rw", "benchmark": "traffic-readheavy",
+         "param": "t_r", "params": {"t_r": 16}},
+        {"scheme": "hbo", "benchmark": "traffic-zipf",
+         "param": "local_cap_us", "params": {"local_cap_us": 0.5}},
+    ]
+
+    def test_policy_from_best_rows(self):
+        table = policy_from_tune(self.BEST)
+        assert len(table.rules) == 2
+        rule = table.rules[0]
+        assert rule.scheme == "rma-rw"
+        assert rule.params == (("t_r", 16),)
+        # traffic-readheavy is read-dominated: gate on a high read fraction.
+        assert rule.min_read_fraction == 0.5 and rule.max_read_fraction == 1.0
+
+    def test_policy_from_manifest_path(self, tmp_path):
+        path = tmp_path / "tune.json"
+        path.write_text(json.dumps({"best": self.BEST}))
+        table = policy_from_tune(path)
+        assert {r.scheme for r in table.rules} == {"rma-rw", "hbo"}
+
+    def test_committed_baseline_feeds_a_valid_policy(self):
+        from repro.control.tune import DEFAULT_TUNE_BASELINE
+
+        table = policy_from_tune(DEFAULT_TUNE_BASELINE)
+        assert len(table.rules) >= 3  # rule validation ran for every winner

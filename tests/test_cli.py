@@ -369,3 +369,72 @@ class TestGeneratedThresholdFlags:
         err = capsys.readouterr().err
         assert "unknown figure" in err
         assert "Did you mean" in err
+
+
+class TestParamOverlayFlag:
+    def test_param_flag_parses_json_values(self):
+        from repro.cli import _parse_param_assignments
+
+        overlay = _parse_param_assignments(["t-r=16", "local_cap_us=0.5", "t_l=[2, 2]"])
+        assert overlay == (("t_r", 16), ("local_cap_us", 0.5), ("t_l", [2, 2]))
+
+    def test_param_flag_rejects_missing_value(self):
+        from repro.cli import _parse_param_assignments
+
+        with pytest.raises(SystemExit, match="NAME=VALUE"):
+            _parse_param_assignments(["t_r"])
+
+    def test_bench_accepts_param_overlay(self, capsys):
+        code = main([
+            "bench", "--scheme", "hbo", "--procs", "8", "--procs-per-node", "4",
+            "--iterations", "4", "--param", "local-cap-us=0.5",
+            "--param", "min_backoff_us=0.2",
+        ])
+        assert code == 0
+        assert "hbo" in capsys.readouterr().out
+
+    def test_bench_unknown_param_errors_helpfully(self, capsys):
+        code = main([
+            "bench", "--scheme", "rma-rw", "--procs", "8", "--procs-per-node", "4",
+            "--iterations", "4", "--param", "t_rr=8",
+        ])
+        assert code == 2
+        assert "t_r" in capsys.readouterr().err
+
+    def test_threshold_flags_survive_as_deprecated_aliases(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--help"])
+        out = capsys.readouterr().out
+        assert "deprecated alias of --param" in out
+
+
+class TestTuneCommand:
+    def test_tune_defaults_parse(self):
+        args = build_parser().parse_args(["tune", "--smoke", "--jobs", "4"])
+        assert args.smoke is True and args.jobs == 4
+        assert args.scheduler == "horizon"
+        assert args.bless is False
+
+    def test_tune_single_grid_runs_and_prints_figure(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_EPOCH", "cli-tune-test")
+        out_path = tmp_path / "TUNE.json"
+        code = main([
+            "tune", "--scheme", "rma-rw", "--tune-param", "t_r",
+            "--scenario", "traffic-zipf", "--procs", "8", "--iterations", "3",
+            "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+            "--output", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "e2e p99" in out and "default" in out
+        assert "Best-known thresholds" in out
+        assert out_path.exists()
+
+    def test_tune_rejects_untunable_scheme(self, capsys):
+        code = main(["tune", "--scheme", "ticket", "--jobs", "1", "--no-cache"])
+        assert code == 2
+        assert "no tunable parameters" in capsys.readouterr().err
+
+    def test_regress_accepts_tune_baseline_flag(self):
+        args = build_parser().parse_args(["regress", "--tune-baseline", "none"])
+        assert args.tune_baseline == "none"

@@ -92,6 +92,13 @@ def test_custom_lock(monkeypatch, capsys):
     assert "mutual exclusion through the public API" in out
 
 
+def test_adaptive_demo(monkeypatch, capsys):
+    out = run_example("adaptive_demo.py", monkeypatch, capsys)
+    assert "scheme swaps" in out
+    assert "bit-identical across schedulers" in out
+    assert "third-party lock joined the policy-switched table" in out
+
+
 def test_traffic_demo(monkeypatch, capsys):
     monkeypatch.setenv("REPRO_EXAMPLE_LOCKS", "64")
     out = run_example("traffic_demo.py", monkeypatch, capsys)

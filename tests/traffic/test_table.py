@@ -98,6 +98,98 @@ class TestReplication:
         runtime.run(program, window_init=table.init_window)
 
 
+class TestSchemeSlots:
+    def _table(self, machine, scheme="fompi-spin", num_locks=4, **kw):
+        from repro.control.policy import policy_min_entry_words
+        from repro.traffic.scenarios import ADAPTIVE_POLICY
+
+        kw.setdefault("min_entry_words", policy_min_entry_words(machine, ADAPTIVE_POLICY))
+        table, _ = build_lock_table(machine, scheme, num_locks, **kw)
+        return table
+
+    def test_swap_rebases_and_rotates_the_new_spec(self, machine):
+        from repro.api.registry import get_scheme
+
+        table = self._table(machine, "fompi-spin")
+        entry = table.entry(2)
+        base = get_scheme("d-mcs").build(machine)
+        placed = entry.swap_spec(base, rw=False, scheme="d-mcs")
+        assert placed is not None
+        assert entry.version == 1 and entry.scheme == "d-mcs"
+        assert placed.base_offset == entry.base_offset
+        assert placed.tail_rank == 2 % machine.num_processes
+
+    def test_swap_is_idempotent_per_planned_version(self, machine):
+        from repro.api.registry import get_scheme
+
+        table = self._table(machine)
+        entry = table.entry(1)
+        base = get_scheme("d-mcs").build(machine)
+        assert entry.swap_spec(base, version=1) is not None
+        assert entry.swap_spec(base, version=1) is None  # another rank lost the race
+        assert entry.version == 1
+
+    def test_reset_restores_construction_state(self, machine):
+        from repro.api.registry import get_scheme
+
+        table = self._table(machine)
+        original = table.entry(1).spec
+        table.entry(1).swap_spec(get_scheme("d-mcs").build(machine), scheme="d-mcs")
+        table.reset_entries()
+        entry = table.entry(1)
+        assert entry.version == 0
+        assert entry.spec is original and entry.scheme == "fompi-spin"
+
+    def test_oversized_spec_rejected_with_remedy(self, machine):
+        from repro.api.registry import get_scheme
+
+        table, _ = build_lock_table(machine, "fompi-spin", 4)  # no slab floor
+        with pytest.raises(ValueError, match="min_entry_words"):
+            table.entry(1).place(get_scheme("rma-rw").build(machine))
+
+    def test_handles_rebuild_on_version_bump(self, machine):
+        from repro.api.registry import get_scheme
+        from repro.rma.sim_runtime import SimRuntime
+
+        table = self._table(machine, "fompi-spin", num_locks=2)
+        runtime = SimRuntime(machine, window_words=table.window_words, seed=0)
+        kinds = {}
+
+        def program(ctx):
+            table.reset_entries()
+            handle = table.make(ctx)
+            before = type(handle.lock(1)).__name__
+            ctx.barrier()
+            entry = table.entry(1)
+            placed = entry.place(get_scheme("d-mcs").build(machine), nranks=ctx.nranks)
+            for offset in range(entry.base_offset, entry.base_offset + entry.stride):
+                ctx.put(int(placed.init_window(ctx.rank).get(offset, 0)), ctx.rank, offset)
+            ctx.flush(ctx.rank)
+            entry.swap_spec(
+                get_scheme("d-mcs").build(machine), rw=False, scheme="d-mcs",
+                nranks=ctx.nranks, version=1,
+            )
+            ctx.barrier()
+            after = type(handle.lock(1)).__name__
+            lock = handle.lock(1)
+            lock.acquire()
+            ctx.compute(0.5)
+            lock.release()
+            ctx.barrier()
+            if ctx.rank == 0:
+                kinds["before"], kinds["after"] = before, after
+
+        runtime.run(program, window_init=table.init_window)
+        assert kinds["before"] != kinds["after"]
+
+    def test_striped_entries_reject_swaps(self, machine):
+        from repro.api.registry import get_scheme
+
+        table, _ = build_lock_table(machine, "striped-rw", 16)
+        with pytest.raises(ValueError, match="striped"):
+            table.entry(3).swap_spec(get_scheme("d-mcs").build(machine))
+
+
 class TestStripedTable:
     def test_striped_scheme_becomes_a_striped_table(self, machine):
         table, is_rw = build_lock_table(machine, "striped-rw", 64)

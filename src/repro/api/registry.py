@@ -135,6 +135,10 @@ class ParamSpec:
         return getattr(config, self.name, self.default)
 
 
+#: Sentinel for the lazily-cached swap-compatibility verdict.
+_UNSET = object()
+
+
 @dataclass(frozen=True)
 class SchemeInfo:
     """One registered lock scheme.
@@ -208,6 +212,53 @@ class SchemeInfo:
         ``@register_scheme`` locks without any hard-coded flag lists.
         """
         return tuple(spec for spec in self.params if spec.is_tunable)
+
+    def swap_incompatible_reason(self) -> Optional[str]:
+        """Why this scheme cannot be installed into a lock-table scheme slot.
+
+        ``TableEntry.place`` (the adaptive control plane's swap seam) needs a
+        frozen dataclass spec with a ``base_offset`` init field so it can
+        re-base the layout into an existing slab.  Returns ``None`` when the
+        scheme satisfies the contract, else a one-line human-readable reason.
+        The structural probe builds the default spec on a tiny two-rank
+        machine once and caches the verdict on the info object.
+        """
+        cached = getattr(self, "_swap_reason", _UNSET)
+        if cached is not _UNSET:
+            return cached
+        reason: Optional[str] = None
+        if not self.harness:
+            reason = (
+                "does not follow the plain lock-handle protocol "
+                "(registered with harness=False)"
+            )
+        else:
+            import dataclasses
+
+            from repro.topology.machine import Machine
+
+            try:
+                probe = self.build(Machine.single_node(2))
+            except Exception as exc:  # structural probe, never raises outward
+                reason = f"default spec cannot be built for a probe machine ({exc})"
+            else:
+                if not dataclasses.is_dataclass(probe):
+                    reason = f"spec type {type(probe).__name__} is not a dataclass"
+                elif not any(
+                    f.name == "base_offset" and f.init
+                    for f in dataclasses.fields(probe)
+                ):
+                    reason = (
+                        f"spec type {type(probe).__name__} has no re-basable "
+                        f"'base_offset' init field"
+                    )
+        object.__setattr__(self, "_swap_reason", reason)
+        return reason
+
+    @property
+    def swap_compatible(self) -> bool:
+        """Whether ``TableEntry.place``/``swap_spec`` can install this scheme."""
+        return self.swap_incompatible_reason() is None
 
 
 @dataclass(frozen=True)
@@ -356,6 +407,8 @@ _SCHEME_MODULES = (
     "repro.related.hbo",
     "repro.related.cohort",
     "repro.related.numa_rw",
+    "repro.related.alock",
+    "repro.related.lock_server",
     "repro.dht.striped_lock",
     "repro.fault.lease_lock",
     "repro.fault.repair_mcs",

@@ -68,6 +68,7 @@ __all__ = [
     "golden_epoch",
     "parallel_map",
     "register_campaign",
+    "render_campaign_figure",
     "run_campaign",
     "run_point",
     "run_result_sha",
@@ -502,6 +503,27 @@ register_campaign(
         seed=5,
     )
 )
+# The head-to-head report for the competing lock families (ISSUE 9): the
+# paper's own designs (fompi-spin baseline, rma-mcs/rma-rw topology-aware)
+# against the classic related-work points (ticket, hbo) and the two newly
+# ported families — alock (asymmetric local/remote paths, arxiv 2404.17980)
+# and lock-server (centralized retry-vs-queue grant queue, arxiv 1507.03274).
+# Axes: P for scale, fw for the write mix (meaningful for rma-rw), wcsb for
+# raw handoff contention, traffic-zipf vs traffic-uniform for skew, and
+# traffic-phased for phase shifts.  `repro regress` gates the blessed rows.
+register_campaign(
+    CampaignSpec(
+        name="lock-families",
+        help="paper family vs alock/lock-server across P, fw, skew and phase shifts",
+        schemes=("fompi-spin", "ticket", "hbo", "rma-mcs", "rma-rw", "alock", "lock-server"),
+        benchmarks=("wcsb", "traffic-zipf", "traffic-uniform", "traffic-phased"),
+        process_counts=(8, 32, 64),
+        fw_values=(0.02, 0.2),
+        iterations=6,
+        procs_per_node=8,
+        seed=7,
+    )
+)
 
 
 # --------------------------------------------------------------------------- #
@@ -896,3 +918,48 @@ def write_campaign_json(
         report.rows, path, suite="campaign", campaign=report.name,
         epoch=report.epoch, timing=timing,
     )
+
+
+def render_campaign_figure(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 14,
+) -> str:
+    """Render campaign rows as ASCII throughput-vs-P charts, one per panel.
+
+    Rows are grouped into panels by ``(benchmark, fw)``; within a panel every
+    scheme becomes one line series over the process-count axis (the paper's
+    figure shape).  Panels whose fw axis is degenerate (a single value across
+    the whole campaign for that benchmark) drop the fw tag from the title.
+    """
+    from repro.bench.ascii_plot import line_chart
+
+    panels: Dict[Tuple[str, float], Dict[str, List[Tuple[float, float]]]] = {}
+    fw_per_bench: Dict[str, set] = {}
+    for row in rows:
+        bench = str(row.get("benchmark", ""))
+        fw = float(row.get("fw", 0.0))
+        fw_per_bench.setdefault(bench, set()).add(fw)
+        series = panels.setdefault((bench, fw), {})
+        series.setdefault(str(row.get("scheme", "?")), []).append(
+            (float(row.get("P", 0)), float(row.get("throughput_mln_s", 0.0)))
+        )
+    charts: List[str] = []
+    for (bench, fw), series in panels.items():
+        for points in series.values():
+            points.sort()
+        tag = f" fw={fw:g}" if len(fw_per_bench[bench]) > 1 else ""
+        head = f"{title}: " if title else ""
+        charts.append(
+            line_chart(
+                series,
+                width=width,
+                height=height,
+                title=f"{head}{bench}{tag} — throughput vs P",
+                x_label="P",
+                y_label="mln/s",
+            )
+        )
+    return "\n\n".join(charts)

@@ -130,12 +130,53 @@ def build_lock_spec(config: LockBenchConfig) -> Tuple[LockSpec, bool]:
     info = get_scheme(config.scheme)
     if not info.harness:
         if info.conformance_adapter is not None:
-            return info.conformance_adapter(config.machine), info.rw
+            return _build_adapter_spec(info, config), info.rw
         raise ValueError(
             f"scheme {config.scheme!r} does not follow the plain lock-handle "
             f"protocol and cannot run under the lock benchmark harness"
         )
     return info.build(config.machine, **info.params_from_config(config)), info.rw
+
+
+def _build_adapter_spec(info: Any, config: LockBenchConfig) -> Any:
+    """Build a harness facade through ``info.conformance_adapter``.
+
+    The adapter receives every registered parameter it can accept (by
+    signature), so tunable parameters reach adapter-driven schemes the same
+    way they reach harness-native ones.  A parameter the caller explicitly
+    overlaid that the adapter cannot take is *warned about*, never silently
+    dropped — a tune/conform axis must either be live or visibly dead.
+    """
+    import inspect
+    import warnings
+
+    adapter = info.conformance_adapter
+    params = info.params_from_config(config)
+    try:
+        signature = inspect.signature(adapter)
+    except (TypeError, ValueError):  # builtins/callables without signatures
+        return adapter(config.machine)
+    names = set(signature.parameters)
+    takes_kwargs = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in signature.parameters.values()
+    )
+    accepted = {
+        key: value
+        for key, value in params.items()
+        if takes_kwargs or key in names
+    }
+    explicit = {key for key, _ in config.params}
+    dropped = sorted(explicit - set(accepted))
+    if dropped:
+        warnings.warn(
+            f"conformance adapter for scheme {info.name!r} does not accept "
+            f"parameter(s) {', '.join(dropped)}; the axis is a no-op for "
+            f"adapter-driven runs",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return adapter(config.machine, **accepted)
 
 
 def make_lock_program(config: LockBenchConfig, spec: LockSpec, is_rw: bool, shared_offset: int):

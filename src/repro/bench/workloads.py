@@ -186,10 +186,13 @@ class LockBenchConfig:
             overlay = tuple(sorted(overlay.items()))
         else:
             overlay = tuple((str(k), v) for k, v in overlay)
-        for key, value in overlay:
-            # Unknown names raise UnknownNameError here (with a did-you-mean
-            # list), not deep inside a campaign worker.
-            scheme_info.param(key).coerce(value)
+        # Unknown names raise UnknownNameError here (with a did-you-mean
+        # list), not deep inside a campaign worker.  The *coerced* values are
+        # stored, so equivalent spellings of one setting (JSON list vs tuple,
+        # "16" vs 16) normalize to one bit-identical overlay.
+        overlay = tuple(
+            (key, scheme_info.param(key).coerce(value)) for key, value in overlay
+        )
         object.__setattr__(self, "params", overlay)
         if self.iterations < 1:
             raise ValueError("iterations must be >= 1")

@@ -40,6 +40,7 @@ import argparse
 import difflib
 import json
 import sys
+import warnings
 from dataclasses import fields as _dataclass_fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -114,10 +115,14 @@ def _add_threshold_flags(parser: argparse.ArgumentParser) -> None:
             f"{param.help} [schemes: {', '.join(users)}; "
             f"deprecated alias of --param {name}=VALUE]"
         )
+        # default=None is the "flag not given" sentinel: it lets
+        # _threshold_kwargs distinguish explicit alias use (deprecation
+        # warning, conflict detection against --param) from the registry
+        # default, which LockBenchConfig applies on its own.
         if param.sequence:
-            parser.add_argument(flag, type=param.type, nargs="+", default=param.default, help=help_text)
+            parser.add_argument(flag, type=param.type, nargs="+", default=None, help=help_text)
         else:
-            parser.add_argument(flag, type=param.type, default=param.default, help=help_text)
+            parser.add_argument(flag, type=param.type, default=None, help=help_text)
     parser.add_argument(
         "--param",
         action="append",
@@ -152,14 +157,50 @@ def _parse_param_assignments(pairs: Sequence[str]) -> Tuple[Tuple[str, object], 
 
 
 def _threshold_kwargs(args: argparse.Namespace) -> Dict[str, object]:
-    """Collect the generated threshold flags back into config kwargs."""
+    """Collect the generated threshold flags back into config kwargs.
+
+    The per-field ``--t-*`` flags are deprecated aliases of ``--param``:
+    explicit use warns, and a value that disagrees with a ``--param``
+    assignment for the same name is a hard conflict (exit 2) rather than a
+    silent last-one-wins.  When both agree the overlay carries the value, so
+    the two spellings stay bit-identical all the way to the run fingerprint.
+    """
     kwargs: Dict[str, object] = {}
-    for name, (param, _) in _config_threshold_params().items():
+    overlay = _parse_param_assignments(getattr(args, "scheme_params", ()) or ())
+    threshold_params = _config_threshold_params()
+    # Coerce overlay values for known config thresholds at the CLI boundary,
+    # so --param t_l=[2,4] and --t-l 2 4 agree bit-for-bit (tuple vs JSON
+    # list) before any cache key or conflict comparison sees them.
+    overlay = tuple(
+        (name, threshold_params[name][0].coerce(value))
+        if name in threshold_params
+        else (name, value)
+        for name, value in overlay
+    )
+    overlay_map = dict(overlay)
+    for name, (param, _) in threshold_params.items():
         value = getattr(args, name, None)
         if value is None:
             continue
-        kwargs[name] = tuple(value) if param.sequence else value
-    overlay = _parse_param_assignments(getattr(args, "scheme_params", ()) or ())
+        value = param.coerce(tuple(value) if param.sequence else value)
+        flag = "--" + name.replace("_", "-")
+        warnings.warn(
+            f"{flag} is a deprecated alias; use --param {name}=VALUE",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if name in overlay_map:
+            other = param.coerce(overlay_map[name])
+            if other != value:
+                print(
+                    f"error: conflicting values for parameter {name!r}: "
+                    f"{flag} {value!r} vs --param {name}={other!r} "
+                    f"(drop the deprecated alias, or make the values agree)",
+                    file=sys.stderr,
+                )
+                raise SystemExit(2)
+            continue  # identical value: the --param overlay carries it
+        kwargs[name] = value
     if overlay:
         kwargs["params"] = overlay
     return kwargs
@@ -247,6 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
     camp_run.add_argument("--output", default=None, help="write the rows as a campaign JSON manifest")
     camp_run.add_argument("--scheduler", choices=schedulers, default=None,
                           help="override the campaign's runtime backend")
+    camp_run.add_argument("--figure", action="store_true",
+                          help="render ASCII throughput-vs-P charts (one per benchmark x fw panel)")
 
     regress = sub.add_parser(
         "regress", help="gate campaign results against the committed baselines (CI check)"
@@ -563,7 +606,9 @@ def _run_trace(args: argparse.Namespace) -> int:
 def _run_verify(args: argparse.Namespace) -> int:
     from repro.verification import (
         BypassAnalyzer,
+        alock_impl_model,
         build_checker,
+        lock_server_impl_model,
         mcs_fairness,
         mcs_model,
         rma_rw_impl_model,
@@ -589,6 +634,14 @@ def _run_verify(args: argparse.Namespace) -> int:
         (
             f"RMA-RW implementation model ({impl_readers} readers + {impl_writers} writer)",
             rma_rw_impl_model(impl_readers, impl_writers),
+        ),
+        (
+            "ALock implementation model (1 local + 2 remote)",
+            alock_impl_model(num_local=1, num_remote=2),
+        ),
+        (
+            "lock-server implementation model (3 procs, queue_threshold=1)",
+            lock_server_impl_model(num_processes=3, queue_threshold=1),
         ),
     ):
         result = build_checker(model, max_states=3_000_000).check()
@@ -757,6 +810,9 @@ def _run_campaign(args: argparse.Namespace) -> int:
         for row in report.rows
     ]
     print(format_table(display))
+    if args.figure:
+        print()
+        print(campaign_mod.render_campaign_figure(report.rows, title=report.name))
     print(
         f"\ncampaign {report.name!r}: {report.points} points, jobs={report.jobs}, "
         f"{report.cache_hits} cached / {report.cache_misses} computed, "
@@ -892,9 +948,18 @@ def _run_conform(args: argparse.Namespace) -> int:
 
 
 #: The --smoke grid for ``repro faults``: the fault subsystem's own schemes
-#: (including the planted mutant) plus two non-recovering controls, so CI
-#: exercises every verdict class without sweeping all registered schemes.
-_FAULT_SMOKE_SCHEMES = ("lease-lock", "repair-mcs", "repair-mcs-racy", "rma-mcs", "ticket")
+#: (including the planted mutant) plus non-recovering controls — the classic
+#: rma-mcs/ticket pair and the PR 9 lock families — so CI exercises every
+#: verdict class without sweeping all registered schemes.
+_FAULT_SMOKE_SCHEMES = (
+    "lease-lock",
+    "repair-mcs",
+    "repair-mcs-racy",
+    "rma-mcs",
+    "ticket",
+    "alock",
+    "lock-server",
+)
 
 
 def _run_faults(args: argparse.Namespace) -> int:

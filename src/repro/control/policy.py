@@ -41,7 +41,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.api.registry import SchemeInfo, get_scheme
+from repro.api.registry import SchemeInfo, get_scheme, scheme_names
 
 # repro.traffic imports this module at scenario-registration time, so the
 # traffic imports below must stay function-local (importing the traffic
@@ -122,11 +122,19 @@ class PolicyRule:
         else:
             object.__setattr__(self, "params", tuple((k, v) for k, v in self.params))
         info = get_scheme(self.scheme)
-        if not info.harness:
+        reason = info.swap_incompatible_reason()
+        if reason is not None:
+            # Fail at rule-construction time, not mid-run inside
+            # build_swap_plan/PolicyController, and tell the author which
+            # registered schemes *are* valid swap targets.
+            candidates = [
+                name for name in scheme_names()
+                if get_scheme(name).swap_compatible
+            ]
             raise ValueError(
-                f"policy rule {self.name!r} targets scheme {self.scheme!r}, which "
-                f"does not follow the plain lock-handle protocol and cannot be "
-                f"placed into a table entry"
+                f"policy rule {self.name!r} targets scheme {self.scheme!r}, "
+                f"which is not swap-compatible: {reason}. "
+                f"Swap-compatible schemes: {', '.join(candidates)}"
             )
         for key, value in self.params:
             info.param(key)  # raises UnknownNameError for unknown thresholds

@@ -65,6 +65,9 @@ DEFAULT_TUNE_BASELINE = _REPO_ROOT / "BENCH_tune.json"
 _CURATED_AXES: Mapping[Tuple[str, str], Tuple[Any, ...]] = {
     ("rma-rw", "t_r"): (4, 16, 64, 256),
     ("rma-rw", "t_dc"): (1, 2, 8, 32),
+    # The retry-vs-queue policy axis spans its two degenerate endpoints:
+    # 0 = pure FIFO ticket queue, >= P = pure poll-retry (arxiv 1507.03274).
+    ("lock-server", "queue_threshold"): (0, 1, 2, 8, 32),
 }
 
 _TUNE_PROCS = 32
@@ -86,12 +89,15 @@ _DEFAULT_SUITE: Tuple[Tuple[str, str, str], ...] = (
     ("hbo", "local_cap_us", "traffic-zipf"),
     ("lease-lock", "lease_us", "traffic-burst"),
     ("cohort", "max_local_passes", "traffic-zipf"),
+    ("alock", "local_cap_us", "traffic-zipf"),
+    ("lock-server", "queue_threshold", "traffic-zipf"),
 )
 
 _SMOKE_SUITE: Tuple[Tuple[str, str, str], ...] = (
     ("rma-rw", "t_r", "traffic-readheavy"),
     ("hbo", "local_cap_us", "traffic-zipf"),
     ("lease-lock", "lease_us", "traffic-zipf"),
+    ("lock-server", "queue_threshold", "traffic-zipf"),
 )
 
 
@@ -149,10 +155,39 @@ class TuneGrid:
     procs_per_node: int = 8
 
     def __post_init__(self) -> None:
-        get_scheme(self.scheme).param(self.param)
+        info = get_scheme(self.scheme)
+        info.param(self.param)
         get_benchmark(self.scenario)
         if not self.values:
             raise ValueError("a tune grid needs at least one swept value")
+        if not info.harness:
+            # Adapter-driven schemes only apply parameters their conformance
+            # adapter accepts (see repro.bench.harness._build_adapter_spec).
+            # A grid sweeping a parameter the adapter drops would silently
+            # measure the same point N times — refuse it up front.
+            import inspect
+
+            adapter = info.conformance_adapter
+            if adapter is None:
+                raise ValueError(
+                    f"scheme {self.scheme!r} has no conformance adapter and "
+                    f"cannot run under the tune sweep"
+                )
+            signature = inspect.signature(adapter)
+            takes_kwargs = any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in signature.parameters.values()
+            )
+            if not takes_kwargs and self.param not in signature.parameters:
+                accepted = [
+                    name for name in signature.parameters if name != "machine"
+                ]
+                raise ValueError(
+                    f"tune grid {self.scheme}/{self.param} would be a silent "
+                    f"no-op: the scheme runs through its conformance adapter, "
+                    f"which does not accept parameter {self.param!r} "
+                    f"(accepted: {', '.join(accepted) or 'none'})"
+                )
 
     @property
     def name(self) -> str:

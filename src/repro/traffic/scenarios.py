@@ -336,7 +336,9 @@ def register_traffic_scenario(
         from repro.api.registry import get_scheme
 
         info = get_scheme(config.scheme)
-        params = info.params_from_config(config) if info.harness else None
+        # harness=False schemes route through info.build too (the striped
+        # table path), so their declared parameters must not be dropped here.
+        params = info.params_from_config(config)
         min_entry_words = (
             policy_min_entry_words(config.machine, policy) if policy is not None else 0
         )

@@ -401,7 +401,7 @@ def build_lock_table(
         raise ValueError("num_locks must be >= 1")
     info = get_scheme(scheme)
     if not info.harness:
-        base = info.build(machine)
+        base = info.build(machine, **dict(params or {}))
         if isinstance(base, StripedRWLockSpec):
             return StripedLockTableSpec(inner=base, num_locks=num_locks), True
         raise ValueError(

@@ -47,7 +47,9 @@ from repro.verification.fairness import (
     ticket_fairness,
 )
 from repro.verification.impl_model import (
+    alock_impl_model,
     lease_impl_model,
+    lock_server_impl_model,
     repair_queue_impl_model,
     rma_rw_impl_model,
 )
@@ -96,10 +98,12 @@ __all__ = [
     "RecoveryReport",
     "RunObserver",
     "StateExplosionError",
+    "alock_impl_model",
     "broken_test_and_set_model",
     "build_checker",
     "dining_deadlock_model",
     "lease_impl_model",
+    "lock_server_impl_model",
     "mcs_fairness",
     "mcs_model",
     "observe_lock",

@@ -56,7 +56,13 @@ from repro.core.constants import (
 )
 from repro.verification.lock_models import ModelSpec
 
-__all__ = ["lease_impl_model", "repair_queue_impl_model", "rma_rw_impl_model"]
+__all__ = [
+    "alock_impl_model",
+    "lease_impl_model",
+    "lock_server_impl_model",
+    "repair_queue_impl_model",
+    "rma_rw_impl_model",
+]
 
 _NIL = NULL_RANK
 
@@ -677,4 +683,261 @@ def repair_queue_impl_model(
         is_done=is_done,
         invariant=invariant,
         invariant_name="mutual exclusion under waiter crash (repair-MCS model)",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Competing lock families (the PR-9 gauntlet entries)
+# --------------------------------------------------------------------------- #
+
+def alock_impl_model(
+    num_local: int = 1,
+    num_remote: int = 2,
+    *,
+    rounds: int = 1,
+    mutant: Optional[str] = None,
+) -> ModelSpec:
+    """The asymmetric lock of :mod:`repro.related.alock`, one RMA per step.
+
+    Process ids ``0 .. num_local-1`` are node-local fast-path ranks (a
+    blocked CAS transition on the owner word — the model's analogue of the
+    backoff retry loop); the rest are remote ranks running the MCS enqueue,
+    the status park and the head-only owner claim, in the implementation's
+    issue order.  The safety argument the checker certifies is exactly the
+    one the scheme's docstring makes: both paths enter only through
+    ``CAS(free -> rank)`` on the single owner word, so no interleaving of
+    barging locals, parked waiters and queue hand-offs can double-grant.
+
+    ``mutant="skip-owner-cas"`` replays the tempting wrong design where a
+    granted remote head trusts the queue hand-off and enters without
+    claiming the owner word — the checker finds the mutual-exclusion
+    violation against a barging local.
+    """
+    if num_local < 0 or num_remote < 0 or num_local + num_remote < 1:
+        raise ValueError("need at least one process")
+    if mutant not in (None, "skip-owner-cas"):
+        raise ValueError(f"unknown mutant {mutant!r}")
+    skip_owner_cas = mutant == "skip-owner-cas"
+    num_processes = num_local + num_remote
+
+    initial_state = {
+        "owner": _NIL,
+        "tail": _NIL,
+        "next": [_NIL] * num_processes,
+        "head": [False] * num_processes,
+        "cs": [],
+        "procs": [
+            {
+                "pc": "l_claim" if pid < num_local else "r_init",
+                "pred": _NIL,
+                "succ": _NIL,
+                "rounds": 0,
+            }
+            for pid in range(num_processes)
+        ],
+    }
+
+    def is_local(pid: int) -> bool:
+        return pid < num_local
+
+    def step(state: Dict, pid: int) -> bool:  # noqa: C901 - mirrors the impl
+        me = state["procs"][pid]
+        pc = me["pc"]
+
+        # -- shared owner-word claim (the CAS retry loop, both paths) ------- #
+        if pc in ("l_claim", "r_claim"):
+            if state["owner"] != _NIL:
+                return False  # CAS lost: the impl backs off and retries
+            state["owner"] = pid
+            me["pc"] = "cs_enter"
+        elif pc == "cs_enter":
+            state["cs"].append(pid)
+            me["pc"] = "cs_exit"
+        elif pc == "cs_exit":
+            state["cs"].remove(pid)
+            me["pc"] = "rel_owner"
+        elif pc == "rel_owner":
+            state["owner"] = _NIL
+            me["pc"] = "round_done" if is_local(pid) else "rel_read"
+
+        # -- remote slow path: MCS enqueue + head-only claim ---------------- #
+        elif pc == "r_init":
+            state["next"][pid] = _NIL
+            state["head"][pid] = False
+            me["pc"] = "r_swap"
+        elif pc == "r_swap":
+            me["pred"] = state["tail"]
+            state["tail"] = pid
+            if me["pred"] == _NIL:
+                me["pc"] = "cs_enter" if skip_owner_cas else "r_claim"
+            else:
+                me["pc"] = "r_link"
+        elif pc == "r_link":
+            state["next"][me["pred"]] = pid
+            me["pc"] = "r_spin"
+        elif pc == "r_spin":
+            if not state["head"][pid]:
+                return False
+            me["pc"] = "cs_enter" if skip_owner_cas else "r_claim"
+
+        # -- remote release: hand the headship down the queue --------------- #
+        elif pc == "rel_read":
+            me["succ"] = state["next"][pid]
+            me["pc"] = "r_notify" if me["succ"] != _NIL else "rel_cas"
+        elif pc == "rel_cas":
+            if state["tail"] == pid:
+                state["tail"] = _NIL
+                me["pc"] = "round_done"
+            else:
+                me["pc"] = "rel_waitnext"
+        elif pc == "rel_waitnext":
+            if state["next"][pid] == _NIL:
+                return False
+            me["succ"] = state["next"][pid]
+            me["pc"] = "r_notify"
+        elif pc == "r_notify":
+            state["head"][me["succ"]] = True
+            me["pc"] = "round_done"
+
+        elif pc == "round_done":
+            me["rounds"] += 1
+            if me["rounds"] >= rounds:
+                me["pc"] = "done"
+            else:
+                me["pc"] = "l_claim" if is_local(pid) else "r_init"
+        else:  # pragma: no cover - "done" filtered by is_done
+            return False
+        return True
+
+    def is_done(state: Dict, pid: int) -> bool:
+        return state["procs"][pid]["pc"] == "done"
+
+    def invariant(state: Dict) -> bool:
+        return len(state["cs"]) <= 1
+
+    variant = f",{mutant}" if mutant else ""
+    return ModelSpec(
+        name=f"alock_impl[l={num_local},r={num_remote}{variant}]",
+        num_processes=num_processes,
+        initial_state=initial_state,
+        step=step,
+        is_done=is_done,
+        invariant=invariant,
+        invariant_name="mutual exclusion (asymmetric-lock model)",
+    )
+
+
+def lock_server_impl_model(
+    num_processes: int = 3,
+    *,
+    queue_threshold: int = 1,
+    rounds: int = 1,
+    mutant: Optional[str] = None,
+) -> ModelSpec:
+    """The lock-server grant queue of :mod:`repro.related.lock_server`.
+
+    Every client runs the implementation's decision loop with the real read
+    granularity: the ``next_ticket`` read, the ``grant`` read and the claim
+    RMW are three separate transitions, so the checker explores exactly the
+    stale-snapshot races the retry path is exposed to.  The claim CAS on
+    ``next_ticket`` validates the snapshot the way the implementation does;
+    the queue path is an unconditional FAO.  The invariant is the ticket
+    invariant: at most one client holds (and it owns ticket ``grant``).
+
+    ``mutant="blind-fast-path"`` replays the naive retry design the paper
+    warns against: a client that *observed* an empty queue enters without
+    the claim RMW.  Two clients sharing the observation double-grant — the
+    checker reports the mutual-exclusion violation.
+    """
+    if num_processes < 1:
+        raise ValueError("need at least one process")
+    if queue_threshold < 0:
+        raise ValueError("queue_threshold must be >= 0")
+    if mutant not in (None, "blind-fast-path"):
+        raise ValueError(f"unknown mutant {mutant!r}")
+    blind = mutant == "blind-fast-path"
+
+    initial_state = {
+        "nxt": 0,
+        "grant": 0,
+        "cs": [],
+        "procs": [
+            {"pc": "c_read_next", "t": 0, "g": 0, "ticket": -1, "rounds": 0}
+            for _ in range(num_processes)
+        ],
+    }
+
+    def step(state: Dict, pid: int) -> bool:  # noqa: C901 - mirrors the impl
+        me = state["procs"][pid]
+        pc = me["pc"]
+        if pc == "c_read_next":
+            me["t"] = state["nxt"]
+            me["pc"] = "c_read_grant"
+        elif pc == "c_read_grant":
+            me["g"] = state["grant"]
+            me["pc"] = "c_decide"
+        elif pc == "c_decide":
+            depth = me["t"] - me["g"]
+            if depth > queue_threshold:
+                me["pc"] = "c_enqueue"
+            elif depth == 0:
+                me["pc"] = "c_blind_enter" if blind else "c_cas"
+            else:
+                # Retry mode: poll until the queue drains or overflows.  The
+                # guard keeps the transition blocked while the *current*
+                # state still reads as mid-depth, so polling does not spin
+                # the checker through unchanged states.
+                cur_depth = state["nxt"] - state["grant"]
+                if 0 < cur_depth <= queue_threshold:
+                    return False
+                me["pc"] = "c_read_next"
+        elif pc == "c_cas":
+            # CAS(next_ticket: t -> t+1): the claim validates the snapshot.
+            if state["nxt"] == me["t"]:
+                state["nxt"] += 1
+                me["ticket"] = me["t"]
+                me["pc"] = "c_spin"
+            else:
+                me["pc"] = "c_read_next"
+        elif pc == "c_blind_enter":  # blind-fast-path mutant only
+            me["ticket"] = state["grant"]
+            me["pc"] = "cs_enter"
+        elif pc == "c_enqueue":
+            me["ticket"] = state["nxt"]
+            state["nxt"] += 1
+            me["pc"] = "c_spin"
+        elif pc == "c_spin":
+            if state["grant"] != me["ticket"]:
+                return False
+            me["pc"] = "cs_enter"
+        elif pc == "cs_enter":
+            state["cs"].append(pid)
+            me["pc"] = "cs_exit"
+        elif pc == "cs_exit":
+            state["cs"].remove(pid)
+            me["pc"] = "c_rel"
+        elif pc == "c_rel":
+            state["grant"] += 1
+            me["ticket"] = -1
+            me["rounds"] += 1
+            me["pc"] = "done" if me["rounds"] >= rounds else "c_read_next"
+        else:  # pragma: no cover - "done" filtered by is_done
+            return False
+        return True
+
+    def is_done(state: Dict, pid: int) -> bool:
+        return state["procs"][pid]["pc"] == "done"
+
+    def invariant(state: Dict) -> bool:
+        return len(state["cs"]) <= 1
+
+    variant = f",{mutant}" if mutant else ""
+    return ModelSpec(
+        name=f"lock_server_impl[P={num_processes},Q={queue_threshold}{variant}]",
+        num_processes=num_processes,
+        initial_state=initial_state,
+        step=step,
+        is_done=is_done,
+        invariant=invariant,
+        invariant_name="mutual exclusion (lock-server model)",
     )

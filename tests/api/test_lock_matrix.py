@@ -1,0 +1,78 @@
+"""The README lock-family matrix is generated, not hand-written.
+
+``tools/lock_matrix.py`` renders one row per ``@register_scheme`` lock from
+the live registry (category, fairness bound, crash contract, swap
+compatibility, tunables).  This test fails whenever the committed README
+drifts from what the registry says — e.g. a new lock family was registered
+without re-running the tool.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+from repro.api.registry import get_scheme, load_builtin_schemes, scheme_names
+from repro.fault.plan import recovery_info
+
+TOOLS_DIR = Path(__file__).resolve().parents[2] / "tools"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "lock_matrix", TOOLS_DIR / "lock_matrix.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules.setdefault("lock_matrix", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_readme_matrix_matches_registry():
+    tool = _load_tool()
+    current = tool.README.read_text()
+    assert tool.BEGIN in current and tool.END in current
+    assert tool.render_readme(current) == current, (
+        "README lock-family matrix is stale; run "
+        "`PYTHONPATH=src python tools/lock_matrix.py`"
+    )
+
+
+def test_matrix_covers_every_registered_scheme():
+    load_builtin_schemes()
+    tool = _load_tool()
+    table = tool.matrix_markdown()
+    for name in scheme_names():
+        assert f"| `{name}` |" in table
+    # The PR 9 lock families appear with their tunable policy knobs.
+    assert "| `alock` |" in table and "| `lock-server` |" in table
+    assert "`queue_threshold`" in table
+
+
+def test_matrix_crash_contract_column_tracks_declarations():
+    load_builtin_schemes()
+    tool = _load_tool()
+    table = tool.matrix_markdown()
+    for name in scheme_names():
+        rec = recovery_info(name)
+        if rec.scenarios:
+            for scenario in rec.scenarios:
+                row = next(l for l in table.splitlines() if l.startswith(f"| `{name}` |"))
+                assert scenario in row
+    # Undeclared schemes are expected-unavailable, never a silent pass.
+    assert "none (crash => unavailable)" in table
+
+
+def test_matrix_swap_column_tracks_structural_probe():
+    load_builtin_schemes()
+    tool = _load_tool()
+    table = tool.matrix_markdown()
+    for name in scheme_names():
+        swap = "yes" if get_scheme(name).swap_compatible else "no"
+        row = next(l for l in table.splitlines() if l.startswith(f"| `{name}` |"))
+        assert f"| {swap} |" in row
+    # striped-rw opts out of the plain lock-handle protocol.
+    striped = next(l for l in table.splitlines() if l.startswith("| `striped-rw` |"))
+    assert "| no |" in striped

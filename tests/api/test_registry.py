@@ -38,7 +38,11 @@ class TestBuiltinCatalogue:
     def test_catalogue_tuples_derive_from_registry(self):
         assert MCS_SCHEMES == scheme_names(category="mcs") == ("fompi-spin", "d-mcs", "rma-mcs")
         assert RW_SCHEMES == scheme_names(category="rw") == ("fompi-rw", "rma-rw")
-        assert RELATED_MCS_SCHEMES == scheme_names(category="related-mcs") == ("ticket", "hbo", "cohort")
+        assert (
+            RELATED_MCS_SCHEMES
+            == scheme_names(category="related-mcs")
+            == ("ticket", "hbo", "cohort", "alock", "lock-server")
+        )
         assert RELATED_RW_SCHEMES == scheme_names(category="related-rw") == ("numa-rw",)
 
     def test_rw_flags_match_catalogue(self):

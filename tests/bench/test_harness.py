@@ -21,8 +21,10 @@ def machine() -> Machine:
 
 class TestBuildLockSpec:
     def test_all_schemes_buildable(self, machine):
+        from repro.related.alock import ALockSpec
         from repro.related.cohort import CohortTicketLockSpec
         from repro.related.hbo import HBOLockSpec
+        from repro.related.lock_server import LockServerSpec
         from repro.related.numa_rw import NumaRWLockSpec
         from repro.related.ticket import TicketLockSpec
 
@@ -36,6 +38,8 @@ class TestBuildLockSpec:
             "hbo": HBOLockSpec,
             "cohort": CohortTicketLockSpec,
             "numa-rw": NumaRWLockSpec,
+            "alock": ALockSpec,
+            "lock-server": LockServerSpec,
         }
         for scheme in SCHEMES:
             config = LockBenchConfig(machine=machine, scheme=scheme, t_l=(2, 2))

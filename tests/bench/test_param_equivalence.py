@@ -1,0 +1,100 @@
+"""The deprecated ``--t-*`` aliases must be exact synonyms of ``--param``.
+
+Property pinned here (ISSUE 9 satellite): for every generated threshold
+alias, parsing ``--<t-flag> VALUE`` and parsing ``--param name=VALUE`` must
+produce configurations whose campaign cache keys and run fingerprints are
+bit-identical — plus the new conflict semantics: alias use warns, and an
+alias disagreeing with a ``--param`` assignment of the same name exits 2
+instead of silently letting one spelling win.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.campaign import CampaignPoint, ResultCache, run_result_sha
+from repro.bench.harness import run_lock_benchmark_detailed
+from repro.bench.workloads import LockBenchConfig
+from repro.cli import _threshold_kwargs, build_parser
+from repro.topology.builder import xc30_like
+
+#: (alias argv fragment, --param equivalent, overlay pairs) per threshold.
+ALIAS_CASES = [
+    pytest.param(["--t-r", "16"], "t_r=16", (("t_r", 16),), id="t_r"),
+    pytest.param(["--t-dc", "2"], "t_dc=2", (("t_dc", 2),), id="t_dc"),
+    pytest.param(["--t-w", "8"], "t_w=8", (("t_w", 8),), id="t_w"),
+    pytest.param(["--t-l", "2", "4"], "t_l=[2, 4]", (("t_l", (2, 4)),), id="t_l"),
+]
+
+
+def _parse_kwargs(extra):
+    parser = build_parser()
+    args = parser.parse_args(["bench", "--scheme", "rma-rw", "--procs", "8"] + extra)
+    return _threshold_kwargs(args)
+
+
+def _overlay(kwargs):
+    """Normalize threshold kwargs to one canonical ``params`` overlay."""
+    pairs = {name: value for name, value in kwargs.items() if name != "params"}
+    pairs.update(dict(kwargs.get("params", ())))
+    return tuple(sorted(pairs.items()))
+
+
+class TestAliasParamEquivalence:
+    @pytest.mark.parametrize("alias_argv,param_value,overlay", ALIAS_CASES)
+    def test_cache_keys_are_bit_identical(self, alias_argv, param_value, overlay):
+        with pytest.warns(DeprecationWarning):
+            alias_kwargs = _parse_kwargs(alias_argv)
+        param_kwargs = _parse_kwargs(["--param", param_value])
+        assert _overlay(alias_kwargs) == _overlay(param_kwargs) == overlay
+
+        points = [
+            CampaignPoint(
+                scheme="rma-rw", benchmark="ecsb", procs=8, procs_per_node=4,
+                iterations=4, fw=0.2, seed=3, params=_overlay(kwargs),
+            )
+            for kwargs in (alias_kwargs, param_kwargs)
+        ]
+        assert points[0].describe() == points[1].describe()
+        assert points[0].case == points[1].case
+        cache = ResultCache()
+        assert cache.key(points[0]) == cache.key(points[1])
+
+    @pytest.mark.parametrize("alias_argv,param_value,overlay", ALIAS_CASES)
+    def test_run_fingerprints_are_bit_identical(self, alias_argv, param_value, overlay):
+        machine = xc30_like(8, procs_per_node=4)
+        with pytest.warns(DeprecationWarning):
+            alias_kwargs = _parse_kwargs(alias_argv)
+        param_kwargs = _parse_kwargs(["--param", param_value])
+        shas = []
+        for kwargs in (alias_kwargs, param_kwargs):
+            config = LockBenchConfig(
+                machine=machine, scheme="rma-rw", benchmark="ecsb",
+                iterations=4, fw=0.2, seed=3, **kwargs,
+            )
+            _, raw = run_lock_benchmark_detailed(config)
+            shas.append(run_result_sha(raw))
+        assert shas[0] == shas[1]
+
+
+class TestAliasConflicts:
+    def test_alias_use_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="--t-r is a deprecated alias"):
+            _parse_kwargs(["--t-r", "16"])
+
+    def test_plain_param_use_does_not_warn(self, recwarn):
+        _parse_kwargs(["--param", "t_r=16"])
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_conflicting_values_exit_2(self, capsys):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SystemExit) as excinfo:
+                _parse_kwargs(["--t-r", "16", "--param", "t_r=64"])
+        assert excinfo.value.code == 2
+        assert "conflicting values" in capsys.readouterr().err
+
+    def test_agreeing_values_pass_through_the_overlay(self):
+        with pytest.warns(DeprecationWarning):
+            kwargs = _parse_kwargs(["--t-r", "16", "--param", "t_r=16"])
+        # The overlay carries the value; the deprecated direct kwarg is gone.
+        assert kwargs == {"params": (("t_r", 16),)}

@@ -69,6 +69,22 @@ class TestStatsAndRules:
         with pytest.raises(ValueError, match="lock-handle protocol"):
             PolicyRule(name="r", scheme="striped-rw")
 
+    def test_swap_incompatible_rule_fails_at_construction_with_candidates(self):
+        # The old behavior let the rule pass validation and blow up mid-run
+        # inside build_swap_plan; now the constructor names the problem and
+        # the schemes that *are* valid swap targets.
+        with pytest.raises(ValueError) as excinfo:
+            PolicyRule(name="r", scheme="striped-rw")
+        message = str(excinfo.value)
+        assert "not swap-compatible" in message
+        assert "Swap-compatible schemes:" in message
+        assert "rma-rw" in message
+
+    def test_new_lock_families_are_valid_policy_targets(self):
+        rule = PolicyRule(name="r", scheme="lock-server", params={"queue_threshold": 4})
+        assert rule.params == (("queue_threshold", 4),)
+        PolicyRule(name="r2", scheme="alock", params={"local_cap_us": 4.0})
+
     def test_rule_rejects_bad_bounds(self):
         with pytest.raises(ValueError, match="read-fraction"):
             PolicyRule(name="r", scheme="d-mcs", min_read_fraction=0.9, max_read_fraction=0.1)

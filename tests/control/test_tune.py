@@ -187,3 +187,90 @@ class TestPolicyFeed:
 
         table = policy_from_tune(DEFAULT_TUNE_BASELINE)
         assert len(table.rules) >= 3  # rule validation ran for every winner
+
+
+class TestAdapterAxes:
+    """Tunable parameters of adapter-driven (harness=False) schemes.
+
+    The old behavior silently dropped every parameter on the adapter path:
+    the tune sweep would measure the identical point N times and report a
+    sensitivity series that was pure noise.  Now the axis is either live
+    (the adapter accepts the parameter) or loudly refused/warned about.
+    """
+
+    @pytest.fixture
+    def adapter_scheme(self):
+        from repro.api.registry import ParamSpec, register_scheme, unregister
+        from repro.related.hbo import HBOLockSpec
+
+        name = "test-tune-adapter-lock"
+
+        def adapter(machine, local_cap_us=2.0):
+            return HBOLockSpec(machine, local_cap_us=float(local_cap_us))
+
+        @register_scheme(
+            name,
+            category="test",
+            harness=False,
+            params=(
+                ParamSpec("local_cap_us", float, 2.0, "live adapter knob"),
+                ParamSpec("dead_knob", float, 1.0, "knob the adapter drops"),
+            ),
+            conformance_adapter=adapter,
+        )
+        def _build(machine):  # native protocol irrelevant for these tests
+            return HBOLockSpec(machine)
+
+        yield name
+        unregister("scheme", name)
+
+    def test_adapter_param_axis_is_live(self, adapter_scheme):
+        from repro.bench.harness import build_lock_spec
+        from repro.bench.workloads import LockBenchConfig
+        from repro.topology.machine import Machine
+
+        machine = Machine.cluster(nodes=2, procs_per_node=2)
+        config = LockBenchConfig(
+            machine=machine, scheme=adapter_scheme,
+            params=(("local_cap_us", 8.0),),
+        )
+        spec, _ = build_lock_spec(config)
+        assert spec.local_cap_us == 8.0
+
+    def test_dropped_adapter_param_warns(self, adapter_scheme):
+        from repro.bench.harness import build_lock_spec
+        from repro.bench.workloads import LockBenchConfig
+        from repro.topology.machine import Machine
+
+        machine = Machine.cluster(nodes=2, procs_per_node=2)
+        config = LockBenchConfig(
+            machine=machine, scheme=adapter_scheme,
+            params=(("dead_knob", 3.0),),
+        )
+        with pytest.warns(RuntimeWarning, match="dead_knob"):
+            build_lock_spec(config)
+
+    def test_grid_on_a_dead_adapter_axis_is_refused(self, adapter_scheme):
+        with pytest.raises(ValueError, match="silent no-op"):
+            TuneGrid(
+                scheme=adapter_scheme, param="dead_knob",
+                scenario="traffic-zipf", values=(0.5, 2.0),
+            )
+
+    def test_grid_on_a_live_adapter_axis_is_accepted(self, adapter_scheme):
+        grid = TuneGrid(
+            scheme=adapter_scheme, param="local_cap_us",
+            scenario="traffic-zipf", values=(0.5, 2.0),
+        )
+        assert len(grid.points()) == 3
+
+    def test_new_lock_family_params_are_tunable_axes(self):
+        # lock-server's retry-vs-queue threshold is the tentpole's policy
+        # knob: the curated axis spans the pure-queue (0) and pure-retry
+        # (>= P) endpoints of arxiv 1507.03274.
+        assert derive_axis("lock-server", "queue_threshold") == (0, 1, 2, 8, 32)
+        grid = TuneGrid(
+            scheme="lock-server", param="queue_threshold",
+            scenario="traffic-zipf", values=derive_axis("lock-server", "queue_threshold"),
+        )
+        assert len(grid.points()) == 6

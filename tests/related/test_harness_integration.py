@@ -84,6 +84,8 @@ class TestRelatedExperimentDrivers:
             "ticket",
             "hbo",
             "cohort",
+            "alock",
+            "lock-server",
         }
         assert all(r["figure"] == "related-mcs" for r in rows)
         assert all(r["throughput_mln_s"] > 0 for r in rows)

@@ -60,6 +60,40 @@ GOLDEN_CASES: Dict[str, Dict[str, Any]] = {
         "fw": 0.2,
         "seed": 7,
     },
+    # The competing lock families ported in PR 9 (recorded with the preserved
+    # baseline copy of the seed scheduler; horizon and vector must match).
+    "alock-ecsb-p8": {
+        "P": 8,
+        "procs_per_node": 4,
+        "scheme": "alock",
+        "benchmark": "ecsb",
+        "iterations": 6,
+        "seed": 3,
+    },
+    "alock-wcsb-p32": {
+        "P": 32,
+        "procs_per_node": 8,
+        "scheme": "alock",
+        "benchmark": "wcsb",
+        "iterations": 5,
+        "seed": 3,
+    },
+    "lock-server-ecsb-p8": {
+        "P": 8,
+        "procs_per_node": 4,
+        "scheme": "lock-server",
+        "benchmark": "ecsb",
+        "iterations": 6,
+        "seed": 3,
+    },
+    "lock-server-wcsb-p32": {
+        "P": 32,
+        "procs_per_node": 8,
+        "scheme": "lock-server",
+        "benchmark": "wcsb",
+        "iterations": 5,
+        "seed": 3,
+    },
 }
 
 

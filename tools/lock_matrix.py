@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Regenerate the README's lock-family matrix from the scheme registry.
+
+The table between the ``<!-- lock-matrix:begin -->`` /
+``<!-- lock-matrix:end -->`` markers in ``README.md`` is generated, not
+hand-written: every ``@register_scheme`` lock contributes one row from its
+registry metadata — category, declared fairness bound, declared crash
+contract (``repro.fault.declare_recovery``), swap-compatibility with the
+adaptive control plane's scheme slots, and the tunable parameters ``repro
+tune`` may sweep.  Adding a scheme therefore updates the docs by re-running
+this script — and ``tests/api/test_lock_matrix.py`` fails until someone does.
+
+Usage::
+
+    PYTHONPATH=src python tools/lock_matrix.py            # rewrite README.md
+    PYTHONPATH=src python tools/lock_matrix.py --check    # exit 1 when stale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.api.registry import get_scheme, load_builtin_schemes, scheme_names
+from repro.fault.plan import recovery_info
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+BEGIN = "<!-- lock-matrix:begin (tools/lock_matrix.py) -->"
+END = "<!-- lock-matrix:end -->"
+
+
+def _fairness(info) -> str:
+    """Render a declared ``bound(P) -> int`` closed-form where recognizable."""
+    bound = info.fairness_bound
+    if bound is None:
+        return "none declared"
+    if all(bound(p) == p - 1 for p in (2, 8, 64)):
+        return "P-1 bypasses (FIFO)"
+    return f"{bound(8)} bypasses at P=8"
+
+
+def _crash_contract(name: str) -> str:
+    rec = recovery_info(name)
+    if not rec.scenarios:
+        return "none (crash => unavailable)"
+    text = ", ".join(sorted(rec.scenarios))
+    if rec.lease_us is not None:
+        text += f" (lease {rec.lease_us:g} us)"
+    return text
+
+
+def _tunables(info) -> str:
+    names = [spec.name for spec in info.tunable_params()]
+    return ", ".join(f"`{n}`" for n in names) if names else "none"
+
+
+def matrix_markdown() -> str:
+    load_builtin_schemes()
+    lines = [
+        "| scheme | kind | category | fairness bound | crash contract | swappable | tunables | what it is |",
+        "|--------|------|----------|----------------|----------------|-----------|----------|------------|",
+    ]
+    for name in scheme_names():
+        info = get_scheme(name)
+        kind = "rw" if info.rw else "mutex"
+        swap = "yes" if info.swap_compatible else "no"
+        lines.append(
+            f"| `{name}` | {kind} | {info.category} | {_fairness(info)} "
+            f"| {_crash_contract(name)} | {swap} | {_tunables(info)} "
+            f"| {info.help} |"
+        )
+    return "\n".join(lines)
+
+
+def render_readme(text: str) -> str:
+    begin = text.index(BEGIN)
+    end = text.index(END)
+    return text[: begin + len(BEGIN)] + "\n" + matrix_markdown() + "\n" + text[end:]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true", help="exit 1 when README is stale")
+    args = parser.parse_args(argv)
+    current = README.read_text()
+    try:
+        rendered = render_readme(current)
+    except ValueError:
+        print(f"error: {BEGIN!r} / {END!r} markers not found in {README}", file=sys.stderr)
+        return 2
+    if args.check:
+        if rendered != current:
+            print("README lock-family matrix is stale; run tools/lock_matrix.py")
+            return 1
+        print("README lock-family matrix is up to date")
+        return 0
+    if rendered != current:
+        README.write_text(rendered)
+        print(f"rewrote {README}")
+    else:
+        print("README already up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -126,9 +126,11 @@ SCHEME_SELECTORS: Tuple[str, ...] = (
 #: registered benchmarks carrying that tag (see
 #: :class:`repro.api.registry.BenchmarkInfo`): ``"traffic"`` is every
 #: open-loop traffic scenario, ``"traffic-rw"`` the subset with a meaningful
-#: read/write mix — so third-party ``register_traffic_scenario`` calls join
-#: selector-based campaigns for free, mirroring the scheme selectors.
-BENCHMARK_SELECTORS: Tuple[str, ...] = ("traffic", "traffic-rw")
+#: read/write mix, ``"scale"`` the fluid-scale scenarios of ``repro.scale``
+#: (kept out of ``"traffic"`` so the committed traffic baseline is untouched)
+#: — so third-party ``register_traffic_scenario`` calls join selector-based
+#: campaigns for free, mirroring the scheme selectors.
+BENCHMARK_SELECTORS: Tuple[str, ...] = ("traffic", "traffic-rw", "scale")
 
 _REPO_ROOT = Path(__file__).resolve().parents[3]
 _GOLDEN_FILE = _REPO_ROOT / "tests" / "rma" / "golden" / "seed_scheduler.json"

@@ -390,9 +390,13 @@ def run_lock_benchmark_detailed(
         # An open-loop traffic run: fold the per-request samples into the
         # deterministic tail-latency summary (imported lazily — the traffic
         # package sits above the harness in the layering).
-        from repro.traffic.accounting import aggregate_traffic
+        from repro.traffic.accounting import DEFAULT_RESERVOIR_CAP, aggregate_traffic
 
-        traffic = aggregate_traffic(live)
+        # Scenarios may size the accounting reservoir themselves (sampled
+        # fluid-scale cohorts declare small caps); the per-rank returns carry
+        # the cap so it is part of the fingerprinted run state.
+        cap = int(live[0].get("reservoir_cap", DEFAULT_RESERVOIR_CAP))
+        traffic = aggregate_traffic(live, reservoir_cap=cap)
         percentiles = traffic.percentile_fields()
         percentiles["offered_per_s"] = traffic.offered_per_s
         phases = traffic.phases
@@ -401,6 +405,9 @@ def run_lock_benchmark_detailed(
             # at phase-boundary crossings (see repro.control.policy).  Summed
             # so the determinism gate pins the swap schedule too.
             percentiles["swaps_total"] = float(sum(r.get("swaps", 0) for r in live))
+        if "resizes" in live[0]:
+            # Elastic run: same idea for table resize crossings.
+            percentiles["resizes_total"] = float(sum(r.get("resizes", 0) for r in live))
 
     bench_result = LockBenchResult(
         scheme=config.scheme,

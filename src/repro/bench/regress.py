@@ -4,9 +4,10 @@ Runs a campaign (default: ``ci-gate``) through the campaign engine and
 compares its rows against the committed ``BENCH_campaign.json`` manifest, and
 sanity-checks the recorded ``BENCH_runtime.json`` perf manifest plus the
 ``BENCH_traffic.json`` open-loop traffic baseline (see
-:func:`check_traffic_manifest`) and the ``BENCH_tune.json`` auto-tuner
-baseline (see :func:`check_tune_manifest`).  Two classes of fields, two
-severities:
+:func:`check_traffic_manifest`), the ``BENCH_tune.json`` auto-tuner
+baseline (see :func:`check_tune_manifest`) and the ``BENCH_scale.json``
+fluid-scale baseline (see :func:`check_scale_manifest`).  Two classes of
+fields, two severities:
 
 * **Determinism fields** (:data:`repro.bench.campaign.DETERMINISM_FIELDS`)
   are bit-exact functions of each point's seed.  Any mismatch is a *hard*
@@ -61,6 +62,7 @@ __all__ = [
     "RegressError",
     "bless",
     "check_runtime_manifest",
+    "check_scale_manifest",
     "check_traffic_manifest",
     "check_tune_manifest",
     "compare_campaign_rows",
@@ -90,6 +92,7 @@ DEFAULT_CAMPAIGN_BASELINE = _REPO_ROOT / "BENCH_campaign.json"
 DEFAULT_RUNTIME_BASELINE = _REPO_ROOT / "BENCH_runtime.json"
 DEFAULT_TRAFFIC_BASELINE = _REPO_ROOT / "BENCH_traffic.json"
 DEFAULT_TUNE_BASELINE = _REPO_ROOT / "BENCH_tune.json"
+DEFAULT_SCALE_BASELINE = _REPO_ROOT / "BENCH_scale.json"
 
 #: Structural floor of the committed traffic baseline: the acceptance grid
 #: covers at least this many distinct schemes on both deterministic schedulers.
@@ -354,6 +357,94 @@ def check_tune_manifest(payload: Mapping[str, Any]) -> List[Finding]:
     return findings
 
 
+def check_scale_manifest(payload: Mapping[str, Any]) -> List[Finding]:
+    """Sanity-check the committed ``BENCH_scale.json`` fluid-scale manifest.
+
+    The manifest is blessed by ``repro scale --bless`` (campaign rows go
+    through the shared cache; ``bless_scale`` refuses to record a failing
+    sweep in the first place).  The gate re-checks the *recorded* baseline:
+    campaign rows exist with fingerprints and percentile blocks on both
+    deterministic schedulers, every fluid validation record is within
+    tolerance and carries one identical sampled fingerprint across its
+    scheduler/re-run matrix, and the re-homing verdict still beats static
+    placement in every compared pair.
+    """
+    name = "BENCH_scale.json"
+    rows = payload.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return [Finding("hard", name, "rows", "manifest has no scale campaign rows")]
+    findings: List[Finding] = []
+    schedulers = set()
+    for row in rows:
+        if not isinstance(row, dict) or "case" not in row:
+            return [Finding("hard", name, "rows", "malformed row without a 'case' key")]
+        case = str(row["case"])
+        schedulers.add(str(row.get("scheduler", "horizon")))
+        if not row.get("fingerprint"):
+            findings.append(Finding("hard", case, "fingerprint", "scale row has no determinism fingerprint"))
+        percentiles = row.get("percentiles")
+        if not isinstance(percentiles, dict) or "e2e_p99_us" not in percentiles:
+            findings.append(
+                Finding("hard", case, "percentiles", "scale row has no tail-latency percentile block")
+            )
+    if not {"horizon", "baseline"} <= schedulers:
+        findings.append(
+            Finding(
+                "fail",
+                name,
+                "schedulers",
+                f"baseline covers scheduler(s) {sorted(schedulers)}; the determinism "
+                f"certificate needs rows from both 'horizon' and 'baseline'",
+            )
+        )
+    fluid = payload.get("fluid")
+    if not isinstance(fluid, list) or not fluid:
+        findings.append(Finding("hard", name, "fluid", "manifest has no fluid validation records"))
+    else:
+        for record in fluid:
+            if not isinstance(record, dict) or "name" not in record:
+                findings.append(Finding("hard", name, "fluid", "malformed fluid record without a 'name' key"))
+                continue
+            case = str(record["name"])
+            if not record.get("within_tolerance"):
+                failed = [
+                    str(c.get("name", "?"))
+                    for c in record.get("checks", ())
+                    if isinstance(c, dict) and not c.get("ok")
+                ]
+                findings.append(
+                    Finding(
+                        "hard",
+                        case,
+                        "validation",
+                        f"fluid record outside tolerance (failing checks: {failed or 'unknown'})",
+                    )
+                )
+            if not record.get("fingerprints_identical"):
+                findings.append(
+                    Finding(
+                        "hard",
+                        case,
+                        "fingerprints",
+                        f"sampled cohort fingerprints diverged: {record.get('fingerprints')!r}",
+                    )
+                )
+    rehome = payload.get("rehome")
+    if not isinstance(rehome, dict) or not rehome.get("pairs"):
+        findings.append(Finding("hard", name, "rehome", "manifest has no re-homing comparison"))
+    elif not rehome.get("improved"):
+        findings.append(
+            Finding(
+                "fail",
+                name,
+                "rehome",
+                "recorded re-homing run does not beat static placement; "
+                "re-bless after fixing the policy or the scenario",
+            )
+        )
+    return findings
+
+
 def _timed_run(campaign: str, *, jobs: Optional[int], cache_dir: Optional[Path], refresh: bool, scheduler: Optional[str] = None) -> CampaignReport:
     return run_campaign(
         campaign,
@@ -436,6 +527,7 @@ def run_regress(
     runtime_baseline_path: Optional[Path] = DEFAULT_RUNTIME_BASELINE,
     traffic_baseline_path: Optional[Path] = DEFAULT_TRAFFIC_BASELINE,
     tune_baseline_path: Optional[Path] = DEFAULT_TUNE_BASELINE,
+    scale_baseline_path: Optional[Path] = DEFAULT_SCALE_BASELINE,
     soft: bool = False,
     jobs: Optional[int] = None,
     fresh: bool = True,
@@ -603,6 +695,29 @@ def run_regress(
                 )
             else:
                 findings.extend(check_tune_manifest(tune_payload))
+    if scale_baseline_path is not None:
+        scale_baseline_path = Path(scale_baseline_path)
+        if not scale_baseline_path.exists():
+            # Same policy as the traffic manifest: the default file missing is
+            # survivable (warn); an explicit path must exist — 'none' opts out.
+            level = "warn" if scale_baseline_path == DEFAULT_SCALE_BASELINE else "hard"
+            findings.append(
+                Finding(
+                    level,
+                    str(scale_baseline_path),
+                    "file",
+                    "scale manifest not found; run `repro scale --bless` to record one",
+                )
+            )
+        else:
+            try:
+                scale_payload = json.loads(scale_baseline_path.read_text())
+            except ValueError as exc:
+                findings.append(
+                    Finding("hard", str(scale_baseline_path), "json", f"unreadable manifest: {exc}")
+                )
+            else:
+                findings.extend(check_scale_manifest(scale_payload))
 
     print_fn(format_findings(findings))
     code = exit_code(findings)

@@ -57,7 +57,9 @@ __all__ = [
     "PolicyRule",
     "PolicyTable",
     "SwapPlan",
+    "TrafficStats",
     "build_swap_plan",
+    "collect_entry_phase_stats",
     "policy_min_entry_words",
     "policy_schemes",
 ]
@@ -105,6 +107,14 @@ class PolicyRule:
     ``rma-rw`` rule) — validated against the scheme's
     :class:`~repro.api.registry.ParamSpec` declarations, so third-party
     ``@register_scheme`` locks are valid targets for free.
+
+    ``action`` selects what a match does.  ``"swap"`` (the default) installs
+    the rule's scheme with its params.  ``"rehome"`` additionally moves the
+    placed spec's ``home_rank``/``tail_rank`` toward the *node* originating
+    most of the entry's requests in the decision phase (the paper's locality
+    story applied online; see :mod:`repro.scale.rehome`) — the dominant node
+    must carry at least ``min_node_share`` of the entry's requests, and a
+    rehome that would land on the entry's current home is skipped.
     """
 
     name: str
@@ -115,6 +125,8 @@ class PolicyRule:
     min_waiter_depth: float = 0.0
     max_waiter_depth: float = math.inf
     min_requests: int = 1
+    action: str = "swap"
+    min_node_share: float = 0.0
 
     def __post_init__(self) -> None:
         if isinstance(self.params, Mapping):
@@ -144,6 +156,13 @@ class PolicyRule:
             raise ValueError("waiter-depth bounds must satisfy 0 <= min <= max")
         if self.min_requests < 1:
             raise ValueError("min_requests must be >= 1")
+        if self.action not in ("swap", "rehome"):
+            raise ValueError(
+                f"policy rule {self.name!r} has unknown action {self.action!r}; "
+                f"expected 'swap' or 'rehome'"
+            )
+        if not 0.0 <= self.min_node_share <= 1.0:
+            raise ValueError("min_node_share must be within [0, 1]")
 
     def matches(self, stats: EntryPhaseStats) -> bool:
         if stats.requests < self.min_requests:
@@ -186,7 +205,12 @@ class PolicyTable:
 
 @dataclass(frozen=True)
 class EntrySwap:
-    """One planned scheme-slot install: entry × boundary × target version."""
+    """One planned scheme-slot install: entry × boundary × target version.
+
+    ``home_rank`` is the re-homing override: ``None`` keeps the table's
+    default round-robin placement, a rank pins the placed spec's
+    ``home_rank``/``tail_rank`` there (see :meth:`TableEntry.place`).
+    """
 
     boundary: int
     entry_index: int
@@ -195,6 +219,7 @@ class EntrySwap:
     rw: bool
     rule: str
     spec: Any
+    home_rank: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -253,6 +278,110 @@ def policy_min_entry_words(machine: Any, policy: PolicyTable) -> int:
     return words
 
 
+@dataclass(frozen=True)
+class TrafficStats:
+    """Aggregated per-(phase, entry) request statistics of one scenario run.
+
+    Flat arrays indexed ``phase * num_locks + entry``; ``rank_counts`` (only
+    collected when requested) adds the per-source-rank breakdown the
+    topology-aware re-homing planner and the ``--top-keys`` report consume.
+    Pure virtual-time state: everything derives from the materialized
+    request schedules, never from measured time.
+    """
+
+    num_locks: int
+    num_phases: int
+    counts: np.ndarray
+    writes: np.ndarray
+    cs_us: np.ndarray
+    rank_counts: Optional[np.ndarray] = None
+
+    def entry_share(self) -> np.ndarray:
+        """Per-entry request share over the whole run (sums to 1, or 0)."""
+        per_entry = self.counts.reshape(self.num_phases, self.num_locks).sum(axis=0)
+        total = per_entry.sum()
+        if total <= 0:
+            return np.zeros(self.num_locks, dtype=np.float64)
+        return per_entry.astype(np.float64) / float(total)
+
+
+def collect_entry_phase_stats(
+    scenario: TrafficScenario,
+    *,
+    seed: int,
+    nranks: int,
+    requests: int,
+    fw_default: float = 0.0,
+    num_locks: Optional[int] = None,
+    per_rank: bool = False,
+) -> TrafficStats:
+    """Aggregate all ranks' materialized schedules into :class:`TrafficStats`.
+
+    The single source of per-entry traffic statistics: the swap planner, the
+    re-homing planner and the traffic engine's hot-key report all fold the
+    same ``np.bincount`` over ``phase * num_locks + entry`` keys, so their
+    views of "hot" agree bit-exactly.  ``num_locks`` defaults to the
+    scenario's table size (pass the live table's size when a caller folds
+    keys onto a smaller table).
+    """
+    from repro.traffic.generators import generate_schedule
+
+    locks = int(scenario.num_locks if num_locks is None else num_locks)
+    num_phases = len(scenario.effective_phases())
+    size = num_phases * locks
+    counts = np.zeros(size, dtype=np.int64)
+    writes = np.zeros(size, dtype=np.float64)
+    cs_tot = np.zeros(size, dtype=np.float64)
+    rank_counts = np.zeros((size, nranks), dtype=np.int64) if per_rank else None
+    for rank in range(int(nranks)):
+        sched = generate_schedule(scenario, seed, rank, requests, fw_default)
+        if not len(sched):
+            continue
+        entries = np.mod(sched.lock_index, locks)
+        keys = sched.phase * locks + entries
+        counts += np.bincount(keys, minlength=size)
+        writes += np.bincount(keys, weights=sched.is_write.astype(np.float64), minlength=size)
+        cs_tot += np.bincount(keys, weights=sched.cs_us, minlength=size)
+        if rank_counts is not None:
+            rank_counts[:, rank] = np.bincount(keys, minlength=size)
+    return TrafficStats(
+        num_locks=locks,
+        num_phases=num_phases,
+        counts=counts,
+        writes=writes,
+        cs_us=cs_tot,
+        rank_counts=rank_counts,
+    )
+
+
+def _dominant_node(
+    machine: Any, entry_rank_counts: np.ndarray
+) -> Tuple[int, int, float]:
+    """The node originating most of an entry's requests.
+
+    Returns ``(home_rank, node_index, share)`` where ``home_rank`` is the
+    busiest rank of the dominant node (deterministic tie-breaks: lowest node,
+    then lowest rank).
+    """
+    nranks = int(entry_rank_counts.shape[0])
+    total = float(entry_rank_counts.sum())
+    node_totals: Dict[int, int] = {}
+    for rank in range(nranks):
+        node = int(machine.node_of(rank))
+        node_totals[node] = node_totals.get(node, 0) + int(entry_rank_counts[rank])
+    best_node = min(node_totals, key=lambda n: (-node_totals[n], n))
+    best_rank = -1
+    best_count = -1
+    for rank in range(nranks):
+        if int(machine.node_of(rank)) != best_node:
+            continue
+        count = int(entry_rank_counts[rank])
+        if count > best_count:
+            best_rank, best_count = rank, count
+    share = (node_totals[best_node] / total) if total > 0 else 0.0
+    return best_rank, best_node, share
+
+
 def build_swap_plan(
     scenario: TrafficScenario,
     config: Any,
@@ -267,8 +396,12 @@ def build_swap_plan(
     the statistics of phase ``b`` (always a finite phase, so spans are well
     defined).  Per boundary, at most ``policy.max_swaps_per_boundary``
     entries swap, hottest first (ties broken by entry index).
+
+    ``rehome`` rules consult the per-source-rank breakdown: a matched entry
+    is re-placed with its ``home_rank`` pinned to the busiest rank of the
+    node originating most of its traffic (provided that node carries at
+    least the rule's ``min_node_share`` and the home actually moves).
     """
-    from repro.traffic.generators import generate_schedule
     from repro.traffic.table import LockTableSpec
 
     phases = scenario.effective_phases()
@@ -289,37 +422,42 @@ def build_swap_plan(
 
     machine = config.machine
     nranks = int(machine.num_processes)
-    requests = int(config.iterations)
-    fw_default = float(config.fw)
-    seed = int(config.seed)
     num_locks = table.num_locks
-    num_phases = len(phases)
-
-    counts = np.zeros(num_phases * num_locks, dtype=np.int64)
-    writes = np.zeros(num_phases * num_locks, dtype=np.float64)
-    cs_tot = np.zeros(num_phases * num_locks, dtype=np.float64)
-    for rank in range(nranks):
-        sched = generate_schedule(scenario, seed, rank, requests, fw_default)
-        if not len(sched):
-            continue
-        entries = np.mod(sched.lock_index, num_locks)
-        keys = sched.phase * num_locks + entries
-        counts += np.bincount(keys, minlength=counts.size)
-        writes += np.bincount(keys, weights=sched.is_write.astype(np.float64), minlength=counts.size)
-        cs_tot += np.bincount(keys, weights=sched.cs_us, minlength=counts.size)
+    need_rank_counts = any(rule.action == "rehome" for rule in policy.rules)
+    stats_all = collect_entry_phase_stats(
+        scenario,
+        seed=int(config.seed),
+        nranks=nranks,
+        requests=int(config.iterations),
+        fw_default=float(config.fw),
+        num_locks=num_locks,
+        per_rank=need_rank_counts,
+    )
+    counts, writes, cs_tot = stats_all.counts, stats_all.writes, stats_all.cs_us
 
     swaps: List[EntrySwap] = []
     versions: Dict[int, int] = {}
-    # Planned identity per entry; params start as None ("construction-time
-    # thresholds, unknown here"), so a rule targeting the run's own scheme
-    # still swaps once to pin its thresholds.
-    current: Dict[int, Tuple[str, Any]] = {}
-    initial = (table.scheme, None)
+    # Planned identity per entry: (scheme, params, home).  Params start as
+    # None ("construction-time thresholds, unknown here"), so a rule
+    # targeting the run's own scheme still swaps once to pin its thresholds;
+    # homes start at the construction placement, so a rehome that would not
+    # move the home plans nothing.
+    current: Dict[int, Tuple[str, Any, Optional[int]]] = {}
+
+    def current_identity(entry_index: int) -> Tuple[str, Any, Optional[int]]:
+        got = current.get(entry_index)
+        if got is not None:
+            return got
+        home = getattr(table.entry(entry_index).spec, "home_rank", None)
+        if home is None:
+            home = getattr(table.entry(entry_index).spec, "tail_rank", None)
+        return (table.scheme, None, home)
+
     phase_start = 0.0
     for boundary in range(num_boundaries):
         span = finite_ends[boundary] - phase_start
         phase_start = finite_ends[boundary]
-        candidates: List[Tuple[int, int, PolicyRule, EntryPhaseStats]] = []
+        candidates: List[Tuple[int, int, PolicyRule, Optional[int]]] = []
         base_key = boundary * num_locks
         for entry_index in range(num_locks):
             n = int(counts[base_key + entry_index])
@@ -336,15 +474,28 @@ def build_swap_plan(
             rule = policy.decide(stats)
             if rule is None:
                 continue
-            if current.get(entry_index, initial) == (rule.scheme, rule.params):
+            home: Optional[int] = None
+            if rule.action == "rehome":
+                assert stats_all.rank_counts is not None
+                home, _, share = _dominant_node(
+                    machine, stats_all.rank_counts[base_key + entry_index]
+                )
+                if home < 0 or share < rule.min_node_share:
+                    continue
+            cur_scheme, cur_params, cur_home = current_identity(entry_index)
+            if rule.action == "rehome":
+                if (cur_scheme, cur_home) == (rule.scheme, home):
+                    continue
+            elif (cur_scheme, cur_params) == (rule.scheme, rule.params):
                 continue
-            candidates.append((n, entry_index, rule, stats))
+            candidates.append((n, entry_index, rule, home))
         candidates.sort(key=lambda c: (-c[0], c[1]))
-        for n, entry_index, rule, _ in candidates[: policy.max_swaps_per_boundary]:
+        for n, entry_index, rule, home in candidates[: policy.max_swaps_per_boundary]:
             spec, info = rule.build_spec(machine)
             # Validate placement now — a slab too small for the rule's scheme
-            # should fail at plan time with a clear message, not mid-run.
-            table.entry(entry_index).place(spec, nranks=nranks)
+            # (or a homeless spec under a rehome rule) should fail at plan
+            # time with a clear message, not mid-run.
+            table.entry(entry_index).place(spec, nranks=nranks, home_rank=home)
             versions[entry_index] = versions.get(entry_index, 0) + 1
             swaps.append(
                 EntrySwap(
@@ -355,9 +506,14 @@ def build_swap_plan(
                     rw=info.rw,
                     rule=rule.name,
                     spec=spec,
+                    home_rank=home,
                 )
             )
-            current[entry_index] = (rule.scheme, rule.params)
+            current[entry_index] = (
+                rule.scheme,
+                None if rule.action == "rehome" else rule.params,
+                home,
+            )
     return SwapPlan(num_boundaries=num_boundaries, swaps=tuple(swaps))
 
 
@@ -410,7 +566,9 @@ class PolicyController:
             ctx.get(rank, self.table.entry(swaps[0].entry_index).base_offset)
             for swap in swaps:
                 entry = self.table.entry(swap.entry_index)
-                placed = entry.place(swap.spec, nranks=ctx.nranks)
+                placed = entry.place(
+                    swap.spec, nranks=ctx.nranks, home_rank=swap.home_rank
+                )
                 inits = placed.init_window(rank)
                 for offset in range(entry.base_offset, entry.base_offset + entry.stride):
                     ctx.put(int(inits.get(offset, 0)), rank, offset)
@@ -422,6 +580,7 @@ class PolicyController:
                     scheme=swap.scheme,
                     nranks=ctx.nranks,
                     version=swap.version,
+                    home_rank=swap.home_rank,
                 )
         ctx.barrier()
         return len(swaps)

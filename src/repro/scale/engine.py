@@ -1,0 +1,344 @@
+"""The ``repro scale`` sweep: fluid validation + elastic/re-homing campaign.
+
+Mirrors :mod:`repro.traffic.engine`, which it deliberately follows file-
+for-file: the scale scenarios are registered benchmarks, so the campaign
+cache, the parallel executor and the determinism fingerprints apply
+unchanged.  One :func:`run_scale` sweep produces three artifact groups:
+
+* **Campaign rows** — the ``scale-suite`` grid (elastic resize plus the
+  static/re-homed hot-key pair) on one or both deterministic schedulers,
+  with bit-identical fingerprints required across them.
+* **Fluid validation records** — :func:`repro.scale.fluid.validate_fluid`
+  for every registered fluid scenario: analytic rate/share checks, sampled
+  percentiles and cross-scheduler fingerprint certificates.  This is where
+  the 10^6-clients/s scenario (``fluid-mega``) runs — in seconds.
+* **The re-homing verdict** — :func:`rehome_comparison` pairs the
+  ``scale-hot`` / ``scale-hot-rehome`` rows per scheduler and reports the
+  end-to-end p99 delta; :func:`bless_scale` refuses to record a baseline
+  in which re-homing does not beat static placement.
+
+``bless_scale`` writes ``BENCH_scale.json`` (cold run repopulating the
+cache, warm run certifying it) and ``repro regress --scale-baseline``
+gates the committed file via
+:func:`repro.bench.regress.check_scale_manifest`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.registry import get_runtime
+from repro.bench.campaign import (
+    CampaignSpec,
+    get_campaign,
+    golden_epoch,
+    register_campaign,
+    run_campaign,
+    write_manifest_json,
+)
+from repro.scale.fluid import FLUID_SCENARIOS, get_fluid_scenario, validate_fluid
+
+__all__ = [
+    "DEFAULT_SCALE_BASELINE",
+    "SCALE_SUITE",
+    "ScaleReport",
+    "bless_scale",
+    "rehome_comparison",
+    "run_scale",
+    "scale_display_rows",
+    "scale_spec",
+    "write_scale_json",
+]
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: The committed scale baseline manifest (see :func:`bless_scale`).
+DEFAULT_SCALE_BASELINE = _REPO_ROOT / "BENCH_scale.json"
+
+#: The scale campaign grid.  P is pinned to 32 because the hot-key pair's
+#: ``bias_ranks=(24, 32)`` names the fourth node of a 32-rank / 8-per-node
+#: machine; shrinking P would silently de-bias the workload.
+SCALE_SUITE = register_campaign(
+    CampaignSpec(
+        name="scale-suite",
+        help="fluid-scale companions: elastic resize + hot-key re-homing at P=32",
+        schemes=("fompi-spin",),
+        benchmarks=("scale",),
+        process_counts=(32,),
+        fw_values=(0.0,),
+        iterations=48,
+        procs_per_node=8,
+        seed=17,
+    )
+)
+
+#: ``repro scale --smoke`` (the CI job): the same grid at fewer requests per
+#: rank (still enough to put traffic on both sides of every phase boundary);
+#: the fluid set is unchanged — ``fluid-mega`` *is* the smoke test of the
+#: 10^6-clients/s claim.
+SMOKE_ITERATIONS = 32
+
+
+def scale_spec(
+    *,
+    schemes: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    iterations: Optional[int] = None,
+    smoke: bool = False,
+) -> CampaignSpec:
+    """The ``scale-suite`` campaign, narrowed by the CLI's overrides."""
+    spec = get_campaign("scale-suite")
+    if smoke:
+        spec = replace(spec, iterations=SMOKE_ITERATIONS)
+    overrides: Dict[str, Any] = {}
+    if schemes is not None:
+        overrides["schemes"] = tuple(schemes)
+    if scenarios is not None:
+        overrides["benchmarks"] = tuple(scenarios)
+    if iterations is not None:
+        overrides["iterations"] = int(iterations)
+    return replace(spec, **overrides) if overrides else spec
+
+
+@dataclass
+class ScaleReport:
+    """Outcome of one :func:`run_scale` sweep."""
+
+    name: str
+    rows: List[Dict[str, Any]]
+    schedulers: Tuple[str, ...]
+    jobs: int
+    wall_s: float
+    cache_hits: int
+    cache_misses: int
+    epoch: str
+    fluid: List[Dict[str, Any]]
+    rehome: Dict[str, Any]
+
+    @property
+    def points(self) -> int:
+        return len(self.rows)
+
+
+def rehome_comparison(rows: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Pair the static and re-homed hot-key rows per scheduler.
+
+    Returns ``{"pairs": [...], "improved": bool}`` where each pair carries
+    both end-to-end p99 values and their delta; ``improved`` requires the
+    re-homed p99 to be strictly lower in *every* compared pair.
+    """
+    by_key: Dict[Tuple[str, str, int], Dict[str, float]] = {}
+    for row in rows:
+        benchmark = row.get("benchmark", "")
+        if benchmark not in ("scale-hot", "scale-hot-rehome"):
+            continue
+        pct = row.get("percentiles") or {}
+        key = (row.get("scheduler", "horizon"), row.get("scheme", ""), int(row.get("P", 0)))
+        by_key.setdefault(key, {})[benchmark] = float(pct.get("e2e_p99_us", 0.0))
+    pairs: List[Dict[str, Any]] = []
+    for (scheduler, scheme, procs), vals in sorted(by_key.items()):
+        if "scale-hot" not in vals or "scale-hot-rehome" not in vals:
+            continue
+        static_p99 = vals["scale-hot"]
+        rehomed_p99 = vals["scale-hot-rehome"]
+        pairs.append(
+            {
+                "scheduler": scheduler,
+                "scheme": scheme,
+                "P": procs,
+                "static_p99_us": static_p99,
+                "rehome_p99_us": rehomed_p99,
+                "delta_us": static_p99 - rehomed_p99,
+                "improved": bool(rehomed_p99 < static_p99),
+            }
+        )
+    return {
+        "pairs": pairs,
+        "improved": bool(pairs) and all(p["improved"] for p in pairs),
+    }
+
+
+def run_scale(
+    spec: Optional[CampaignSpec] = None,
+    *,
+    schedulers: Sequence[str] = ("horizon", "baseline"),
+    jobs: Optional[int] = None,
+    cache: Any = None,
+    cache_dir: Optional[Path] = None,
+    refresh: bool = False,
+    fluid_names: Optional[Sequence[str]] = None,
+    fluid_seed: int = 17,
+) -> ScaleReport:
+    """Run the scale grid on every requested scheduler plus the fluid set.
+
+    ``fluid_names`` narrows the fluid validation sweep (default: every
+    registered :class:`~repro.scale.fluid.FluidScenario`); the fluid records
+    always validate across the same scheduler list, so one report carries
+    both the campaign's and the cohorts' determinism certificates.
+    """
+    if spec is None:
+        spec = scale_spec()
+    schedulers = tuple(schedulers)
+    if not schedulers:
+        raise ValueError("at least one scheduler is required")
+    for name in schedulers:
+        get_runtime(name)  # validate early, helpful UnknownNameError
+    names = tuple(fluid_names) if fluid_names is not None else tuple(sorted(FLUID_SCENARIOS))
+    fluids = [get_fluid_scenario(name) for name in names]  # fail before the campaign
+    t0 = time.perf_counter()
+    rows: List[Dict[str, Any]] = []
+    hits = 0
+    misses = 0
+    requested_jobs = 0
+    epoch = golden_epoch()
+    for scheduler in schedulers:
+        report = run_campaign(
+            spec,
+            jobs=jobs,
+            cache=cache,
+            cache_dir=cache_dir,
+            refresh=refresh,
+            scheduler=scheduler,
+        )
+        rows.extend(report.rows)
+        hits += report.cache_hits
+        misses += report.cache_misses
+        requested_jobs = report.jobs
+        epoch = report.epoch
+    fluid = [
+        validate_fluid(scenario, seed=fluid_seed, schedulers=schedulers)
+        for scenario in fluids
+    ]
+    return ScaleReport(
+        name=spec.name,
+        rows=rows,
+        schedulers=schedulers,
+        jobs=requested_jobs,
+        wall_s=time.perf_counter() - t0,
+        cache_hits=hits,
+        cache_misses=misses,
+        epoch=epoch,
+        fluid=fluid,
+        rehome=rehome_comparison(rows),
+    )
+
+
+def scale_display_rows(report: ScaleReport) -> List[Dict[str, Any]]:
+    """Flatten a scale report into the table the CLI prints: campaign rows
+    first, then one synthetic row per fluid scenario."""
+    out: List[Dict[str, Any]] = []
+    for row in report.rows:
+        pct = row.get("percentiles") or {}
+        out.append(
+            {
+                "case": row["case"],
+                "P": row["P"],
+                "sched": row.get("scheduler", "horizon"),
+                "e2e_p50_us": round(float(pct.get("e2e_p50_us", 0.0)), 2),
+                "e2e_p99_us": round(float(pct.get("e2e_p99_us", 0.0)), 2),
+                "swaps": int(pct.get("swaps_total", 0)),
+                "resizes": int(pct.get("resizes_total", 0)),
+                "ok": "-",
+                "cached": "yes" if row.get("cached") else "no",
+            }
+        )
+    for record in report.fluid:
+        pct = record["sampled"]["percentiles"]
+        out.append(
+            {
+                "case": f"{record['name']} ({record['clients_per_s']:.0f}/s)",
+                "P": 0,
+                "sched": "+".join(record["schedulers"]),
+                "e2e_p50_us": round(float(pct.get("e2e_p50_us", 0.0)), 2),
+                "e2e_p99_us": round(float(pct.get("e2e_p99_us", 0.0)), 2),
+                "swaps": 0,
+                "resizes": 0,
+                "ok": "yes"
+                if record["within_tolerance"] and record["fingerprints_identical"]
+                else "NO",
+                "cached": "-",
+            }
+        )
+    return out
+
+
+def write_scale_json(
+    report: ScaleReport,
+    path: Path,
+    *,
+    timing: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write a scale manifest: campaign rows plus the fluid validation
+    records and the re-homing verdict in the ``extra`` block."""
+    return write_manifest_json(
+        report.rows, path, suite="scale", campaign=report.name,
+        epoch=report.epoch, timing=timing,
+        extra={
+            "schedulers": list(report.schedulers),
+            "fluid": report.fluid,
+            "rehome": report.rehome,
+        },
+    )
+
+
+def bless_scale(
+    baseline_path: Path = DEFAULT_SCALE_BASELINE,
+    *,
+    spec: Optional[CampaignSpec] = None,
+    schedulers: Sequence[str] = ("horizon", "baseline"),
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Path] = None,
+    fluid_names: Optional[Sequence[str]] = None,
+) -> ScaleReport:
+    """Record ``BENCH_scale.json`` through the campaign cache.
+
+    Cold run repopulates the cache, warm run must serve every campaign row
+    from it; on top of the traffic-bless certificate this one refuses to
+    bless a baseline whose fluid records fail validation or whose re-homing
+    scenario does not beat static placement.
+    """
+    cold = run_scale(
+        spec, schedulers=schedulers, jobs=jobs, cache_dir=cache_dir, refresh=True,
+        fluid_names=fluid_names,
+    )
+    warm = run_scale(
+        spec, schedulers=schedulers, jobs=jobs, cache_dir=cache_dir, refresh=False,
+        fluid_names=fluid_names,
+    )
+    if warm.cache_hits != warm.points:
+        raise RuntimeError(
+            f"warm scale run expected {warm.points} cache hits, got "
+            f"{warm.cache_hits} — did the cache epoch change mid-bless?"
+        )
+    for record in cold.fluid:
+        if not record["within_tolerance"]:
+            failed = [c["name"] for c in record["checks"] if not c["ok"]]
+            raise RuntimeError(
+                f"fluid scenario {record['name']!r} failed validation checks "
+                f"{failed}; refusing to bless"
+            )
+        if not record["fingerprints_identical"]:
+            raise RuntimeError(
+                f"fluid scenario {record['name']!r} produced divergent sampled "
+                f"fingerprints {record['fingerprints']}; refusing to bless"
+            )
+    if not cold.rehome["improved"]:
+        raise RuntimeError(
+            f"re-homing did not beat static placement: {cold.rehome['pairs']}; "
+            f"refusing to bless"
+        )
+    timing = {
+        "cpu_count": os.cpu_count(),
+        "jobs": cold.jobs,
+        "cold_wall_s": round(cold.wall_s, 3),
+        "warm_wall_s": round(warm.wall_s, 3),
+        "warm_cache_hits": warm.cache_hits,
+    }
+    if cold.wall_s > 0:
+        timing["warm_over_cold"] = round(warm.wall_s / cold.wall_s, 4)
+    write_scale_json(cold, baseline_path, timing=timing)
+    return cold

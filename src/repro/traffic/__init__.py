@@ -28,6 +28,11 @@ thresholds at phase boundaries as deterministic virtual-time events, and
 ``repro tune`` maintains the best-known thresholds the policies feed from.
 See the "Adaptive control plane" section of the README for the policy-table
 format and the swap semantics.
+
+For loads past what per-request simulation can materialize (10^6+ clients/s),
+:mod:`repro.scale` layers a fluid-flow model, sampled-cohort tail recovery,
+elastic table resizing and topology-aware re-homing on top of this package —
+see the "Fluid-scale traffic & elasticity" section of the README.
 """
 
 from repro.traffic.accounting import (

@@ -19,6 +19,19 @@ interpolation), and the bounded :class:`LatencyReservoir` decimates by a
 fixed stride over the *sorted* samples — so the reported numbers are
 identical across repeat runs, schedulers and ``--jobs`` settings, and can be
 gated bit-exactly by ``repro regress``.
+
+The reservoir bound is a **first-class accounting parameter**: it defaults
+to :data:`DEFAULT_RESERVOIR_CAP` and is threaded end to end — a
+:class:`~repro.traffic.generators.TrafficScenario` may pin its own
+``reservoir_cap`` (sampled fluid-scale cohorts declare caps matched to their
+sample counts), the rank programs carry it in their return dicts (so it is
+part of the fingerprinted run state) and the benchmark harness forwards it
+to :func:`aggregate_traffic`.  Below the bound the summary is an exact
+function of the sample multiset (any contribution order yields identical
+percentiles); once decimation engages, reordering ranks can shift *which*
+stratified subsample survives, but only within the decimation's quantile
+error — and the reported numbers stay bit-deterministic regardless, because
+ranks always fold in rank order.
 """
 
 from __future__ import annotations
@@ -73,9 +86,12 @@ class LatencyReservoir:
     Samples are appended in a caller-defined (deterministic) order; when the
     store exceeds ``cap`` it is sorted and decimated to every ``k``-th sample
     — a stratified subsample that preserves quantiles far into the tail while
-    bounding memory for very long service runs.  Because the decimation is a
-    pure function of the sample multiset, the summary never depends on
-    insertion order, host, or worker count.
+    bounding memory for very long service runs.  Each decimation is a pure
+    function of the samples held at that point, so for a fixed insertion
+    order the summary never depends on host or worker count; below the cap
+    it is exactly insertion-order-independent too, and above it reordering
+    moves the quantiles only within the decimation error (the global maximum
+    always survives).
     """
 
     def __init__(self, cap: int = DEFAULT_RESERVOIR_CAP):

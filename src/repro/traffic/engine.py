@@ -42,6 +42,7 @@ __all__ = [
     "TrafficReport",
     "bless_traffic",
     "run_traffic",
+    "top_key_rows",
     "traffic_display_rows",
     "traffic_spec",
     "write_traffic_json",
@@ -187,6 +188,52 @@ def traffic_display_rows(rows: Sequence[Mapping[str, Any]]) -> List[Dict[str, An
             }
         )
     return out
+
+
+def top_key_rows(
+    spec: CampaignSpec,
+    *,
+    top_keys: int,
+) -> List[Dict[str, Any]]:
+    """The ``repro traffic --top-keys N`` report: hottest entries per scenario.
+
+    Pure virtual-time analysis — the shares come from
+    :func:`repro.control.policy.collect_entry_phase_stats` over the
+    materialized schedules (the same statistics the adaptive swap planner
+    and the re-homing planner consume), so the report costs no simulation
+    and is identical under every scheduler and ``--jobs`` setting.
+    """
+    from repro.control.policy import collect_entry_phase_stats
+    from repro.traffic.scenarios import get_scenario
+
+    if top_keys < 1:
+        raise ValueError("top_keys must be >= 1")
+    rows: List[Dict[str, Any]] = []
+    for benchmark in spec.resolve_benchmarks():
+        scenario = get_scenario(benchmark)
+        for procs in spec.process_counts:
+            stats = collect_entry_phase_stats(
+                scenario,
+                seed=spec.seed,
+                nranks=int(procs),
+                requests=spec.iterations,
+                fw_default=spec.fw_values[0] if spec.fw_values else 0.0,
+            )
+            share = stats.entry_share()
+            counts = stats.counts.reshape(stats.num_phases, stats.num_locks).sum(axis=0)
+            order = sorted(range(stats.num_locks), key=lambda e: (-share[e], e))
+            for rank_pos, entry in enumerate(order[: int(top_keys)], start=1):
+                rows.append(
+                    {
+                        "scenario": benchmark,
+                        "P": int(procs),
+                        "rank": rank_pos,
+                        "key": int(entry),
+                        "requests": int(counts[entry]),
+                        "share": round(float(share[entry]), 4),
+                    }
+                )
+    return rows
 
 
 def write_traffic_json(

@@ -32,7 +32,8 @@ and baseline schedulers, across ``--jobs`` settings and across repeat runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from functools import lru_cache
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -65,17 +66,33 @@ _TRAFFIC_LANE = 0x7AF1C0
 _BURST_INNER_GAP = 0.05
 
 
-def traffic_rng(seed: int, rank: int) -> np.random.Generator:
+def traffic_rng(seed: int, rank: int, lane: Optional[int] = None) -> np.random.Generator:
     """Independent schedule generator for ``(seed, rank)``.
 
     Stable across runs and disjoint from the per-rank workload streams of
     :func:`repro.util.rng.rank_rng` even when both use the same seed.
+    ``lane`` overrides the Philox counter lane — the fluid-scale engine's
+    sampled-request sub-streams (:mod:`repro.scale.fluid`) draw from their own
+    lane so a sampled cohort never replays the exact engine's schedules.
     """
     if rank < 0:
         raise ValueError(f"rank must be non-negative, got {rank}")
     return np.random.Generator(
-        np.random.Philox(key=seed, counter=[_TRAFFIC_LANE, 0, 0, rank])
+        np.random.Philox(
+            key=seed,
+            counter=[_TRAFFIC_LANE if lane is None else int(lane), 0, 0, rank],
+        )
     )
+
+
+@lru_cache(maxsize=64)
+def _zipf_cdf_cached(num_locks: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, num_locks + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    cdf = np.cumsum(weights / weights.sum())
+    cdf[-1] = 1.0
+    cdf.flags.writeable = False
+    return cdf
 
 
 def zipf_cdf(num_locks: int, exponent: float) -> np.ndarray:
@@ -84,16 +101,17 @@ def zipf_cdf(num_locks: int, exponent: float) -> np.ndarray:
     Lock ``k`` has weight ``(k + 1) ** -exponent``; index 0 is the hottest
     key, which keeps the analytic head frequencies directly comparable to the
     sampler (no scattering — lock *placement* is the table's concern).
+
+    Memoized on ``(num_locks, exponent)``: the O(num_locks) cumsum is shared
+    by every schedule materialization and by the fluid-scale load model,
+    which sweeps 10^6-entry tables.  The returned array is read-only — all
+    callers share one instance.
     """
     if num_locks < 1:
         raise ValueError("num_locks must be >= 1")
     if exponent < 0:
         raise ValueError("zipf exponent must be non-negative")
-    ranks = np.arange(1, num_locks + 1, dtype=np.float64)
-    weights = ranks ** (-float(exponent))
-    cdf = np.cumsum(weights / weights.sum())
-    cdf[-1] = 1.0
-    return cdf
+    return _zipf_cdf_cached(int(num_locks), float(exponent))
 
 
 def zipf_head_frequencies(num_locks: int, exponent: float, count: int = 3) -> np.ndarray:
@@ -171,6 +189,20 @@ class TrafficScenario:
         burst_size: Mean burst length of the ``burst`` arrival process.
         phases: Optional :class:`Phase` schedule; empty means one steady
             phase for the whole run.
+        bias_ranks: Optional half-open ``[lo, hi)`` rank range whose clients
+            are *hot-key biased*: with probability ``bias_fraction`` a biased
+            rank's key draw lands on ``bias_key`` instead of the base
+            distribution (the remaining mass is rescaled, so exactly one draw
+            is consumed either way and unbiased ranks are bit-identical to a
+            bias-free scenario).  Models a service whose hot key's traffic
+            originates from one node — the input to topology-aware re-homing
+            (:mod:`repro.scale.rehome`).
+        bias_fraction: Hot-key probability of a biased rank's draws.
+        bias_key: The key the biased draws land on.
+        reservoir_cap: Optional per-run bound for the accounting layer's
+            :class:`~repro.traffic.accounting.LatencyReservoir`; ``None``
+            keeps the default.  Sampled-request sub-streams declare small
+            caps so their percentile memory matches their sample count.
     """
 
     name: str
@@ -185,6 +217,10 @@ class TrafficScenario:
     think_us: Tuple[float, float] = (0.0, 0.0)
     burst_size: int = 8
     phases: Tuple[Phase, ...] = ()
+    bias_ranks: Optional[Tuple[int, int]] = None
+    bias_fraction: float = 0.0
+    bias_key: int = 0
+    reservoir_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_locks < 1:
@@ -212,6 +248,18 @@ class TrafficScenario:
         for i, phase in enumerate(self.phases):
             if phase.duration_us is None and i != len(self.phases) - 1:
                 raise ValueError("only the final phase may have duration_us=None")
+        if not 0.0 <= self.bias_fraction <= 1.0:
+            raise ValueError("bias_fraction must be within [0, 1]")
+        if self.bias_ranks is not None:
+            lo, hi = self.bias_ranks
+            if lo < 0 or hi <= lo:
+                raise ValueError("bias_ranks must be a half-open [lo, hi) rank range")
+            if self.bias_fraction <= 0.0:
+                raise ValueError("bias_ranks needs a positive bias_fraction")
+        if not 0 <= self.bias_key < self.num_locks:
+            raise ValueError("bias_key must index the lock table")
+        if self.reservoir_cap is not None and self.reservoir_cap < 16:
+            raise ValueError("reservoir_cap must be >= 16 (or None for the default)")
 
     @property
     def rw(self) -> bool:
@@ -260,21 +308,29 @@ def generate_schedule(
     rank: int,
     requests: int,
     fw_default: float = 0.0,
+    *,
+    lane: Optional[int] = None,
 ) -> RequestSchedule:
     """Materialize rank ``rank``'s request stream for ``scenario``.
 
     ``fw_default`` is the writer fraction used when neither the scenario nor
     the current phase pins one (the benchmark config's ``fw`` — how campaign
-    writer-fraction axes reach traffic scenarios).
+    writer-fraction axes reach traffic scenarios).  ``lane`` overrides the
+    Philox counter lane (see :func:`traffic_rng`); the default is the shared
+    traffic lane every registered scenario uses.
 
     Exactly five draws are consumed per request in a fixed order (gap, key,
     role, CS time, think time) regardless of which values a phase overrides,
     so schedules for the same ``(scenario, seed, rank)`` are always
     bit-identical — the determinism half of the traffic engine's contract.
+    A hot-key bias (``bias_ranks``) folds into the single key draw: the unit
+    draw below ``bias_fraction`` selects ``bias_key``, the rest is rescaled
+    back onto the base distribution, so biased and unbiased ranks consume
+    the same five draws per request.
     """
     if requests < 0:
         raise ValueError("requests must be non-negative")
-    rng = traffic_rng(seed, rank)
+    rng = traffic_rng(seed, rank, lane=lane)
     phases = scenario.effective_phases()
     ends = []
     t_end = 0.0
@@ -285,17 +341,18 @@ def generate_schedule(
         ends[-1] = np.inf  # the schedule never outlives the phase plan
     boundaries = np.asarray(ends, dtype=np.float64)
 
-    # Per-exponent CDF cache: phases may override the skew, and rebuilding a
-    # num_locks-entry cumsum per request would dominate generation time.
-    cdfs: Dict[float, np.ndarray] = {}
-
+    # zipf_cdf is memoized process-wide, so phase-override exponents resolve
+    # to shared read-only arrays without a per-call cache.
     def cdf_for(exponent: float) -> np.ndarray:
-        cached = cdfs.get(exponent)
-        if cached is None:
-            cached = cdfs[exponent] = zipf_cdf(scenario.num_locks, exponent)
-        return cached
+        return zipf_cdf(scenario.num_locks, exponent)
 
     uniform_keys = scenario.key_dist == "uniform"
+    bias_p = 0.0
+    if scenario.bias_ranks is not None:
+        b_lo, b_hi = scenario.bias_ranks
+        if b_lo <= rank < b_hi:
+            bias_p = float(scenario.bias_fraction)
+    bias_key = int(scenario.bias_key)
     base_gap = float(scenario.mean_gap_us)
     cs_lo, cs_hi = (float(v) for v in scenario.cs_us)
     think_lo, think_hi = (float(v) for v in scenario.think_us)
@@ -334,15 +391,22 @@ def generate_schedule(
 
         arrival_phase_spec = phases[arrival_phase]
         u_key = rng_random()
-        if uniform_keys:
-            lock_index[i] = min(int(u_key * scenario.num_locks), scenario.num_locks - 1)
+        if bias_p > 0.0 and u_key < bias_p:
+            lock_index[i] = bias_key
         else:
-            exponent = (
-                arrival_phase_spec.zipf_exponent
-                if arrival_phase_spec.zipf_exponent is not None
-                else scenario.zipf_exponent
-            )
-            lock_index[i] = int(np.searchsorted(cdf_for(exponent), u_key, side="left"))
+            if bias_p > 0.0:
+                # Rescale the remaining mass onto the base distribution, so
+                # the bias consumes no extra draw.
+                u_key = (u_key - bias_p) / (1.0 - bias_p) if bias_p < 1.0 else 0.0
+            if uniform_keys:
+                lock_index[i] = min(int(u_key * scenario.num_locks), scenario.num_locks - 1)
+            else:
+                exponent = (
+                    arrival_phase_spec.zipf_exponent
+                    if arrival_phase_spec.zipf_exponent is not None
+                    else scenario.zipf_exponent
+                )
+                lock_index[i] = int(np.searchsorted(cdf_for(exponent), u_key, side="left"))
 
         u_role = rng_random()
         if arrival_phase_spec.fw is not None:

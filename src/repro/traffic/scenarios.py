@@ -29,7 +29,9 @@ entry, which is the whole integration story in one decorator call:
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.api.registry import register_benchmark
 from repro.control.policy import (
@@ -48,9 +50,26 @@ __all__ = [
     "ADAPTIVE_POLICY",
     "ADAPTIVE_SCENARIO",
     "BUILTIN_SCENARIOS",
+    "get_scenario",
+    "make_open_loop_program",
     "register_traffic_scenario",
     "scenario_tags",
 ]
+
+#: Registered scenarios by benchmark name — the traffic engine's hot-key
+#: report and the fluid-scale engine resolve scenario objects through this.
+_SCENARIOS: Dict[str, TrafficScenario] = {}
+
+
+def get_scenario(name: str) -> TrafficScenario:
+    """The registered :class:`TrafficScenario` behind benchmark ``name``."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"no traffic scenario registered under {name!r}; "
+            f"known: {', '.join(sorted(_SCENARIOS))}"
+        ) from None
 
 
 def scenario_tags(scenario: TrafficScenario) -> tuple:
@@ -68,6 +87,7 @@ def _make_traffic_program(
     spec: Any,
     is_rw: bool,
     policy: Optional[PolicyTable] = None,
+    elastic: Optional[Any] = None,
 ):
     """Build the open-loop rank program for one scenario/config pair.
 
@@ -79,12 +99,17 @@ def _make_traffic_program(
     entry's *current* scheme slot.  An empty plan (null policy, single-phase
     scenario, striped table) falls back to the policy-free body, which is
     bit-identical to a run without any policy at all.
+
+    ``elastic`` attaches an :class:`~repro.scale.elastic.ElasticPlan` (duck
+    typed — any object with ``num_boundaries``, ``active_by_phase`` and
+    ``make_controller``): the program folds each request's key onto the
+    entries *active* in its phase and performs the plan's resize crossings
+    collectively at phase boundaries, alongside any policy crossings.
     """
     table = as_lock_table(spec, is_rw)
     draw_role = is_rw and config.is_rw_scheme
     fw_default = float(config.fw)
     requests = int(config.iterations)
-    num_locks = table.num_locks
     seed = int(config.seed)
 
     controller = None
@@ -92,10 +117,46 @@ def _make_traffic_program(
         plan = build_swap_plan(scenario, config, table, policy)
         if not plan.empty:
             controller = PolicyController(table, plan)
-    if controller is not None:
+    if elastic is not None and elastic.num_boundaries == 0:
+        elastic = None
+    if controller is not None or elastic is not None:
         return _make_adaptive_program(
-            scenario, table, controller, requests, seed, fw_default
+            scenario, table, controller, requests, seed, fw_default,
+            elastic=elastic,
         )
+
+    return make_open_loop_program(
+        scenario,
+        table,
+        is_rw=is_rw,
+        draw_role=draw_role,
+        requests=requests,
+        seed=seed,
+        fw_default=fw_default,
+    )
+
+
+def make_open_loop_program(
+    scenario: TrafficScenario,
+    table: Any,
+    *,
+    is_rw: bool,
+    draw_role: bool,
+    requests: int,
+    seed: int,
+    fw_default: float = 0.0,
+    lane: Optional[int] = None,
+):
+    """The policy-free open-loop rank program over ``table``.
+
+    Exported for the fluid-scale engine (:mod:`repro.scale.fluid`), whose
+    sampled-request cohorts drive the same body through the real simulator —
+    with ``lane`` naming their dedicated Philox counter lane — and fold keys
+    drawn over the scenario's (possibly huge) key space onto a small table
+    via the ``% num_locks`` mapping below.
+    """
+    num_locks = table.num_locks
+    reservoir_cap = scenario.reservoir_cap
 
     def program(ctx: ProcessContext):
         handle = table.make(ctx)
@@ -103,7 +164,9 @@ def _make_traffic_program(
         if observer is not None:
             # The oracles' invariants are per lock; watch the hottest entry.
             handle.observe(observer, index=0)
-        schedule = generate_schedule(scenario, seed, ctx.rank, requests, fw_default)
+        schedule = generate_schedule(
+            scenario, seed, ctx.rank, requests, fw_default, lane=lane
+        )
         arrivals = schedule.arrival_us
         lock_ids = schedule.lock_index
         roles = schedule.is_write
@@ -169,7 +232,7 @@ def _make_traffic_program(
             prev_end = t2
         end = now()
         ctx.barrier()
-        return {
+        out = {
             "start": t_open,
             "end": end,
             # "latencies" is the end-to-end series so the harness's generic
@@ -183,6 +246,10 @@ def _make_traffic_program(
             "reads": reads,
             "writes": writes,
         }
+        if reservoir_cap is not None:
+            # The accounting layer sizes its LatencyReservoir from this.
+            out["reservoir_cap"] = int(reservoir_cap)
+        return out
 
     return program
 
@@ -190,23 +257,34 @@ def _make_traffic_program(
 def _make_adaptive_program(
     scenario: TrafficScenario,
     table: Any,
-    controller: PolicyController,
+    controller: Optional[PolicyController],
     requests: int,
     seed: int,
     fw_default: float,
+    elastic: Optional[Any] = None,
 ):
-    """The policy-switched variant of the open-loop rank program.
+    """The policy-switched / elastic variant of the open-loop rank program.
 
-    Differences from the policy-free body, both deterministic in virtual
+    Differences from the policy-free body, all deterministic in virtual
     time: (1) every rank crosses each plan boundary exactly once, in order —
     before serving its first request of a later phase, with any leftover
     boundaries crossed after its last request, so the collective barriers
-    inside :meth:`PolicyController.cross` always pair up across ranks; (2)
-    each request's read/write role resolves against the entry's *current*
-    scheme slot (a swapped-to plain lock treats every request as a writer).
-    The returned dict additionally carries ``swaps``, the plan swap count
-    every rank observed (a determinism field by construction).
+    inside :meth:`PolicyController.cross` (and the elastic controller's
+    resize crossings, performed first at a shared boundary) always pair up
+    across ranks; (2) each request's read/write role resolves against the
+    entry's *current* scheme slot (a swapped-to plain lock treats every
+    request as a writer); (3) with an elastic plan, each request's key folds
+    onto the entries *active* in its phase (``key % active``), so a resize
+    re-shards the key space mid-run.  The returned dict additionally carries
+    ``swaps`` and/or ``resizes`` — the plan event counts every rank observed
+    (determinism fields by construction).
     """
+    num_phases = len(scenario.effective_phases())
+    active_by_phase = (
+        None if elastic is None else np.asarray(elastic.active_by_phase(num_phases))
+    )
+    elastic_controller = None if elastic is None else elastic.make_controller(table)
+    reservoir_cap = scenario.reservoir_cap
 
     def program(ctx: ProcessContext):
         table.reset_entries()
@@ -229,8 +307,11 @@ def _make_adaptive_program(
         table_lock = handle.lock
         table_entry = table.entry
         num_locks = table.num_locks
-        num_boundaries = controller.num_boundaries
-        cross = controller.cross
+        policy_boundaries = 0 if controller is None else controller.num_boundaries
+        elastic_boundaries = 0 if elastic is None else elastic.num_boundaries
+        num_boundaries = max(policy_boundaries, elastic_boundaries)
+        cross = None if controller is None else controller.cross
+        elastic_cross = None if elastic_controller is None else elastic_controller.cross
         ctx.barrier()
         t_open = now()
         e2e: List[float] = []
@@ -242,11 +323,15 @@ def _make_adaptive_program(
         reads = 0
         writes = 0
         swaps_seen = 0
+        resizes_seen = 0
         next_boundary = 0
         prev_end = t_open
         for i in range(requests):
             while next_boundary < num_boundaries and int(phase_ids[i]) > next_boundary:
-                swaps_seen += cross(ctx, next_boundary)
+                if elastic_cross is not None and next_boundary < elastic_boundaries:
+                    resizes_seen += elastic_cross(ctx, next_boundary)
+                if cross is not None and next_boundary < policy_boundaries:
+                    swaps_seen += cross(ctx, next_boundary)
                 next_boundary += 1
             arrival = t_open + float(arrivals[i])
             ready = arrival
@@ -256,7 +341,10 @@ def _make_adaptive_program(
             t_now = now()
             if ready > t_now:
                 compute(ready - t_now)
-            index = int(lock_ids[i]) % num_locks
+            if active_by_phase is None:
+                index = int(lock_ids[i]) % num_locks
+            else:
+                index = int(lock_ids[i]) % int(active_by_phase[int(phase_ids[i])])
             entry_rw = table_entry(index).rw
             as_writer = not entry_rw or bool(roles[i])
             lock = table_lock(index)
@@ -289,11 +377,14 @@ def _make_adaptive_program(
         # A rank whose schedule ends early still owes the remaining collective
         # crossings, or the other ranks' barriers would never pair up.
         while next_boundary < num_boundaries:
-            swaps_seen += cross(ctx, next_boundary)
+            if elastic_cross is not None and next_boundary < elastic_boundaries:
+                resizes_seen += elastic_cross(ctx, next_boundary)
+            if cross is not None and next_boundary < policy_boundaries:
+                swaps_seen += cross(ctx, next_boundary)
             next_boundary += 1
         end = now()
         ctx.barrier()
-        return {
+        out = {
             "start": t_open,
             "end": end,
             "latencies": e2e,
@@ -304,8 +395,14 @@ def _make_adaptive_program(
             "write_flags": write_flags,
             "reads": reads,
             "writes": writes,
-            "swaps": swaps_seen,
         }
+        if controller is not None:
+            out["swaps"] = swaps_seen
+        if elastic_controller is not None:
+            out["resizes"] = resizes_seen
+        if reservoir_cap is not None:
+            out["reservoir_cap"] = int(reservoir_cap)
+        return out
 
     return program
 
@@ -314,6 +411,7 @@ def register_traffic_scenario(
     scenario: TrafficScenario,
     *,
     policy: Optional[PolicyTable] = None,
+    elastic: Optional[Any] = None,
     tags: Optional[Sequence[str]] = None,
     replace: bool = False,
 ) -> TrafficScenario:
@@ -326,11 +424,15 @@ def register_traffic_scenario(
     ``policy`` attaches an adaptive :class:`~repro.control.policy.PolicyTable`
     to the scenario: the registered table is built with slabs large enough
     for every rule's target scheme and the rank program executes the
-    deterministic swap plan at phase boundaries.  ``tags`` overrides the
-    default :func:`scenario_tags` (adaptive scenarios register under
-    ``"traffic-adaptive"`` so the policy-free ``traffic`` selector grids stay
-    unchanged).
+    deterministic swap plan at phase boundaries.  ``elastic`` attaches an
+    :class:`~repro.scale.elastic.ElasticPlan` whose resize events re-shard
+    the key space at phase boundaries.  ``tags`` overrides the default
+    :func:`scenario_tags` (adaptive scenarios register under
+    ``"traffic-adaptive"``, fluid-scale scenarios under ``"scale"``, so the
+    policy-free ``traffic`` selector grids stay unchanged).
     """
+    if elastic is not None:
+        elastic.validate(scenario)
 
     def _spec_transform(config: Any, spec: Any, is_rw: bool, _scenario=scenario) -> Any:
         from repro.api.registry import get_scheme
@@ -357,8 +459,11 @@ def register_traffic_scenario(
         replace=replace,
     )
     def _factory(config, spec, is_rw, shared_offset, _scenario=scenario):
-        return _make_traffic_program(_scenario, config, spec, is_rw, policy=policy)
+        return _make_traffic_program(
+            _scenario, config, spec, is_rw, policy=policy, elastic=elastic
+        )
 
+    _SCENARIOS[scenario.name] = scenario
     return scenario
 
 

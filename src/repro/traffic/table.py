@@ -106,21 +106,31 @@ class TableEntry:
         self.swappable = swappable
         self._initial = (spec, self.rw, scheme)
 
-    def place(self, new_spec: LockSpec, *, nranks: Optional[int] = None) -> LockSpec:
+    def place(
+        self,
+        new_spec: LockSpec,
+        *,
+        nranks: Optional[int] = None,
+        home_rank: Optional[int] = None,
+    ) -> LockSpec:
         """Re-base ``new_spec`` into this entry's slab (pure; no install).
 
         Replicates the construction-time placement exactly: entry 0 keeps the
         base spec untouched, later entries get ``base_offset`` moved to their
         slab and any ``home_rank``/``tail_rank`` rotated ``index % nranks``.
-        Raises :class:`ValueError` when the spec cannot be re-based or its
-        footprint does not fit the slab.
+        ``home_rank`` overrides that default rotation — the topology-aware
+        re-homing path (:mod:`repro.scale.rehome`) pins a hot entry's
+        ``home_rank``/``tail_rank`` to the rank its traffic originates from
+        instead of the round-robin shard.  Raises :class:`ValueError` when
+        the spec cannot be re-based, has no home to move, or its footprint
+        does not fit the slab.
         """
         if not self.swappable:
             raise ValueError(
                 f"table entry {self.index} shares one striped window layout "
                 f"and cannot swap its scheme slot"
             )
-        if self.index == 0 and self.base_offset == 0:
+        if self.index == 0 and self.base_offset == 0 and home_rank is None:
             placed = new_spec
         else:
             if not dataclasses.is_dataclass(new_spec):
@@ -142,6 +152,17 @@ class TableEntry:
                     overrides["home_rank"] = self.index % ranks
                 if "tail_rank" in field_names:
                     overrides["tail_rank"] = self.index % ranks
+            if home_rank is not None:
+                if "home_rank" not in field_names and "tail_rank" not in field_names:
+                    raise ValueError(
+                        f"spec {type(new_spec).__name__} has neither a home_rank "
+                        f"nor a tail_rank field; table entry {self.index} cannot "
+                        f"be re-homed"
+                    )
+                if "home_rank" in field_names:
+                    overrides["home_rank"] = int(home_rank)
+                if "tail_rank" in field_names:
+                    overrides["tail_rank"] = int(home_rank)
             placed = dataclasses.replace(new_spec, **overrides)
         if placed.window_words > self.base_offset + self.stride:
             raise ValueError(
@@ -160,15 +181,17 @@ class TableEntry:
         scheme: Optional[str] = None,
         nranks: Optional[int] = None,
         version: Optional[int] = None,
+        home_rank: Optional[int] = None,
     ) -> Optional[LockSpec]:
         """Place ``new_spec`` into the slot and bump the entry version.
 
         ``version`` names the target version of a planned collective swap;
         when the entry already reached it (another rank installed first) the
         call is a no-op returning ``None``.  Without ``version`` the swap is
-        unconditional (``version + 1``).  Returns the placed spec on install.
+        unconditional (``version + 1``).  ``home_rank`` forwards to
+        :meth:`place` (re-homing).  Returns the placed spec on install.
         """
-        placed = self.place(new_spec, nranks=nranks)
+        placed = self.place(new_spec, nranks=nranks, home_rank=home_rank)
         target = self.version + 1 if version is None else int(version)
         if target <= self.version:
             return None
@@ -179,6 +202,22 @@ class TableEntry:
             self.scheme = scheme
         self.version = target
         return placed
+
+    def reinstall(self, *, version: Optional[int] = None) -> Optional[LockSpec]:
+        """Version-bump the entry without changing its placed spec.
+
+        The elastic resize crossing (:mod:`repro.scale.elastic`) re-initializes
+        a newly-activated entry's slab words and then calls this so every
+        lazily-built handle (and any attached oracle observer) rebuilds
+        against the pristine slab.  Same idempotence contract as
+        :meth:`swap_spec`: with a target ``version``, only the first rank's
+        call bumps the slot.
+        """
+        target = self.version + 1 if version is None else int(version)
+        if target <= self.version:
+            return None
+        self.version = target
+        return self.spec
 
     def reset(self) -> None:
         """Restore the construction-time spec (version back to 0)."""

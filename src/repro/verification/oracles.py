@@ -40,6 +40,15 @@ Deadlock and livelock detection stay with the runtime (the structural
 no-runnable-rank check, the wall-clock watchdog and ``max_ops``); the
 conformance engine (:mod:`repro.bench.conformance`) turns those aborts into
 oracle verdicts alongside the violations collected here.
+
+The oracles survive the adaptive control plane's mutations: a scheme swap,
+an elastic resize (:mod:`repro.scale.elastic`) or a hot-key re-homing
+(:mod:`repro.scale.rehome`) rebuilds the affected table entries' handles at
+a phase boundary, and the table re-wraps every rebuilt handle in
+:class:`ObservedLock`/:class:`ObservedRWLock` before the next request
+touches it — so acquire/release event streams (and therefore the mutual
+exclusion and handoff checks) stay continuous across versioned reinstalls,
+with the same per-rank balance ledgers carried over.
 """
 
 from __future__ import annotations

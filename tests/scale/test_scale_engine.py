@@ -1,0 +1,191 @@
+"""Tests for the scale engine: spec narrowing, verdicts, bless, gating.
+
+These pin the subsystem's integration contract: the ``scale-suite`` campaign
+narrows like every other suite, the re-homing verdict pairs rows correctly,
+``BENCH_scale.json`` round-trips through the campaign cache and the regress
+gate accepts exactly the manifests ``bless_scale`` would have recorded.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.regress import check_scale_manifest
+from repro.scale import engine as scale_engine
+
+
+class TestSpec:
+    def test_scale_spec_narrows_the_suite(self):
+        spec = scale_engine.scale_spec(
+            schemes=("fompi-spin",), scenarios=("scale-hot",), iterations=12
+        )
+        assert spec.schemes == ("fompi-spin",)
+        assert spec.benchmarks == ("scale-hot",)
+        assert spec.iterations == 12
+
+    def test_smoke_shrinks_iterations_only(self):
+        full = scale_engine.scale_spec()
+        smoke = scale_engine.scale_spec(smoke=True)
+        assert smoke.iterations == scale_engine.SMOKE_ITERATIONS
+        assert smoke.iterations < full.iterations
+        assert smoke.benchmarks == full.benchmarks
+
+    def test_scale_selector_expands_to_the_tagged_scenarios(self):
+        resolved = scale_engine.scale_spec().resolve_benchmarks()
+        assert {"scale-elastic", "scale-hot", "scale-hot-rehome"} <= set(resolved)
+
+
+class TestRehomeComparison:
+    def _row(self, benchmark, scheduler, p99):
+        return {
+            "benchmark": benchmark,
+            "scheduler": scheduler,
+            "scheme": "fompi-spin",
+            "P": 32,
+            "percentiles": {"e2e_p99_us": p99},
+        }
+
+    def test_improved_requires_every_pair_to_win(self):
+        rows = [
+            self._row("scale-hot", "horizon", 100.0),
+            self._row("scale-hot-rehome", "horizon", 80.0),
+            self._row("scale-hot", "baseline", 100.0),
+            self._row("scale-hot-rehome", "baseline", 120.0),
+        ]
+        verdict = scale_engine.rehome_comparison(rows)
+        assert len(verdict["pairs"]) == 2
+        assert not verdict["improved"]
+        per_sched = {p["scheduler"]: p["improved"] for p in verdict["pairs"]}
+        assert per_sched == {"horizon": True, "baseline": False}
+
+    def test_unpaired_rows_are_ignored(self):
+        rows = [
+            self._row("scale-hot", "horizon", 100.0),
+            self._row("scale-elastic", "horizon", 50.0),
+        ]
+        verdict = scale_engine.rehome_comparison(rows)
+        assert verdict["pairs"] == []
+        assert not verdict["improved"]
+
+    def test_delta_is_static_minus_rehomed(self):
+        rows = [
+            self._row("scale-hot", "horizon", 100.0),
+            self._row("scale-hot-rehome", "horizon", 75.0),
+        ]
+        (pair,) = scale_engine.rehome_comparison(rows)["pairs"]
+        assert pair["delta_us"] == pytest.approx(25.0)
+        assert pair["improved"]
+
+
+class TestScaleManifestGate:
+    def _payload(self, *, schedulers=("horizon", "baseline"), improved=True,
+                 within=True, identical=True):
+        rows = [
+            {
+                "case": f"fompi-spin-scale-hot-{s}",
+                "scheduler": s,
+                "fingerprint": "ab" * 32,
+                "percentiles": {"e2e_p99_us": 10.0},
+            }
+            for s in schedulers
+        ]
+        return {
+            "suite": "scale",
+            "rows": rows,
+            "fluid": [
+                {
+                    "name": "fluid-phased",
+                    "within_tolerance": within,
+                    "fingerprints_identical": identical,
+                    "fingerprints": ["cd" * 32] if identical else ["a", "b"],
+                    "checks": [{"name": "offered_rate_per_us", "ok": within}],
+                }
+            ],
+            "rehome": {
+                "pairs": [{"scheduler": "horizon", "improved": improved}],
+                "improved": improved,
+            },
+        }
+
+    def test_healthy_manifest_passes(self):
+        assert check_scale_manifest(self._payload()) == []
+
+    def test_empty_manifest_is_hard(self):
+        findings = check_scale_manifest({"rows": []})
+        assert [f.level for f in findings] == ["hard"]
+
+    def test_single_scheduler_fails(self):
+        findings = check_scale_manifest(self._payload(schedulers=("horizon",)))
+        assert any(f.level == "fail" and f.field == "schedulers" for f in findings)
+
+    def test_fluid_out_of_tolerance_is_hard(self):
+        findings = check_scale_manifest(self._payload(within=False))
+        assert any(f.level == "hard" and f.field == "validation" for f in findings)
+
+    def test_divergent_fluid_fingerprints_are_hard(self):
+        findings = check_scale_manifest(self._payload(identical=False))
+        assert any(f.level == "hard" and f.field == "fingerprints" for f in findings)
+
+    def test_missing_fluid_records_are_hard(self):
+        payload = self._payload()
+        payload["fluid"] = []
+        findings = check_scale_manifest(payload)
+        assert any(f.level == "hard" and f.field == "fluid" for f in findings)
+
+    def test_rehome_regression_fails(self):
+        findings = check_scale_manifest(self._payload(improved=False))
+        assert any(f.field == "rehome" for f in findings)
+
+    def test_missing_rehome_verdict_is_hard(self):
+        payload = self._payload()
+        del payload["rehome"]
+        findings = check_scale_manifest(payload)
+        assert any(f.level == "hard" and f.field == "rehome" for f in findings)
+
+
+class TestBless:
+    def test_bless_round_trips_through_the_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_EPOCH", "scale-bless-test")
+        baseline = tmp_path / "BENCH_scale.json"
+        spec = scale_engine.scale_spec(smoke=True)
+        report = scale_engine.bless_scale(
+            baseline,
+            spec=spec,
+            schedulers=("horizon", "baseline"),
+            jobs=1,
+            cache_dir=tmp_path / "cache",
+            fluid_names=("fluid-phased",),
+        )
+        payload = json.loads(baseline.read_text())
+        assert payload["suite"] == "scale"
+        assert payload["timing"]["warm_cache_hits"] == report.points == 6
+        assert payload["rehome"]["improved"] is True
+        assert check_scale_manifest(payload) == []  # the gate accepts its own bless
+
+
+class TestOraclesSurviveMutations:
+    """The live safety oracles stay attached across resize and re-home
+    crossings (the table re-wraps rebuilt handles with the same observer)."""
+
+    @pytest.mark.parametrize("scenario_name", ("scale-elastic", "scale-hot-rehome"))
+    def test_conformance_point_stays_clean(self, scenario_name):
+        from repro.bench.conformance import ConformancePoint, run_conformance_point
+
+        point = ConformancePoint(
+            scheme="fompi-spin",
+            benchmark=scenario_name,
+            procs=32,
+            procs_per_node=8,
+            iterations=8,
+            fw=0.0,
+            seed=17,
+            perturb_seed=0,
+            latency_jitter=0.0,
+            pause_rate=0.0,
+        )
+        row = run_conformance_point(point)
+        assert row["ok"], row["violations"]
+        assert row["reproducible"] is True
+        assert row["acquires"] > 0

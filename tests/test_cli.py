@@ -346,6 +346,51 @@ class TestTrafficCommand:
         assert args.smoke is True
         assert args.jobs == 4
 
+    def test_traffic_top_keys_is_analysis_only(self, capsys):
+        # No sweep, no cache: the hot-key table prints straight from the
+        # materialized schedules.
+        args = [
+            "traffic", "--scenarios", "traffic-zipf", "--procs", "8",
+            "--iterations", "16", "--top-keys", "3",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "share" in out
+        assert "virtual-time analysis" in out
+        assert "e2e_p99_us" not in out  # the sweep never ran
+
+
+class TestScaleCommand:
+    def test_scale_defaults(self):
+        args = build_parser().parse_args(["scale"])
+        assert args.command == "scale"
+        assert args.scheduler is None
+        assert args.smoke is False
+        assert args.fluid is None
+
+    def test_scale_smoke_runs_and_reports_the_verdicts(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        report = tmp_path / "SCALE_report.json"
+        args = [
+            "scale", "--smoke", "--jobs", "1", "--fluid", "fluid-phased",
+            "--output", str(report),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "fluid: 1 scenario(s), all within tolerance" in out
+        assert "re-homing improved=True" in out
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["suite"] == "scale"
+        assert payload["rehome"]["improved"] is True
+        assert payload["fluid"][0]["name"] == "fluid-phased"
+
+    def test_scale_unknown_fluid_errors(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["scale", "--smoke", "--jobs", "1", "--fluid", "no-such"]) == 2
+        assert "cannot run" in capsys.readouterr().err
+
 
 class TestGeneratedThresholdFlags:
     def test_t_w_flag_is_generated_from_registry(self, capsys):

@@ -119,3 +119,85 @@ class TestAggregate:
         assert summary.requests == 0
         assert summary.offered_per_s == 0.0
         assert summary.phases == []
+
+
+class TestReservoirBoundParameter:
+    """The reservoir bound is a first-class accounting parameter: pinnable
+    per scenario, forwarded end to end, and order-independent at the bound."""
+
+    def _rank(self, rng, n, phase=0):
+        e2e = rng.exponential(5.0, size=n)
+        return {
+            "arrivals": np.cumsum(rng.exponential(1.0, size=n)),
+            "latencies": e2e,
+            "acquire_latencies": e2e * 0.3,
+            "hold_us": np.full(n, 1.0),
+            "phases": np.full(n, phase),
+            "write_flags": np.zeros(n, dtype=np.int64),
+            "reads": n,
+            "writes": 0,
+        }
+
+    def test_aggregate_honors_the_bound(self):
+        rng = np.random.default_rng(11)
+        returns = [self._rank(rng, 5000) for _ in range(4)]
+        bounded = aggregate_traffic(returns, reservoir_cap=64)
+        unbounded = aggregate_traffic(returns)
+        # Decimation preserves the quantiles it is allowed to keep.
+        assert bounded.requests == unbounded.requests == 20_000
+        assert bounded.e2e["p50"] == pytest.approx(unbounded.e2e["p50"], rel=0.1)
+        assert bounded.e2e["p999"] >= bounded.e2e["p99"] >= bounded.e2e["p50"]
+
+    def test_order_independence_below_the_bound(self):
+        # Under the cap the summary is an exact function of the multiset:
+        # any rank contribution order yields identical percentiles.
+        rng = np.random.default_rng(12)
+        returns = [self._rank(rng, 300) for _ in range(5)]
+        forward = aggregate_traffic(returns, reservoir_cap=4096)
+        backward = aggregate_traffic(list(reversed(returns)), reservoir_cap=4096)
+        assert forward.e2e == backward.e2e
+        assert forward.acquire == backward.acquire
+
+    def test_reordering_at_the_bound_stays_within_decimation_error(self):
+        # Past the cap, reordering shifts which stratified subsample survives
+        # — but only within the decimation's quantile error, and the global
+        # maximum always survives.
+        rng = np.random.default_rng(12)
+        returns = [self._rank(rng, 3000) for _ in range(5)]
+        forward = aggregate_traffic(returns, reservoir_cap=128)
+        backward = aggregate_traffic(list(reversed(returns)), reservoir_cap=128)
+        for label in ("p50", "p90", "p99"):
+            assert forward.e2e[label] == pytest.approx(backward.e2e[label], rel=0.1)
+
+    def test_scenario_pins_its_own_cap(self):
+        from repro.traffic.generators import TrafficScenario
+
+        pinned = TrafficScenario(name="t", reservoir_cap=4096)
+        assert pinned.reservoir_cap == 4096
+        with pytest.raises(ValueError, match="reservoir_cap"):
+            TrafficScenario(name="t", reservoir_cap=8)
+
+    def test_rank_programs_carry_the_pinned_cap(self):
+        # A scenario-pinned cap rides the per-rank return dict (part of the
+        # fingerprinted run state), which is where the benchmark harness
+        # picks it up before calling aggregate_traffic.
+        from repro.api.registry import get_runtime
+        from repro.topology.builder import cached_machine
+        from repro.traffic.generators import TrafficScenario
+        from repro.traffic.scenarios import make_open_loop_program
+        from repro.traffic.table import build_lock_table
+
+        scenario = TrafficScenario(name="cap-thread-test", num_locks=8, reservoir_cap=64)
+        machine = cached_machine(4, procs_per_node=4)
+        table, _ = build_lock_table(machine, "fompi-spin", 8)
+        program = make_open_loop_program(
+            scenario, table, is_rw=False, draw_role=False, requests=4, seed=5,
+            fw_default=0.0,
+        )
+        runtime = get_runtime("horizon").factory(
+            machine, window_words=table.window_words + 2,
+            latency=None, fabric=None, tracer=None, seed=5,
+        )
+        result = runtime.run(program, window_init=table.init_window)
+        for per_rank in result.returns:
+            assert per_rank["reservoir_cap"] == 64

@@ -188,6 +188,48 @@ class TestTrafficManifestGate:
         assert any(f.level == "fail" and f.field == "schedulers" for f in findings)
 
 
+class TestTopKeys:
+    def _spec(self):
+        return traffic_engine.traffic_spec(
+            schemes=("fompi-spin",), scenarios=("traffic-zipf",),
+            process_counts=(8,), iterations=16,
+        )
+
+    def test_rows_rank_the_zipf_head_first(self):
+        rows = traffic_engine.top_key_rows(self._spec(), top_keys=3)
+        assert [r["rank"] for r in rows] == [1, 2, 3]
+        assert rows[0]["key"] == 0  # Zipf head
+        shares = [r["share"] for r in rows]
+        assert shares == sorted(shares, reverse=True)
+        assert all(0.0 < s <= 1.0 for s in shares)
+        assert all(r["requests"] > 0 for r in rows)
+
+    def test_report_is_pure_analysis(self):
+        # Same rows on repeat calls — no simulation, no cache, no RNG drift.
+        first = traffic_engine.top_key_rows(self._spec(), top_keys=5)
+        second = traffic_engine.top_key_rows(self._spec(), top_keys=5)
+        assert first == second
+
+    def test_one_block_per_scenario_and_p(self):
+        spec = traffic_engine.traffic_spec(
+            schemes=("fompi-spin",),
+            scenarios=("traffic-zipf", "traffic-uniform"),
+            process_counts=(8, 16),
+            iterations=8,
+        )
+        rows = traffic_engine.top_key_rows(spec, top_keys=2)
+        blocks = {(r["scenario"], r["P"]) for r in rows}
+        assert blocks == {
+            ("traffic-zipf", 8), ("traffic-zipf", 16),
+            ("traffic-uniform", 8), ("traffic-uniform", 16),
+        }
+        assert len(rows) == 8  # 2 keys per block
+
+    def test_non_positive_count_rejected(self):
+        with pytest.raises(ValueError, match="top_keys"):
+            traffic_engine.top_key_rows(self._spec(), top_keys=0)
+
+
 class TestDisplayRows:
     def test_display_rows_flatten_percentiles(self):
         rows = [

@@ -106,6 +106,23 @@ class TestZipf:
         assert np.all(counts > 0)
         assert counts.max() / counts.min() < 3.0
 
+    def test_cdf_is_memoized_and_shared(self):
+        # Large tables (the fluid scenarios go to 2^20 keys) make the cdf a
+        # one-time cost: repeat calls must hand back the same frozen array.
+        a = zipf_cdf(1 << 16, 1.1)
+        b = zipf_cdf(1 << 16, 1.1)
+        assert a is b
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 0.5  # shared state must be immutable
+        assert zipf_cdf(1 << 16, 1.0) is not a  # distinct exponent, distinct entry
+
+    def test_memoized_cdf_feeds_every_rank_the_same_distribution(self):
+        scenario = TrafficScenario(name="t", num_locks=512, zipf_exponent=1.2)
+        first = generate_schedule(scenario, seed=3, rank=0, requests=400)
+        again = generate_schedule(scenario, seed=3, rank=0, requests=400)
+        assert np.array_equal(first.lock_index, again.lock_index)
+
 
 class TestPhases:
     def _phased(self) -> TrafficScenario:

@@ -60,7 +60,7 @@ class TestRegistration:
 
 class TestSelectors:
     def test_selector_tokens_are_reserved(self):
-        assert BENCHMARK_SELECTORS == ("traffic", "traffic-rw")
+        assert BENCHMARK_SELECTORS == ("traffic", "traffic-rw", "scale")
 
     def test_resolve_benchmarks_expands_and_dedupes(self):
         spec = CampaignSpec(
